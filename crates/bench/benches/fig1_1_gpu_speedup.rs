@@ -1,0 +1,22 @@
+//! Criterion bench for the Figure 1-1 GPU speedup model. Also prints the
+//! regenerated figure rows once so that `cargo bench` output contains the
+//! series the paper reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnoc_bench::experiments::fig1_1;
+use pnoc_traffic::gpu::GpuSpeedupModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig1_1::run().render());
+    let model = GpuSpeedupModel::figure_1_1();
+    c.bench_function("fig1_1/speedup_model_evaluation", |b| {
+        b.iter(|| {
+            let rows = black_box(&model).rows();
+            black_box(rows.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

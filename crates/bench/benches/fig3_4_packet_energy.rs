@@ -1,0 +1,39 @@
+//! Criterion bench for the Figure 3-4 packet-energy comparison: measures the
+//! energy-accounting overhead of a saturation run and prints the quick-scale
+//! packet-energy rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnoc_bench::runner::{compare_architectures, run_once, Architecture, EffortLevel, TrafficKind};
+use pnoc_sim::config::BandwidthSet;
+use pnoc_traffic::pattern::SkewLevel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for kind in [TrafficKind::Uniform, TrafficKind::Skewed(SkewLevel::Skewed3)] {
+        let row = compare_architectures(EffortLevel::Quick, BandwidthSet::Set1, kind);
+        println!(
+            "fig3_4 (quick, BW set 1) {:<16} firefly {:9.1} pJ   d-hetpnoc {:9.1} pJ   saving {:+.2}%",
+            row.traffic,
+            row.firefly_packet_energy_pj,
+            row.dhet_packet_energy_pj,
+            row.energy_saving_percent()
+        );
+    }
+
+    c.bench_function("fig3_4/packet_energy_accounting_run", |b| {
+        let config = EffortLevel::Quick.config(BandwidthSet::Set2);
+        let load = config.estimated_saturation_load();
+        b.iter(|| {
+            let stats = run_once(
+                Architecture::DhetPnoc,
+                config,
+                TrafficKind::Skewed(SkewLevel::Skewed2),
+                load,
+            );
+            black_box(stats.packet_energy_pj())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

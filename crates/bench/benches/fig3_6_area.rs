@@ -1,0 +1,25 @@
+//! Criterion bench for the Figure 3-6 area model (equations 5–24); prints
+//! the regenerated area table once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnoc_bench::experiments::fig3_6;
+use pnoc_photonics::area::AreaModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig3_6::run().render());
+    let model = AreaModel::paper_default();
+    c.bench_function("fig3_6/area_model_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for wavelengths in [64usize, 128, 256, 384, 512] {
+                total += black_box(&model).dynamic_report(wavelengths).area_mm2;
+                total += black_box(&model).firefly_report(wavelengths).area_mm2;
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the wavelength-scaling experiments behind Figures
+//! 3-7 … 3-10: one reduced-scale saturation run per bandwidth set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnoc_bench::runner::{run_once, Architecture, EffortLevel, TrafficKind};
+use pnoc_sim::config::BandwidthSet;
+use pnoc_traffic::pattern::SkewLevel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_7_to_3_10/bandwidth_set_scaling");
+    group.sample_size(10);
+    for set in BandwidthSet::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(set.label()), &set, |b, &set| {
+            let config = EffortLevel::Quick.config(set);
+            let load = config.estimated_saturation_load();
+            b.iter(|| {
+                black_box(run_once(
+                    Architecture::DhetPnoc,
+                    config,
+                    TrafficKind::Skewed(SkewLevel::Skewed3),
+                    load,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the dynamic-bandwidth-allocation machinery: token
+//! circulation, allocation convergence and fabric queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnoc_dhetpnoc::dba::DbaController;
+use pnoc_dhetpnoc::fabric::DhetFabric;
+use pnoc_noc::ids::ClusterId;
+use pnoc_noc::topology::ClusterTopology;
+use pnoc_noc::traffic_model::OfferedLoad;
+use pnoc_sim::config::{BandwidthSet, SimConfig};
+use pnoc_sim::system::PhotonicFabric;
+use pnoc_traffic::demand::DemandMatrix;
+use pnoc_traffic::pattern::{PacketShape, SkewLevel};
+use pnoc_traffic::skewed::SkewedTraffic;
+use std::hint::black_box;
+
+fn skewed_demand() -> DemandMatrix {
+    let traffic = SkewedTraffic::new(
+        ClusterTopology::paper_default(),
+        PacketShape::new(64, 32),
+        SkewLevel::Skewed3,
+        OfferedLoad::new(0.01),
+        7,
+    );
+    DemandMatrix::from_model(&traffic, 16)
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("dba/converge_from_scratch", |b| {
+        b.iter(|| {
+            let mut controller = DbaController::new(16, 48, 1, 8, 1);
+            controller.set_targets(&[8; 16]);
+            controller.converge(64);
+            black_box(controller.allocation_snapshot())
+        })
+    });
+
+    c.bench_function("dba/token_tick", |b| {
+        let mut controller = DbaController::new(16, 48, 1, 8, 1);
+        controller.set_targets(&[8; 16]);
+        b.iter(|| black_box(controller.tick()))
+    });
+
+    c.bench_function("dba/fabric_construction_with_skewed_demand", |b| {
+        let config = SimConfig::paper_default(BandwidthSet::Set1);
+        let demand = skewed_demand();
+        b.iter(|| black_box(DhetFabric::new(&config, demand.clone())))
+    });
+
+    c.bench_function("dba/wavelengths_for_query", |b| {
+        let config = SimConfig::paper_default(BandwidthSet::Set1);
+        let fabric = DhetFabric::new(&config, skewed_demand());
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in 0..16 {
+                for d in 0..16 {
+                    if s != d {
+                        total += fabric.wavelengths_for(ClusterId(s), ClusterId(d));
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the electrical router pipeline and the arbiters — the
+//! hot path of the cycle-accurate simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnoc_noc::arbiter::{Arbiter, MatrixArbiter, RoundRobinArbiter};
+use pnoc_noc::flit::{Flit, FlitKind, FlitPayload};
+use pnoc_noc::ids::{CoreId, PacketId, PortId, RouterId, VcId};
+use pnoc_noc::packet::BandwidthClass;
+use pnoc_noc::router::{ElectricalRouter, RouterSpec};
+use std::hint::black_box;
+
+fn make_flit(packet: u64, dst: usize) -> Flit {
+    Flit {
+        packet: PacketId(packet),
+        kind: FlitKind::Single,
+        payload: FlitPayload::Data,
+        src: CoreId(0),
+        dst: CoreId(dst),
+        seq: 0,
+        packet_len: 1,
+        bits: 32,
+        class: BandwidthClass::MediumHigh,
+        created_cycle: 0,
+        injected_cycle: 0,
+        vc: VcId(0),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("router/step_5port_16vc", |b| {
+        let mut router = ElectricalRouter::new(RouterId(0), RouterSpec::new(5, 16, 64));
+        router.set_route_fn(Box::new(|dst| PortId(dst.0 % 5)));
+        let mut cycle = 0u64;
+        let mut packet = 0u64;
+        b.iter(|| {
+            // Keep the router loaded with one flit per port.
+            for port in 0..5 {
+                if let Some(vc) = router.free_input_vc(PortId(port)) {
+                    packet += 1;
+                    let mut flit = make_flit(packet, (port + 1) % 5);
+                    flit.vc = vc;
+                    let _ = router.accept(PortId(port), vc, flit, cycle);
+                }
+            }
+            let grants = router.step(cycle, |_, _, _| true);
+            cycle += 1;
+            black_box(grants.len())
+        })
+    });
+
+    c.bench_function("arbiter/round_robin_16", |b| {
+        let mut arb = RoundRobinArbiter::new(16);
+        let requests = [true; 16];
+        b.iter(|| black_box(arb.grant(&requests)))
+    });
+
+    c.bench_function("arbiter/matrix_16", |b| {
+        let mut arb = MatrixArbiter::new(16);
+        let requests = [true; 16];
+        b.iter(|| black_box(arb.grant(&requests)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

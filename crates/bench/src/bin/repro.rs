@@ -1,0 +1,94 @@
+//! `repro` — regenerates every table and figure of the d-HetPNoC thesis.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro                      # run everything at paper scale
+//! repro --quick              # run everything at reduced scale (smoke test)
+//! repro fig3_3_3_4 fig3_6    # run selected experiments
+//! repro --list               # list experiment names
+//! repro --json results.json  # additionally dump the reports as JSON
+//! ```
+
+use pnoc_bench::experiments::{run_by_name, ExperimentReport, ALL_EXPERIMENTS};
+use pnoc_bench::runner::EffortLevel;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = EffortLevel::Paper;
+    let mut names: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => effort = EffortLevel::Quick,
+            "--paper" => effort = EffortLevel::Paper,
+            "--list" => {
+                for name in ALL_EXPERIMENTS {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--json" => {
+                json_path = iter.next();
+                if json_path.is_none() {
+                    eprintln!("--json requires a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick|--paper] [--json FILE] [EXPERIMENT ...]\n\
+                     experiments: {}",
+                    ALL_EXPERIMENTS.join(", ")
+                );
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag '{other}', try --help");
+                std::process::exit(2);
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for name in &names {
+        if !ALL_EXPERIMENTS.contains(&name.as_str()) {
+            eprintln!(
+                "unknown experiment '{name}'; valid experiments: {}",
+                ALL_EXPERIMENTS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+    for name in &names {
+        eprintln!("[repro] running {name} ({effort:?}) ...");
+        let started = std::time::Instant::now();
+        let report = run_by_name(name, effort);
+        eprintln!("[repro] {name} finished in {:.1}s", started.elapsed().as_secs_f64());
+        println!("{}", report.render());
+        reports.push(report);
+    }
+
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => {
+                let mut file = std::fs::File::create(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot create {path}: {e}");
+                    std::process::exit(1);
+                });
+                file.write_all(json.as_bytes()).expect("write JSON");
+                eprintln!("[repro] wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("cannot serialise reports: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

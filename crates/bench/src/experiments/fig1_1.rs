@@ -1,0 +1,67 @@
+//! Figure 1-1 — speedup of a 1024 B flit size over the 32 B baseline for
+//! CUDA-SDK (upper case) and Rodinia (lower case) benchmarks at 700 MHz.
+//!
+//! The paper's observation: "despite the high bandwidth links most of the
+//! benchmarks show very modest performance improvement of less than below 1%.
+//! On the other hand a few of the benchmarks show considerable speedup of up
+//! to 63%."
+
+use crate::experiments::ExperimentReport;
+use pnoc_sim::report::{fmt_f, Table};
+use pnoc_traffic::gpu::GpuSpeedupModel;
+
+/// Regenerates the Figure 1-1 series.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let model = GpuSpeedupModel::figure_1_1();
+    let mut report = ExperimentReport::new(
+        "fig1_1",
+        "GPU speedup of 1024B flits over the 32B baseline (700 MHz GPU-memory interconnect)",
+    );
+    let mut table = Table::new(
+        "Figure 1-1: speedup per benchmark",
+        &["benchmark", "suite", "kernel launches", "speedup over 32B flits"],
+    );
+    let mut rows: Vec<_> = model
+        .benchmarks
+        .iter()
+        .map(|b| {
+            (
+                b.name.clone(),
+                format!("{:?}", b.suite),
+                b.kernel_launches,
+                b.speedup_percent(model.large_flit_bytes),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    for (name, suite, launches, pct) in rows {
+        table.add_row(&[
+            name,
+            suite,
+            format!("{launches}"),
+            format!("{}%", fmt_f(pct, 2)),
+        ]);
+    }
+    report.tables.push(table);
+    report.notes.push(format!(
+        "{} of {} benchmarks gain less than 1% (paper: \"most\"); maximum speedup {:.1}% (paper: up to 63%).",
+        model.count_below(1.0),
+        model.benchmarks.len(),
+        model.max_speedup_percent(),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_shape_is_reported() {
+        let report = run();
+        assert_eq!(report.tables.len(), 1);
+        assert!(report.tables[0].num_rows() >= 12);
+        assert!(report.notes[0].contains("maximum speedup"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Figures 3-3 and 3-4 — peak bandwidth and packet energy of Firefly vs
+//! d-HetPNoC for uniform-random and skewed traffic at all three bandwidth
+//! sets.
+//!
+//! The published shape to reproduce:
+//!
+//! * uniform-random traffic: both architectures perform the same (the
+//!   d-HetPNoC allocation degenerates to the uniform Firefly allocation),
+//! * with increasing skew, d-HetPNoC's peak bandwidth advantage grows (up to
+//!   ≈ 7 % in the thesis) and its packet energy advantage grows (up to ≈ 5 %).
+
+use crate::experiments::ExperimentReport;
+use crate::runner::{compare_architectures, ComparisonRow, EffortLevel, TrafficKind};
+use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::report::{fmt_f, Table};
+
+/// Runs the Figure 3-3 / 3-4 sweeps and returns the raw rows.
+#[must_use]
+pub fn rows(effort: EffortLevel) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    for set in BandwidthSet::ALL {
+        for kind in TrafficKind::SYNTHETIC {
+            rows.push(compare_architectures(effort, set, kind));
+        }
+    }
+    rows
+}
+
+/// Builds the report from precomputed rows (shared with the Criterion bench).
+#[must_use]
+pub fn report_from_rows(rows: &[ComparisonRow]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig3_3_3_4",
+        "Peak bandwidth (Fig 3-3) and packet energy (Fig 3-4), Firefly vs d-HetPNoC",
+    );
+    let mut bw = Table::new(
+        "Figure 3-3: peak aggregate bandwidth (Gb/s)",
+        &["bandwidth set", "traffic", "Firefly", "d-HetPNoC", "d-HetPNoC gain"],
+    );
+    let mut energy = Table::new(
+        "Figure 3-4: packet energy at saturation (pJ)",
+        &["bandwidth set", "traffic", "Firefly", "d-HetPNoC", "d-HetPNoC saving"],
+    );
+    for row in rows {
+        bw.add_row(&[
+            row.bandwidth_set.clone(),
+            row.traffic.clone(),
+            fmt_f(row.firefly_peak_gbps, 1),
+            fmt_f(row.dhet_peak_gbps, 1),
+            format!("{}%", fmt_f(row.bandwidth_gain_percent(), 2)),
+        ]);
+        energy.add_row(&[
+            row.bandwidth_set.clone(),
+            row.traffic.clone(),
+            fmt_f(row.firefly_packet_energy_pj, 1),
+            fmt_f(row.dhet_packet_energy_pj, 1),
+            format!("{}%", fmt_f(row.energy_saving_percent(), 2)),
+        ]);
+    }
+    report.tables.push(bw);
+    report.tables.push(energy);
+
+    // Shape checks against the paper.
+    let uniform_gains: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.traffic == "uniform-random")
+        .map(ComparisonRow::bandwidth_gain_percent)
+        .collect();
+    let skew3_gains: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.traffic == "skewed-3")
+        .map(ComparisonRow::bandwidth_gain_percent)
+        .collect();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    report.notes.push(format!(
+        "uniform-random: mean d-HetPNoC bandwidth gain {:.2}% (paper: ≈0.1%, architectures equivalent)",
+        avg(&uniform_gains)
+    ));
+    report.notes.push(format!(
+        "skewed-3: mean d-HetPNoC bandwidth gain {:.2}% (paper: up to ≈7%)",
+        avg(&skew3_gains)
+    ));
+    let skew3_savings: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.traffic == "skewed-3")
+        .map(ComparisonRow::energy_saving_percent)
+        .collect();
+    report.notes.push(format!(
+        "skewed-3: mean d-HetPNoC packet-energy saving {:.2}% (paper: up to ≈5%)",
+        avg(&skew3_savings)
+    ));
+    report
+}
+
+/// Runs the full experiment.
+#[must_use]
+pub fn run(effort: EffortLevel) -> ExperimentReport {
+    report_from_rows(&rows(effort))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_rows() {
+        // A single bandwidth set at quick effort keeps the test fast while
+        // exercising the full pipeline.
+        let rows: Vec<ComparisonRow> = TrafficKind::SYNTHETIC
+            .iter()
+            .map(|kind| compare_architectures(EffortLevel::Quick, BandwidthSet::Set1, *kind))
+            .collect();
+        let report = report_from_rows(&rows);
+        assert_eq!(report.tables[0].num_rows(), 4);
+        assert_eq!(report.tables[1].num_rows(), 4);
+        assert_eq!(report.notes.len(), 3);
+    }
+}

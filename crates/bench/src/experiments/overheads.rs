@@ -1,0 +1,120 @@
+//! The protocol-overhead numbers worked out in the text of the thesis:
+//! reservation-flit timing (Section 3.3.1 / 3.4.1.1), token size and
+//! circulation latency (equations 1–2), and the quoted area anchors of
+//! Section 3.4.3.
+
+use crate::experiments::ExperimentReport;
+use pnoc_dhetpnoc::reservation::ReservationTiming;
+use pnoc_dhetpnoc::token::{token_hop_cycles, token_size_bits};
+use pnoc_photonics::area::AreaModel;
+use pnoc_photonics::dwdm::WavelengthGrid;
+use pnoc_sim::clock::Clock;
+use pnoc_sim::config::{BandwidthSet, SimConfig};
+use pnoc_sim::report::{fmt_f, Table};
+
+/// Regenerates the overhead numbers quoted in the text.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "overheads",
+        "Protocol overheads: reservation timing, token timing and area anchors",
+    );
+
+    let clock = Clock::paper_default();
+    let mut reservation = Table::new(
+        "Reservation-flit wavelength identifiers (Section 3.4.1.1)",
+        &[
+            "bandwidth set",
+            "identifier bits",
+            "max identifiers",
+            "payload bits",
+            "payload time (ps)",
+            "reservation cycles",
+        ],
+    );
+    for set in BandwidthSet::ALL {
+        let config = SimConfig::paper_default(set);
+        let t = ReservationTiming::for_config(&config);
+        reservation.add_row(&[
+            set.label().to_string(),
+            t.identifier_bits.to_string(),
+            t.max_identifiers.to_string(),
+            t.identifier_payload_bits.to_string(),
+            fmt_f(t.payload_time_ps, 0),
+            t.cycles.to_string(),
+        ]);
+    }
+    report.tables.push(reservation);
+
+    let mut token = Table::new(
+        "Token size (eq. 1) and link traversal latency (eq. 2)",
+        &[
+            "bandwidth set",
+            "data waveguides",
+            "token bits (N_TW)",
+            "hop latency (cycles)",
+            "worst-case repossession (cycles)",
+        ],
+    );
+    for set in BandwidthSet::ALL {
+        let grid = WavelengthGrid::for_total(set.total_wavelengths(), 64);
+        let bits = token_size_bits(grid.num_waveguides(), 64, 16);
+        let hop = token_hop_cycles(bits, 64, 12.5, clock);
+        token.add_row(&[
+            set.label().to_string(),
+            grid.num_waveguides().to_string(),
+            bits.to_string(),
+            hop.to_string(),
+            (hop * 16).to_string(),
+        ]);
+    }
+    report.tables.push(token);
+
+    let area_model = AreaModel::paper_default();
+    let mut area = Table::new(
+        "Area anchors of Section 3.4.3 (64 data wavelengths)",
+        &["architecture", "modulators", "detectors", "area (mm²)"],
+    );
+    let d = area_model.dynamic_report(64);
+    let f = area_model.firefly_report(64);
+    area.add_row(&[
+        "d-HetPNoC".to_string(),
+        d.rings.total_modulators().to_string(),
+        d.rings.total_detectors().to_string(),
+        fmt_f(d.area_mm2, 3),
+    ]);
+    area.add_row(&[
+        "Firefly".to_string(),
+        f.rings.total_modulators().to_string(),
+        f.rings.total_detectors().to_string(),
+        fmt_f(f.area_mm2, 3),
+    ]);
+    report.tables.push(area);
+
+    report.notes.push(
+        "paper text: reservation identifiers take 60 ps (set 1, one cycle) and 720 ps (set 3, two cycles); \
+         area anchors 1.608 mm² vs 1.367 mm²"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_numbers_match_the_text() {
+        let report = run();
+        let rendered = report.render();
+        // 60 ps / 720 ps reservation payloads.
+        assert!(rendered.contains("| 48 "));
+        assert!(rendered.contains("| 576 "));
+        // Token sizes 48 / 240 / 496 bits.
+        assert!(rendered.contains("496"));
+        // Area anchors.
+        assert!(rendered.contains("1.608"));
+        assert!(rendered.contains("1.367"));
+        assert_eq!(report.tables.len(), 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Tables 3-1 … 3-5 — the configuration and constants of the evaluation.
+//!
+//! These tables are inputs rather than results, but regenerating them from
+//! the code proves that the simulator is configured exactly as the paper
+//! describes (bandwidth sets, skew frequencies, simulation parameters and
+//! photonic energy constants).
+
+use crate::experiments::ExperimentReport;
+use pnoc_noc::packet::BandwidthClass;
+use pnoc_photonics::energy::PhotonicEnergyModel;
+use pnoc_sim::config::{BandwidthSet, SimConfig};
+use pnoc_sim::report::{fmt_f, Table};
+use pnoc_traffic::pattern::SkewLevel;
+
+/// Regenerates Tables 3-1 through 3-5.
+#[must_use]
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new("tables", "Tables 3-1 … 3-5 (configuration and constants)");
+
+    // Table 3-1: bandwidth sets.
+    let mut t31 = Table::new(
+        "Table 3-1: application bandwidths per bandwidth set (Gbps)",
+        &["bandwidth set", "low", "medium-low", "medium-high", "high"],
+    );
+    for set in BandwidthSet::ALL {
+        let row: Vec<String> = std::iter::once(set.label().to_string())
+            .chain(
+                BandwidthClass::ALL
+                    .iter()
+                    .map(|c| fmt_f(set.class_bandwidth_gbps(*c, 12.5), 1)),
+            )
+            .collect();
+        t31.add_row(&row);
+    }
+    report.tables.push(t31);
+
+    // Table 3-2: frequency of communication per skew level.
+    let mut t32 = Table::new(
+        "Table 3-2: frequency of communication per application bandwidth",
+        &["scenario", "high", "medium-high", "medium-low", "low"],
+    );
+    for skew in SkewLevel::ALL {
+        t32.add_row(&[
+            skew.label().to_string(),
+            format!("{}%", fmt_f(skew.frequency(BandwidthClass::High) * 100.0, 2)),
+            format!("{}%", fmt_f(skew.frequency(BandwidthClass::MediumHigh) * 100.0, 2)),
+            format!("{}%", fmt_f(skew.frequency(BandwidthClass::MediumLow) * 100.0, 2)),
+            format!("{}%", fmt_f(skew.frequency(BandwidthClass::Low) * 100.0, 2)),
+        ]);
+    }
+    report.tables.push(t32);
+
+    // Table 3-3: simulation parameters.
+    let config = SimConfig::paper_default(BandwidthSet::Set1);
+    let mut t33 = Table::new("Table 3-3: simulation parameters", &["parameter", "value"]);
+    let rows = [
+        ("number of cores", config.topology.num_cores().to_string()),
+        ("number of clusters", config.topology.num_clusters().to_string()),
+        ("cluster size", format!("{} cores", config.topology.cores_per_cluster())),
+        ("clock frequency", format!("{} GHz", config.clock.frequency_ghz)),
+        (
+            "simulation cycles",
+            format!("{} with {} reset cycles", config.sim_cycles, config.warmup_cycles),
+        ),
+        ("virtual channels per port", config.vcs_per_port.to_string()),
+        ("buffer depth per VC", format!("{} flits", config.vc_depth)),
+        ("switching", "wormhole based packet switching".to_string()),
+        (
+            "BW set 1 packets",
+            format!(
+                "{} flits of {} bits",
+                BandwidthSet::Set1.packet_flits(),
+                BandwidthSet::Set1.flit_bits()
+            ),
+        ),
+        (
+            "BW set 2 packets",
+            format!(
+                "{} flits of {} bits",
+                BandwidthSet::Set2.packet_flits(),
+                BandwidthSet::Set2.flit_bits()
+            ),
+        ),
+        (
+            "BW set 3 packets",
+            format!(
+                "{} flits of {} bits",
+                BandwidthSet::Set3.packet_flits(),
+                BandwidthSet::Set3.flit_bits()
+            ),
+        ),
+        (
+            "Firefly channels (set 1/2/3)",
+            format!(
+                "{} / {} / {} wavelengths per channel x 16 channels",
+                BandwidthSet::Set1.firefly_wavelengths_per_channel(),
+                BandwidthSet::Set2.firefly_wavelengths_per_channel(),
+                BandwidthSet::Set3.firefly_wavelengths_per_channel()
+            ),
+        ),
+        (
+            "d-HetPNoC maximum channel (set 1/2/3)",
+            format!(
+                "{} / {} / {} wavelengths",
+                BandwidthSet::Set1.dhet_max_channel_wavelengths(),
+                BandwidthSet::Set2.dhet_max_channel_wavelengths(),
+                BandwidthSet::Set3.dhet_max_channel_wavelengths()
+            ),
+        ),
+    ];
+    for (k, v) in rows {
+        t33.add_row(&[k.to_string(), v]);
+    }
+    report.tables.push(t33);
+
+    // Table 3-4 / 3-5: photonic component power and energy.
+    let energy = PhotonicEnergyModel::paper_default();
+    let mut t34 = Table::new(
+        "Table 3-4: power / energy of photonic components",
+        &["component", "value"],
+    );
+    t34.add_row(&["modulator / demodulator".to_string(), "40 fJ/bit".to_string()]);
+    t34.add_row(&["thermal tuning".to_string(), "2.4 mW/nm".to_string()]);
+    t34.add_row(&["laser source".to_string(), "1.5 mW/wavelength".to_string()]);
+    report.tables.push(t34);
+
+    let mut t35 = Table::new(
+        "Table 3-5: energy per bit of the packet-energy model (pJ/bit)",
+        &["component", "pJ/bit"],
+    );
+    t35.add_row(&["E_modulation".to_string(), fmt_f(energy.modulation_pj_per_bit, 4)]);
+    t35.add_row(&["E_tuning".to_string(), fmt_f(energy.tuning_pj_per_bit, 4)]);
+    t35.add_row(&["E_launch".to_string(), fmt_f(energy.launch_pj_per_bit, 4)]);
+    t35.add_row(&["E_buffer".to_string(), fmt_f(energy.buffer_pj_per_bit, 7)]);
+    t35.add_row(&["E_router".to_string(), fmt_f(energy.router_pj_per_bit, 4)]);
+    report.tables.push(t35);
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_tables_are_generated() {
+        let report = run();
+        assert_eq!(report.tables.len(), 5);
+        assert_eq!(report.tables[0].num_rows(), 3);
+        assert_eq!(report.tables[1].num_rows(), 3);
+        assert!(report.tables[2].num_rows() >= 10);
+        assert_eq!(report.tables[4].num_rows(), 5);
+        let rendered = report.render();
+        assert!(rendered.contains("2.5 GHz"));
+        assert!(rendered.contains("0.0781250"));
+    }
+}

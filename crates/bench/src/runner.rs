@@ -1,0 +1,371 @@
+//! Shared machinery for the throughput / energy experiments: traffic
+//! construction, architecture comparison sweeps, and parallel execution of
+//! sweep points.
+
+use pnoc_dhetpnoc::network::build_dhetpnoc_system;
+use pnoc_firefly::network::build_firefly_system;
+use pnoc_noc::topology::ClusterTopology;
+use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
+use pnoc_sim::config::{BandwidthSet, SimConfig};
+use pnoc_sim::engine::run_to_completion;
+use pnoc_sim::stats::SimStats;
+use pnoc_sim::sweep::{default_load_ladder, SaturationResult, SweepPoint};
+use pnoc_traffic::gpu::RealApplicationTraffic;
+use pnoc_traffic::hotspot::HotspotSkewedTraffic;
+use pnoc_traffic::pattern::{PacketShape, SkewLevel};
+use pnoc_traffic::skewed::SkewedTraffic;
+use pnoc_traffic::uniform::UniformRandomTraffic;
+use serde::{Deserialize, Serialize};
+
+/// How much simulation effort to spend (paper scale vs quick smoke runs for
+/// benches and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EffortLevel {
+    /// Full paper methodology: 10 000 measured cycles, 16 VCs, 8-point load
+    /// ladder.
+    Paper,
+    /// Reduced runs for Criterion benches and smoke tests.
+    Quick,
+}
+
+impl EffortLevel {
+    /// The simulation configuration for this effort level.
+    #[must_use]
+    pub fn config(self, set: BandwidthSet) -> SimConfig {
+        match self {
+            EffortLevel::Paper => SimConfig::paper_default(set),
+            EffortLevel::Quick => {
+                let mut c = SimConfig::fast(set);
+                c.sim_cycles = 1_200;
+                c.warmup_cycles = 300;
+                c
+            }
+        }
+    }
+
+    /// The offered-load ladder for this effort level.
+    #[must_use]
+    pub fn load_ladder(self, config: &SimConfig) -> Vec<f64> {
+        let full = default_load_ladder(config.estimated_saturation_load());
+        match self {
+            EffortLevel::Paper => full,
+            EffortLevel::Quick => vec![full[1], full[3], full[5]],
+        }
+    }
+}
+
+/// The traffic scenarios of the evaluation chapter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficKind {
+    /// Uniform-random traffic.
+    Uniform,
+    /// Skewed traffic at one of the three skew levels.
+    Skewed(SkewLevel),
+    /// Hotspot-coupled skewed traffic (fraction of traffic to the hotspot).
+    Hotspot {
+        /// Fraction of all traffic sent to the hotspot core.
+        fraction: f64,
+        /// Skew level of the remaining traffic.
+        skew: SkewLevel,
+    },
+    /// Real-application (GPU + memory clusters) traffic.
+    RealApplication,
+}
+
+impl TrafficKind {
+    /// The scenarios of Figures 3-3 / 3-4 (uniform + three skews).
+    pub const SYNTHETIC: [TrafficKind; 4] = [
+        TrafficKind::Uniform,
+        TrafficKind::Skewed(SkewLevel::Skewed1),
+        TrafficKind::Skewed(SkewLevel::Skewed2),
+        TrafficKind::Skewed(SkewLevel::Skewed3),
+    ];
+
+    /// The case studies of Figure 3-5 (four hotspot mixes + real application).
+    #[must_use]
+    pub fn case_studies() -> Vec<TrafficKind> {
+        vec![
+            TrafficKind::Hotspot {
+                fraction: 0.10,
+                skew: SkewLevel::Skewed2,
+            },
+            TrafficKind::Hotspot {
+                fraction: 0.10,
+                skew: SkewLevel::Skewed3,
+            },
+            TrafficKind::Hotspot {
+                fraction: 0.20,
+                skew: SkewLevel::Skewed2,
+            },
+            TrafficKind::Hotspot {
+                fraction: 0.20,
+                skew: SkewLevel::Skewed3,
+            },
+            TrafficKind::RealApplication,
+        ]
+    }
+
+    /// Human-readable label used in report rows.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            TrafficKind::Uniform => "uniform-random".to_string(),
+            TrafficKind::Skewed(s) => s.label().to_string(),
+            TrafficKind::Hotspot { fraction, skew } => format!(
+                "hotspot-{}pct-{}",
+                (fraction * 100.0).round() as u32,
+                skew.label()
+            ),
+            TrafficKind::RealApplication => "real-application".to_string(),
+        }
+    }
+
+    /// Builds the traffic model for this scenario at the given load.
+    #[must_use]
+    pub fn build(&self, config: &SimConfig, load: OfferedLoad) -> Box<dyn TrafficModel + Send> {
+        let topology = ClusterTopology::paper_default();
+        let shape = PacketShape::new(
+            config.bandwidth_set.packet_flits(),
+            config.bandwidth_set.flit_bits(),
+        );
+        let seed = config.seed;
+        match self {
+            TrafficKind::Uniform => {
+                Box::new(UniformRandomTraffic::new(topology, shape, load, seed))
+            }
+            TrafficKind::Skewed(skew) => {
+                Box::new(SkewedTraffic::new(topology, shape, *skew, load, seed))
+            }
+            TrafficKind::Hotspot { fraction, skew } => Box::new(HotspotSkewedTraffic::new(
+                topology,
+                shape,
+                *skew,
+                pnoc_noc::ids::CoreId(0),
+                *fraction,
+                load,
+                seed,
+            )),
+            TrafficKind::RealApplication => {
+                Box::new(RealApplicationTraffic::paper_mapping(topology, shape, load, seed))
+            }
+        }
+    }
+}
+
+/// Which architecture to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Architecture {
+    /// The Firefly baseline with uniform static allocation.
+    Firefly,
+    /// The proposed d-HetPNoC with dynamic bandwidth allocation.
+    DhetPnoc,
+}
+
+impl Architecture {
+    /// Both architectures, baseline first.
+    pub const BOTH: [Architecture; 2] = [Architecture::Firefly, Architecture::DhetPnoc];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Architecture::Firefly => "Firefly",
+            Architecture::DhetPnoc => "d-HetPNoC",
+        }
+    }
+}
+
+/// Runs one simulation of one architecture at one offered load.
+#[must_use]
+pub fn run_once(
+    architecture: Architecture,
+    config: SimConfig,
+    kind: TrafficKind,
+    load: f64,
+) -> SimStats {
+    let traffic = kind.build(&config, OfferedLoad::new(load));
+    match architecture {
+        Architecture::Firefly => {
+            let mut system = build_firefly_system(config, traffic);
+            run_to_completion(&mut system)
+        }
+        Architecture::DhetPnoc => {
+            let mut system = build_dhetpnoc_system(config, traffic);
+            run_to_completion(&mut system)
+        }
+    }
+}
+
+/// Sweeps the offered load for one architecture and traffic scenario,
+/// running the sweep points in parallel.
+#[must_use]
+pub fn saturation_sweep(
+    architecture: Architecture,
+    config: SimConfig,
+    kind: TrafficKind,
+    loads: &[f64],
+) -> SaturationResult {
+    let mut points: Vec<(usize, SweepPoint)> = Vec::with_capacity(loads.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &load)| {
+                scope.spawn(move |_| {
+                    (
+                        i,
+                        SweepPoint {
+                            offered_load: load,
+                            stats: run_once(architecture, config, kind, load),
+                        },
+                    )
+                })
+            })
+            .collect();
+        for handle in handles {
+            points.push(handle.join().expect("sweep worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    points.sort_by_key(|(i, _)| *i);
+    SaturationResult {
+        points: points.into_iter().map(|(_, p)| p).collect(),
+    }
+}
+
+/// The outcome of comparing both architectures on one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Bandwidth set of the experiment.
+    pub bandwidth_set: String,
+    /// Traffic scenario label.
+    pub traffic: String,
+    /// Firefly peak aggregate bandwidth, Gb/s.
+    pub firefly_peak_gbps: f64,
+    /// d-HetPNoC peak aggregate bandwidth, Gb/s.
+    pub dhet_peak_gbps: f64,
+    /// Firefly packet energy at saturation, pJ.
+    pub firefly_packet_energy_pj: f64,
+    /// d-HetPNoC packet energy at saturation, pJ.
+    pub dhet_packet_energy_pj: f64,
+    /// Firefly average latency at saturation, cycles.
+    pub firefly_latency_cycles: f64,
+    /// d-HetPNoC average latency at saturation, cycles.
+    pub dhet_latency_cycles: f64,
+}
+
+impl ComparisonRow {
+    /// Peak-bandwidth improvement of d-HetPNoC over Firefly, percent.
+    #[must_use]
+    pub fn bandwidth_gain_percent(&self) -> f64 {
+        if self.firefly_peak_gbps == 0.0 {
+            0.0
+        } else {
+            (self.dhet_peak_gbps - self.firefly_peak_gbps) / self.firefly_peak_gbps * 100.0
+        }
+    }
+
+    /// Packet-energy reduction of d-HetPNoC relative to Firefly, percent
+    /// (positive = d-HetPNoC dissipates less).
+    #[must_use]
+    pub fn energy_saving_percent(&self) -> f64 {
+        if self.firefly_packet_energy_pj == 0.0 {
+            0.0
+        } else {
+            (self.firefly_packet_energy_pj - self.dhet_packet_energy_pj)
+                / self.firefly_packet_energy_pj
+                * 100.0
+        }
+    }
+}
+
+/// Compares both architectures on one scenario at one bandwidth set.
+///
+/// Peak bandwidth is each architecture's own sustainable (saturation)
+/// bandwidth. Packet energy and latency are compared at a **common operating
+/// point** — the baseline's saturation load — so that the energy difference
+/// reflects how each architecture handles the same traffic (shorter buffer
+/// residence under d-HetPNoC, Section 3.4.1.2) rather than how far past
+/// saturation each one happens to be driven.
+#[must_use]
+pub fn compare_architectures(
+    effort: EffortLevel,
+    set: BandwidthSet,
+    kind: TrafficKind,
+) -> ComparisonRow {
+    let config = effort.config(set);
+    let loads = effort.load_ladder(&config);
+    let firefly = saturation_sweep(Architecture::Firefly, config, kind, &loads);
+    let dhet = saturation_sweep(Architecture::DhetPnoc, config, kind, &loads);
+    let common_idx = firefly
+        .saturation_index()
+        .unwrap_or(0)
+        .min(dhet.points.len().saturating_sub(1));
+    let energy_at = |sweep: &SaturationResult| {
+        sweep
+            .points
+            .get(common_idx)
+            .map(|p| p.stats.packet_energy_pj())
+            .unwrap_or(0.0)
+    };
+    let latency_at = |sweep: &SaturationResult| {
+        sweep
+            .points
+            .get(common_idx)
+            .map(|p| p.stats.average_packet_latency())
+            .unwrap_or(0.0)
+    };
+    ComparisonRow {
+        bandwidth_set: set.label().to_string(),
+        traffic: kind.label(),
+        firefly_peak_gbps: firefly.sustainable_bandwidth_gbps(),
+        dhet_peak_gbps: dhet.sustainable_bandwidth_gbps(),
+        firefly_packet_energy_pj: energy_at(&firefly),
+        dhet_packet_energy_pj: energy_at(&dhet),
+        firefly_latency_cycles: latency_at(&firefly),
+        dhet_latency_cycles: latency_at(&dhet),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_kinds_have_distinct_labels() {
+        let mut labels: Vec<String> = TrafficKind::SYNTHETIC.iter().map(TrafficKind::label).collect();
+        labels.extend(TrafficKind::case_studies().iter().map(TrafficKind::label));
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "labels must be unique");
+    }
+
+    #[test]
+    fn quick_comparison_produces_sane_numbers() {
+        let row = compare_architectures(
+            EffortLevel::Quick,
+            BandwidthSet::Set1,
+            TrafficKind::Skewed(SkewLevel::Skewed2),
+        );
+        assert!(row.firefly_peak_gbps > 0.0);
+        assert!(row.dhet_peak_gbps > 0.0);
+        assert!(row.firefly_packet_energy_pj > 0.0);
+        assert!(row.dhet_packet_energy_pj > 0.0);
+        // Both architectures share the same aggregate wavelength budget, so
+        // neither can be more than ~2× the photonic limit even with
+        // intra-cluster traffic counted.
+        assert!(row.firefly_peak_gbps < 1600.0);
+        assert!(row.dhet_peak_gbps < 1600.0);
+    }
+
+    #[test]
+    fn run_once_honours_the_architecture_label() {
+        let config = EffortLevel::Quick.config(BandwidthSet::Set1);
+        let load = config.estimated_saturation_load() * 0.5;
+        let firefly = run_once(Architecture::Firefly, config, TrafficKind::Uniform, load);
+        let dhet = run_once(Architecture::DhetPnoc, config, TrafficKind::Uniform, load);
+        assert_eq!(firefly.architecture, "firefly");
+        assert_eq!(dhet.architecture, "d-hetpnoc");
+    }
+}

@@ -1,0 +1,393 @@
+//! The d-HetPNoC photonic fabric: demand-driven wavelength pools.
+//!
+//! The fabric translates the chip's demand information (a
+//! [`pnoc_traffic::demand::DemandMatrix`] built from the running
+//! applications) into per-cluster wavelength targets, lets the token-based
+//! [`DbaController`] converge to an allocation, and answers the cycle-accurate
+//! system's queries:
+//!
+//! * the *pool size* of a cluster is its currently held wavelengths,
+//! * a transmission toward destination `d` uses the wavelengths demanded by
+//!   the application class of the `(src, d)` pair (never more than the pool),
+//! * the reservation broadcast costs 1–2 cycles depending on how many
+//!   wavelength identifiers must be piggybacked (Section 3.4.1.1).
+
+use crate::dba::{AllocationPolicy, DbaController};
+use crate::reservation::ReservationTiming;
+use crate::tables::{DemandTable, RequestTable};
+use crate::token::{token_hop_cycles, token_size_bits};
+use pnoc_noc::ids::ClusterId;
+use pnoc_photonics::dwdm::WavelengthGrid;
+use pnoc_sim::config::SimConfig;
+use pnoc_sim::system::PhotonicFabric;
+use pnoc_traffic::demand::DemandMatrix;
+
+/// The dynamic heterogeneous photonic fabric.
+#[derive(Debug, Clone)]
+pub struct DhetFabric {
+    config: SimConfig,
+    demand: DemandMatrix,
+    controller: DbaController,
+    reservation: ReservationTiming,
+    policy: AllocationPolicy,
+}
+
+impl DhetFabric {
+    /// Builds the fabric with the default (proportional) allocation policy
+    /// and converges the initial allocation.
+    #[must_use]
+    pub fn new(config: &SimConfig, demand: DemandMatrix) -> Self {
+        Self::with_policy(config, demand, AllocationPolicy::Proportional)
+    }
+
+    /// Builds the fabric with an explicit allocation policy.
+    #[must_use]
+    pub fn with_policy(
+        config: &SimConfig,
+        demand: DemandMatrix,
+        policy: AllocationPolicy,
+    ) -> Self {
+        let num_clusters = config.topology.num_clusters();
+        assert_eq!(
+            demand.num_clusters(),
+            num_clusters,
+            "demand matrix does not match the topology"
+        );
+        let set = config.bandwidth_set;
+        let grid = WavelengthGrid::for_total(set.total_wavelengths(), config.wavelengths_per_waveguide);
+        let reserved_per_cluster = 1;
+        let dynamic = token_size_bits(
+            grid.num_waveguides(),
+            config.wavelengths_per_waveguide,
+            reserved_per_cluster * num_clusters,
+        );
+        let hop = token_hop_cycles(
+            dynamic,
+            config.wavelengths_per_waveguide,
+            config.wavelength_rate_gbps,
+            config.clock,
+        );
+        let mut controller = DbaController::new(
+            num_clusters,
+            dynamic,
+            reserved_per_cluster,
+            set.dhet_max_channel_wavelengths(),
+            hop,
+        );
+        // Install the request tables (element-wise max over the cores of a
+        // cluster; in this traffic model every core of a cluster shares the
+        // cluster's application mix, so one demand table per cluster suffices).
+        for src in 0..num_clusters {
+            let mut table = DemandTable::new(num_clusters);
+            for dst in 0..num_clusters {
+                if src == dst {
+                    continue;
+                }
+                let class = demand.class(ClusterId(src), ClusterId(dst));
+                table.set(ClusterId(dst), set.class_wavelengths(class));
+            }
+            let mut request = RequestTable::new(num_clusters);
+            request.rebuild(std::slice::from_ref(&table));
+            controller.set_request_table(ClusterId(src), request);
+        }
+        let targets = Self::compute_targets(config, &demand, policy);
+        controller.set_targets(&targets);
+        // The initial task mapping is known before the simulation starts, so
+        // the allocation is converged up front (the token keeps circulating
+        // during the run to model the protocol's steady-state behaviour).
+        controller.converge(4 * num_clusters);
+        let reservation = ReservationTiming::for_config(config);
+        Self {
+            config: *config,
+            demand,
+            controller,
+            reservation,
+            policy,
+        }
+    }
+
+    /// Computes per-cluster wavelength targets from the demand matrix.
+    fn compute_targets(
+        config: &SimConfig,
+        demand: &DemandMatrix,
+        policy: AllocationPolicy,
+    ) -> Vec<usize> {
+        let set = config.bandwidth_set;
+        let num_clusters = config.topology.num_clusters();
+        match policy {
+            AllocationPolicy::PaperMax => (0..num_clusters)
+                .map(|c| {
+                    let max_mult = demand.max_class_multiplier(ClusterId(c));
+                    set.min_class_wavelengths() * max_mult
+                })
+                .collect(),
+            AllocationPolicy::Proportional => {
+                // Apportion the whole wavelength budget in proportion to each
+                // cluster's traffic intensity (largest-remainder method), so
+                // that the aggregate bandwidth budget is fully assigned — the
+                // same budget Firefly spreads uniformly. The class mix then
+                // decides how many of those wavelengths an individual
+                // transfer switches on.
+                let cap = set.dhet_max_channel_wavelengths();
+                let total = set.total_wavelengths();
+                let weights: Vec<f64> = (0..num_clusters)
+                    .map(|c| demand.intensity(ClusterId(c)).max(1e-6))
+                    .collect();
+                let weight_sum: f64 = weights.iter().sum();
+                let quotas: Vec<f64> = weights
+                    .iter()
+                    .map(|w| w / weight_sum * total as f64)
+                    .collect();
+                let mut targets: Vec<usize> = quotas
+                    .iter()
+                    .map(|q| (q.floor() as usize).clamp(1, cap))
+                    .collect();
+                // Hand out the remaining wavelengths by largest fractional
+                // remainder, respecting the per-channel cap.
+                let mut remaining = total.saturating_sub(targets.iter().sum::<usize>());
+                let mut order: Vec<usize> = (0..num_clusters).collect();
+                order.sort_by(|&a, &b| {
+                    let fa = quotas[a] - quotas[a].floor();
+                    let fb = quotas[b] - quotas[b].floor();
+                    fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut idx = 0;
+                while remaining > 0 && targets.iter().any(|&t| t < cap) {
+                    let c = order[idx % num_clusters];
+                    if targets[c] < cap {
+                        targets[c] += 1;
+                        remaining -= 1;
+                    }
+                    idx += 1;
+                }
+                targets
+            }
+        }
+    }
+
+    /// The allocation policy in use.
+    #[must_use]
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// Access to the DBA controller (allocation snapshots, invariants).
+    #[must_use]
+    pub fn controller(&self) -> &DbaController {
+        &self.controller
+    }
+
+    /// The reservation timing used by this fabric.
+    #[must_use]
+    pub fn reservation_timing(&self) -> ReservationTiming {
+        self.reservation
+    }
+
+    /// The demand matrix the fabric was configured with.
+    #[must_use]
+    pub fn demand(&self) -> &DemandMatrix {
+        &self.demand
+    }
+
+    /// Re-runs target computation and allocation convergence for a new demand
+    /// matrix (a task-mapping change: "this bandwidth allocation happens
+    /// whenever there is a change in the task mapping on the chip").
+    pub fn remap(&mut self, demand: DemandMatrix) {
+        let targets = Self::compute_targets(&self.config, &demand, self.policy);
+        self.controller.set_targets(&targets);
+        self.controller
+            .converge(4 * self.config.topology.num_clusters());
+        self.demand = demand;
+    }
+}
+
+impl PhotonicFabric for DhetFabric {
+    fn architecture_name(&self) -> &str {
+        "d-hetpnoc"
+    }
+
+    fn pre_cycle(&mut self, _cycle: u64) {
+        // Keep the token circulating; with a stable task mapping the
+        // allocation is already converged, so visits are cheap no-ops, but
+        // the protocol timing (and any remapped targets) is still modelled.
+        let _ = self.controller.tick();
+    }
+
+    fn pool_size(&self, src: ClusterId) -> usize {
+        self.controller.pool(src)
+    }
+
+    fn wavelengths_for(&self, src: ClusterId, dst: ClusterId) -> usize {
+        let class = self.demand.class(src, dst);
+        let demanded = self.config.bandwidth_set.class_wavelengths(class);
+        demanded.min(self.controller.pool(src)).max(1)
+    }
+
+    fn reservation_cycles(&self, _src: ClusterId, _dst: ClusterId) -> u64 {
+        self.reservation.cycles
+    }
+
+    fn total_data_wavelengths(&self) -> usize {
+        self.config.bandwidth_set.total_wavelengths()
+    }
+
+    fn allocation_snapshot(&self) -> Vec<usize> {
+        self.controller.allocation_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnoc_noc::topology::ClusterTopology;
+    use pnoc_noc::traffic_model::OfferedLoad;
+    use pnoc_sim::config::BandwidthSet;
+    use pnoc_traffic::pattern::{PacketShape, SkewLevel};
+    use pnoc_traffic::skewed::SkewedTraffic;
+    use pnoc_traffic::uniform::UniformRandomTraffic;
+
+    fn config(set: BandwidthSet) -> SimConfig {
+        SimConfig::fast(set)
+    }
+
+    fn uniform_demand(set: BandwidthSet) -> DemandMatrix {
+        let cfg = config(set);
+        let traffic = UniformRandomTraffic::new(
+            ClusterTopology::paper_default(),
+            PacketShape::new(set.packet_flits(), set.flit_bits()),
+            OfferedLoad::new(0.01),
+            cfg.seed,
+        );
+        DemandMatrix::from_model(&traffic, 16)
+    }
+
+    fn skewed_demand(set: BandwidthSet, skew: SkewLevel, seed: u64) -> DemandMatrix {
+        let traffic = SkewedTraffic::new(
+            ClusterTopology::paper_default(),
+            PacketShape::new(set.packet_flits(), set.flit_bits()),
+            skew,
+            OfferedLoad::new(0.01),
+            seed,
+        );
+        DemandMatrix::from_model(&traffic, 16)
+    }
+
+    #[test]
+    fn uniform_demand_reproduces_the_firefly_allocation() {
+        // "with uniform traffic ... both architectures provide the exact same
+        // bandwidth between all pairs of clusters."
+        for set in BandwidthSet::ALL {
+            let cfg = config(set);
+            let fabric = DhetFabric::new(&cfg, uniform_demand(set));
+            let alloc = fabric.allocation_snapshot();
+            let firefly_width = set.firefly_wavelengths_per_channel();
+            assert!(
+                alloc.iter().all(|&p| p == firefly_width),
+                "{set:?}: allocation {alloc:?} != uniform {firefly_width}"
+            );
+            assert_eq!(
+                fabric.wavelengths_for(ClusterId(0), ClusterId(5)),
+                firefly_width
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_demand_gives_heterogeneous_pools_within_budget() {
+        let cfg = config(BandwidthSet::Set1);
+        let fabric = DhetFabric::new(&cfg, skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed3, 11));
+        let alloc = fabric.allocation_snapshot();
+        let total: usize = alloc.iter().sum();
+        assert!(total <= 64, "allocation {alloc:?} exceeds the budget");
+        assert!(alloc.iter().all(|&p| (1..=8).contains(&p)), "{alloc:?}");
+        let min = alloc.iter().min().unwrap();
+        let max = alloc.iter().max().unwrap();
+        assert!(max > min, "skewed demand must produce a heterogeneous allocation");
+        fabric.controller().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pools_track_cluster_traffic_intensity() {
+        let cfg = config(BandwidthSet::Set1);
+        let demand = skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed3, 5);
+        let fabric = DhetFabric::new(&cfg, demand.clone());
+        // The cluster with the highest traffic intensity must get at least
+        // as many wavelengths as the one with the lowest.
+        let busiest = (0..16)
+            .max_by(|&a, &b| {
+                demand
+                    .intensity(ClusterId(a))
+                    .partial_cmp(&demand.intensity(ClusterId(b)))
+                    .unwrap()
+            })
+            .unwrap();
+        let calmest = (0..16)
+            .min_by(|&a, &b| {
+                demand
+                    .intensity(ClusterId(a))
+                    .partial_cmp(&demand.intensity(ClusterId(b)))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            fabric.pool_size(ClusterId(busiest)) >= fabric.pool_size(ClusterId(calmest)),
+            "busy cluster must not get less bandwidth than an idle one"
+        );
+    }
+
+    #[test]
+    fn transmissions_use_the_class_wavelengths_capped_by_the_pool() {
+        let cfg = config(BandwidthSet::Set1);
+        let demand = skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed2, 9);
+        let fabric = DhetFabric::new(&cfg, demand.clone());
+        for s in 0..16 {
+            for d in 0..16 {
+                if s == d {
+                    continue;
+                }
+                let (src, dst) = (ClusterId(s), ClusterId(d));
+                let w = fabric.wavelengths_for(src, dst);
+                assert!(w >= 1);
+                assert!(w <= fabric.pool_size(src));
+                assert!(
+                    w <= cfg
+                        .bandwidth_set
+                        .class_wavelengths(demand.class(src, dst))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reservation_cycles_match_the_bandwidth_set() {
+        let f1 = DhetFabric::new(&config(BandwidthSet::Set1), uniform_demand(BandwidthSet::Set1));
+        let f3 = DhetFabric::new(&config(BandwidthSet::Set3), uniform_demand(BandwidthSet::Set3));
+        assert_eq!(f1.reservation_cycles(ClusterId(0), ClusterId(1)), 1);
+        assert_eq!(f3.reservation_cycles(ClusterId(0), ClusterId(1)), 2);
+    }
+
+    #[test]
+    fn paper_max_policy_requests_the_maximum_class() {
+        let cfg = config(BandwidthSet::Set1);
+        let demand = skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed1, 3);
+        let fabric = DhetFabric::with_policy(&cfg, demand, AllocationPolicy::PaperMax);
+        assert_eq!(fabric.policy(), AllocationPolicy::PaperMax);
+        // With nearly every cluster having at least one high-class flow, the
+        // targets are all 8 and the budget-constrained allocation stays fair.
+        let alloc = fabric.allocation_snapshot();
+        assert!(alloc.iter().sum::<usize>() <= 64);
+        fabric.controller().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remap_reconverges_the_allocation() {
+        let cfg = config(BandwidthSet::Set1);
+        let mut fabric = DhetFabric::new(&cfg, skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed3, 1));
+        let before = fabric.allocation_snapshot();
+        fabric.remap(uniform_demand(BandwidthSet::Set1));
+        let after = fabric.allocation_snapshot();
+        assert_ne!(before, after, "remapping must change a skewed allocation");
+        assert!(after.iter().all(|&p| p == 4));
+        assert_eq!(fabric.architecture_name(), "d-hetpnoc");
+    }
+}

@@ -1,0 +1,114 @@
+//! The Firefly photonic fabric: uniform, static wavelength allocation.
+//!
+//! Every cluster's write channel carries exactly `total wavelengths / 16`
+//! DWDM wavelengths (4, 16 or 32 for the three bandwidth sets, Table 3-3).
+//! Every transmission uses the full channel — "all the modulators and
+//! demodulators are on for any communication ... irrespective of the
+//! required data rate" (Sections 2.2.1 and 3.3.1) — so a source can only
+//! drive one packet at a time and a high-bandwidth application receives no
+//! more bandwidth than a low-bandwidth one.
+
+use pnoc_noc::ids::ClusterId;
+use pnoc_sim::config::SimConfig;
+use pnoc_sim::system::PhotonicFabric;
+
+/// The uniform, statically-allocated Firefly fabric.
+#[derive(Debug, Clone)]
+pub struct FireflyFabric {
+    num_clusters: usize,
+    wavelengths_per_channel: usize,
+    total_wavelengths: usize,
+    reservation_cycles: u64,
+}
+
+impl FireflyFabric {
+    /// Builds the fabric for a simulation configuration.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        Self {
+            num_clusters: config.topology.num_clusters(),
+            wavelengths_per_channel: config.bandwidth_set.firefly_wavelengths_per_channel(),
+            total_wavelengths: config.bandwidth_set.total_wavelengths(),
+            reservation_cycles: 1,
+        }
+    }
+
+    /// Wavelengths of each cluster's write channel.
+    #[must_use]
+    pub fn wavelengths_per_channel(&self) -> usize {
+        self.wavelengths_per_channel
+    }
+
+    /// Number of clusters sharing the crossbar.
+    #[must_use]
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+}
+
+impl PhotonicFabric for FireflyFabric {
+    fn architecture_name(&self) -> &str {
+        "firefly"
+    }
+
+    fn pre_cycle(&mut self, _cycle: u64) {}
+
+    fn pool_size(&self, _src: ClusterId) -> usize {
+        self.wavelengths_per_channel
+    }
+
+    fn wavelengths_for(&self, _src: ClusterId, _dst: ClusterId) -> usize {
+        // All wavelengths of the channel are used for every transmission,
+        // regardless of the application's bandwidth class.
+        self.wavelengths_per_channel
+    }
+
+    fn reservation_cycles(&self, _src: ClusterId, _dst: ClusterId) -> u64 {
+        self.reservation_cycles
+    }
+
+    fn total_data_wavelengths(&self) -> usize {
+        self.total_wavelengths
+    }
+
+    fn allocation_snapshot(&self) -> Vec<usize> {
+        vec![self.wavelengths_per_channel; self.num_clusters]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnoc_sim::config::BandwidthSet;
+
+    #[test]
+    fn channel_widths_match_table_3_3() {
+        for (set, expected) in [
+            (BandwidthSet::Set1, 4),
+            (BandwidthSet::Set2, 16),
+            (BandwidthSet::Set3, 32),
+        ] {
+            let fabric = FireflyFabric::new(&SimConfig::paper_default(set));
+            assert_eq!(fabric.wavelengths_per_channel(), expected);
+            assert_eq!(fabric.pool_size(ClusterId(0)), expected);
+            assert_eq!(fabric.wavelengths_for(ClusterId(0), ClusterId(5)), expected);
+        }
+    }
+
+    #[test]
+    fn allocation_is_uniform_across_clusters() {
+        let fabric = FireflyFabric::new(&SimConfig::paper_default(BandwidthSet::Set1));
+        let alloc = fabric.allocation_snapshot();
+        assert_eq!(alloc.len(), 16);
+        assert!(alloc.iter().all(|&w| w == 4));
+        // The whole aggregate bandwidth budget is exactly used.
+        assert_eq!(alloc.iter().sum::<usize>(), fabric.total_data_wavelengths());
+    }
+
+    #[test]
+    fn reservation_takes_one_cycle() {
+        let fabric = FireflyFabric::new(&SimConfig::paper_default(BandwidthSet::Set3));
+        assert_eq!(fabric.reservation_cycles(ClusterId(1), ClusterId(2)), 1);
+        assert_eq!(fabric.architecture_name(), "firefly");
+    }
+}

@@ -1,0 +1,86 @@
+//! Convenience constructors for Firefly simulations.
+
+use crate::fabric::FireflyFabric;
+use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
+use pnoc_sim::config::SimConfig;
+use pnoc_sim::engine::run_to_completion;
+use pnoc_sim::sweep::{default_load_ladder, sweep_offered_loads, SaturationResult};
+use pnoc_sim::system::PhotonicSystem;
+
+/// Builds a ready-to-run Firefly system for the given traffic model.
+pub fn build_firefly_system<T: TrafficModel>(
+    config: SimConfig,
+    traffic: T,
+) -> PhotonicSystem<FireflyFabric, T> {
+    let fabric = FireflyFabric::new(&config);
+    PhotonicSystem::new(config, fabric, traffic)
+}
+
+/// Sweeps the offered load and returns the saturation result for Firefly.
+///
+/// `make_traffic` is called once per sweep point with the offered load for
+/// that point, so every run starts from a fresh, reproducible traffic state.
+pub fn firefly_saturation_sweep<T, M>(config: SimConfig, mut make_traffic: M) -> SaturationResult
+where
+    T: TrafficModel,
+    M: FnMut(OfferedLoad) -> T,
+{
+    let loads = default_load_ladder(config.estimated_saturation_load());
+    sweep_offered_loads(&loads, |load| {
+        let traffic = make_traffic(OfferedLoad::new(load));
+        let mut system = build_firefly_system(config, traffic);
+        run_to_completion(&mut system)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnoc_noc::topology::ClusterTopology;
+    use pnoc_sim::config::BandwidthSet;
+    use pnoc_traffic::pattern::PacketShape;
+    use pnoc_traffic::uniform::UniformRandomTraffic;
+
+    fn shape(set: BandwidthSet) -> PacketShape {
+        PacketShape::new(set.packet_flits(), set.flit_bits())
+    }
+
+    #[test]
+    fn firefly_delivers_uniform_traffic() {
+        let config = SimConfig::fast(BandwidthSet::Set1);
+        let traffic = UniformRandomTraffic::new(
+            ClusterTopology::paper_default(),
+            shape(BandwidthSet::Set1),
+            OfferedLoad::new(config.estimated_saturation_load() * 0.5),
+            config.seed,
+        );
+        let mut system = build_firefly_system(config, traffic);
+        let stats = run_to_completion(&mut system);
+        assert!(stats.delivered_packets > 0);
+        assert!(stats.accepted_bandwidth_gbps() > 0.0);
+        assert_eq!(stats.architecture, "firefly");
+    }
+
+    #[test]
+    fn saturation_sweep_finds_a_peak_below_the_aggregate_photonic_limit() {
+        let mut config = SimConfig::fast(BandwidthSet::Set1);
+        config.sim_cycles = 1_000;
+        config.warmup_cycles = 200;
+        let result = firefly_saturation_sweep(config, |load| {
+            UniformRandomTraffic::new(
+                ClusterTopology::paper_default(),
+                shape(BandwidthSet::Set1),
+                load,
+                config.seed,
+            )
+        });
+        let peak = result.peak_bandwidth_gbps();
+        assert!(peak > 0.0, "peak bandwidth must be positive");
+        // The photonic crossbar carries 800 Gb/s; including intra-cluster
+        // traffic the accepted bandwidth cannot exceed a small multiple of it.
+        assert!(peak < 2.0 * 800.0, "peak {peak} Gb/s is implausibly high");
+        // Accepted bandwidth must grow between the lightest and the peak load.
+        let first = result.points[0].stats.accepted_bandwidth_gbps();
+        assert!(peak >= first);
+    }
+}

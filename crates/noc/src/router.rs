@@ -1,0 +1,505 @@
+//! Three-stage electrical router.
+//!
+//! The thesis adopts the switch architecture of Pande et al. [24]: a
+//! three-stage pipeline of **input arbitration**, **routing / crossbar
+//! traversal** and **output arbitration** (Section 3.3.2). Each port carries
+//! a set of virtual channels; wormhole switching is used, i.e. the head flit
+//! of a packet claims an output port for its virtual channel and the tail
+//! flit releases it.
+//!
+//! The router is driven externally by the cycle-accurate engine: the caller
+//! pushes incoming flits with [`ElectricalRouter::accept`] and calls
+//! [`ElectricalRouter::step`] once per cycle, providing a closure that tells
+//! the router whether the downstream buffer of a given output port / VC can
+//! accept a flit this cycle (credit-based backpressure).
+
+use crate::arbiter::{Arbiter, RoundRobinArbiter};
+use crate::crossbar::Crossbar;
+use crate::error::{NocError, NocResult};
+use crate::flit::Flit;
+use crate::ids::{CoreId, PortId, RouterId, VcId};
+use crate::vc::VcSet;
+use std::fmt;
+
+/// Static configuration of an [`ElectricalRouter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterSpec {
+    /// Number of ports (inputs and outputs are symmetric).
+    pub num_ports: usize,
+    /// Virtual channels per port.
+    pub num_vcs: usize,
+    /// Buffer depth per virtual channel, in flits.
+    pub vc_depth: usize,
+    /// Pipeline latency in cycles a flit spends in the router before it may
+    /// leave (3 in the paper: input arbitration, routing, output arbitration).
+    pub pipeline_latency: u64,
+}
+
+impl RouterSpec {
+    /// Creates a spec with the paper's three-cycle pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(num_ports: usize, num_vcs: usize, vc_depth: usize) -> Self {
+        assert!(num_ports > 0 && num_vcs > 0 && vc_depth > 0);
+        Self {
+            num_ports,
+            num_vcs,
+            vc_depth,
+            pipeline_latency: 3,
+        }
+    }
+
+    /// Overrides the pipeline latency (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero.
+    #[must_use]
+    pub fn with_pipeline_latency(mut self, latency: u64) -> Self {
+        assert!(latency >= 1, "pipeline latency must be at least 1 cycle");
+        self.pipeline_latency = latency;
+        self
+    }
+
+    /// The paper's core-switch configuration: 5 ports (local core, 3 peers,
+    /// photonic router), 16 VCs per port, 64-flit buffers (Table 3-3).
+    #[must_use]
+    pub fn paper_core_switch() -> Self {
+        Self::new(5, 16, 64)
+    }
+}
+
+/// A flit leaving the router through an output port in the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputGrant {
+    /// Output port the flit leaves through.
+    pub output: PortId,
+    /// Virtual channel the flit travels on.
+    pub vc: VcId,
+    /// The flit itself.
+    pub flit: Flit,
+}
+
+/// Route-computation function: maps a destination core to an output port.
+pub type RouteFn = Box<dyn Fn(CoreId) -> PortId + Send + Sync>;
+
+/// The three-stage electrical router.
+pub struct ElectricalRouter {
+    id: RouterId,
+    spec: RouterSpec,
+    inputs: Vec<VcSet>,
+    input_arbiters: Vec<RoundRobinArbiter>,
+    output_arbiters: Vec<RoundRobinArbiter>,
+    crossbar: Crossbar,
+    route_fn: Option<RouteFn>,
+    forwarded_flits: u64,
+    forwarded_bits: u64,
+}
+
+impl fmt::Debug for ElectricalRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ElectricalRouter")
+            .field("id", &self.id)
+            .field("spec", &self.spec)
+            .field("forwarded_flits", &self.forwarded_flits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ElectricalRouter {
+    /// Creates a router with empty buffers and no routing function.
+    #[must_use]
+    pub fn new(id: RouterId, spec: RouterSpec) -> Self {
+        Self {
+            id,
+            spec,
+            inputs: (0..spec.num_ports)
+                .map(|_| VcSet::new(spec.num_vcs, spec.vc_depth))
+                .collect(),
+            input_arbiters: (0..spec.num_ports)
+                .map(|_| RoundRobinArbiter::new(spec.num_vcs))
+                .collect(),
+            output_arbiters: (0..spec.num_ports)
+                .map(|_| RoundRobinArbiter::new(spec.num_ports))
+                .collect(),
+            crossbar: Crossbar::new(spec.num_ports),
+            route_fn: None,
+            forwarded_flits: 0,
+            forwarded_bits: 0,
+        }
+    }
+
+    /// Installs the route-computation function.
+    pub fn set_route_fn(&mut self, f: RouteFn) {
+        self.route_fn = Some(f);
+    }
+
+    /// Router identifier.
+    #[must_use]
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// Static configuration.
+    #[must_use]
+    pub fn spec(&self) -> RouterSpec {
+        self.spec
+    }
+
+    /// Number of ports.
+    #[must_use]
+    pub fn num_ports(&self) -> usize {
+        self.spec.num_ports
+    }
+
+    /// Immutable access to the VC set of an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidPort`] if the port index is out of range.
+    pub fn input(&self, port: PortId) -> NocResult<&VcSet> {
+        self.inputs.get(port.0).ok_or(NocError::InvalidPort {
+            port,
+            num_ports: self.spec.num_ports,
+        })
+    }
+
+    /// True when the input buffer `(port, vc)` can accept one more flit.
+    #[must_use]
+    pub fn can_accept(&self, port: PortId, vc: VcId) -> bool {
+        self.inputs
+            .get(port.0)
+            .and_then(|set| set.vc(vc).ok())
+            .map(|b| !b.is_full())
+            .unwrap_or(false)
+    }
+
+    /// Finds a free (empty, unassigned) VC on `port` for a new packet.
+    #[must_use]
+    pub fn free_input_vc(&self, port: PortId) -> Option<VcId> {
+        self.inputs.get(port.0).and_then(VcSet::free_vc)
+    }
+
+    /// Pushes a flit into input buffer `(port, vc)` at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidPort`], [`NocError::InvalidVc`] or
+    /// [`NocError::BufferFull`] on failure.
+    pub fn accept(&mut self, port: PortId, vc: VcId, flit: Flit, cycle: u64) -> NocResult<()> {
+        let num_ports = self.spec.num_ports;
+        let set = self
+            .inputs
+            .get_mut(port.0)
+            .ok_or(NocError::InvalidPort { port, num_ports })?;
+        set.vc_mut(vc)?.push(flit, cycle).map_err(|e| match e {
+            NocError::BufferFull { capacity, .. } => NocError::BufferFull { port, vc, capacity },
+            other => other,
+        })
+    }
+
+    /// Total number of flits buffered in the router.
+    #[must_use]
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs.iter().map(VcSet::total_occupancy).sum()
+    }
+
+    /// Total number of bits buffered in the router (for buffer-energy
+    /// accounting).
+    #[must_use]
+    pub fn buffered_bits(&self) -> u64 {
+        self.inputs.iter().map(VcSet::buffered_bits).sum()
+    }
+
+    /// Flits forwarded through the crossbar over the router's lifetime.
+    #[must_use]
+    pub fn forwarded_flits(&self) -> u64 {
+        self.forwarded_flits
+    }
+
+    /// Bits forwarded through the crossbar over the router's lifetime.
+    #[must_use]
+    pub fn forwarded_bits(&self) -> u64 {
+        self.forwarded_bits
+    }
+
+    /// True when every input buffer is empty.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.inputs.iter().all(VcSet::is_idle)
+    }
+
+    /// Advances the router by one cycle.
+    ///
+    /// `can_send(output, vc, flit)` must return true when the downstream
+    /// buffer attached to `output` can accept the flit on virtual channel `vc`
+    /// this cycle. At most one flit leaves per output port per cycle; at most
+    /// one flit leaves per input port per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no routing function has been installed and a head flit needs
+    /// routing.
+    pub fn step<F>(&mut self, cycle: u64, mut can_send: F) -> Vec<OutputGrant>
+    where
+        F: FnMut(PortId, VcId, &Flit) -> bool,
+    {
+        self.crossbar.clear();
+        let num_ports = self.spec.num_ports;
+        let latency = self.spec.pipeline_latency;
+
+        // Stage 1+2: input arbitration and route computation.
+        // For every input port pick one candidate VC whose head-of-line flit
+        // is eligible (pipeline latency satisfied), routed, and whose
+        // downstream buffer can take it.
+        let mut nominations: Vec<Option<(VcId, PortId)>> = vec![None; num_ports];
+        for p in 0..num_ports {
+            // Route any head flit that does not have an output assignment yet.
+            let mut requests = vec![false; self.spec.num_vcs];
+            for v in 0..self.spec.num_vcs {
+                let set = &mut self.inputs[p];
+                let vc = set.vc_mut(VcId(v)).expect("vc index in range");
+                let Some((flit, entered)) = vc.front().map(|(f, c)| (*f, c)) else {
+                    continue;
+                };
+                if cycle < entered + latency.saturating_sub(1) {
+                    continue; // still traversing the router pipeline
+                }
+                if vc.assigned_output().is_none() {
+                    if flit.is_head() {
+                        let route = self
+                            .route_fn
+                            .as_ref()
+                            .expect("routing function must be installed before stepping");
+                        let out = route(flit.dst);
+                        assert!(
+                            out.0 < num_ports,
+                            "routing function returned invalid port {out} (router has {num_ports})"
+                        );
+                        vc.assign_output(out);
+                    } else {
+                        // A body/tail flit can only be at the head of a VC whose
+                        // wormhole is already established; if the assignment was
+                        // released the framing is broken.
+                        panic!(
+                            "wormhole framing violation at router {:?}: body/tail flit {:?} with no output assignment",
+                            self.id, flit.packet
+                        );
+                    }
+                }
+                let out = vc.assigned_output().expect("just assigned");
+                if can_send(out, VcId(v), &flit) && self.crossbar.output_free(out) {
+                    requests[v] = true;
+                }
+            }
+            if let Some(winner) = self.input_arbiters[p].grant(&requests) {
+                let out = self.inputs[p]
+                    .vc(VcId(winner))
+                    .expect("vc in range")
+                    .assigned_output()
+                    .expect("candidate has assignment");
+                nominations[p] = Some((VcId(winner), out));
+            }
+        }
+
+        // Stage 3: output arbitration — each output port picks one nominating
+        // input port; the crossbar connection is established and the flit
+        // leaves the router.
+        let mut grants = Vec::new();
+        for out in 0..num_ports {
+            let requests: Vec<bool> = (0..num_ports)
+                .map(|p| nominations[p].map(|(_, o)| o.0 == out).unwrap_or(false))
+                .collect();
+            let Some(winner_port) = self.output_arbiters[out].grant(&requests) else {
+                continue;
+            };
+            let (vc, _) = nominations[winner_port].expect("winner nominated");
+            if self
+                .crossbar
+                .connect(PortId(winner_port), PortId(out))
+                .is_none()
+            {
+                continue;
+            }
+            let buffer = self.inputs[winner_port].vc_mut(vc).expect("vc in range");
+            let (flit, _entered) = buffer.pop().expect("candidate buffer non-empty");
+            if flit.is_tail() {
+                buffer.release_output();
+            }
+            self.forwarded_flits += 1;
+            self.forwarded_bits += u64::from(flit.bits);
+            grants.push(OutputGrant {
+                output: PortId(out),
+                vc,
+                flit,
+            });
+        }
+        grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlitPayload};
+    use crate::ids::PacketId;
+    use crate::packet::BandwidthClass;
+
+    fn mk_flit(packet: u64, kind: FlitKind, seq: u32, len: u32, dst: usize) -> Flit {
+        Flit {
+            packet: PacketId(packet),
+            kind,
+            payload: FlitPayload::Data,
+            src: CoreId(0),
+            dst: CoreId(dst),
+            seq,
+            packet_len: len,
+            bits: 32,
+            class: BandwidthClass::Low,
+            created_cycle: 0,
+            injected_cycle: 0,
+            vc: VcId(0),
+        }
+    }
+
+    fn fixed_route(port: usize) -> RouteFn {
+        Box::new(move |_dst| PortId(port))
+    }
+
+    #[test]
+    fn single_flit_traverses_after_pipeline_latency() {
+        let mut r = ElectricalRouter::new(RouterId(0), RouterSpec::new(2, 2, 4));
+        r.set_route_fn(fixed_route(1));
+        r.accept(PortId(0), VcId(0), mk_flit(1, FlitKind::Single, 0, 1, 9), 0)
+            .unwrap();
+        // Pipeline latency 3: flit enters at cycle 0, may leave at cycle 2.
+        assert!(r.step(0, |_, _, _| true).is_empty());
+        assert!(r.step(1, |_, _, _| true).is_empty());
+        let grants = r.step(2, |_, _, _| true);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].output, PortId(1));
+        assert_eq!(grants[0].flit.packet, PacketId(1));
+        assert!(r.is_idle());
+        assert_eq!(r.forwarded_flits(), 1);
+        assert_eq!(r.forwarded_bits(), 32);
+    }
+
+    #[test]
+    fn backpressure_blocks_flit() {
+        let mut r = ElectricalRouter::new(RouterId(0), RouterSpec::new(2, 2, 4));
+        r.set_route_fn(fixed_route(1));
+        r.accept(PortId(0), VcId(0), mk_flit(1, FlitKind::Single, 0, 1, 9), 0)
+            .unwrap();
+        for c in 0..5 {
+            assert!(r.step(c, |_, _, _| false).is_empty());
+        }
+        let grants = r.step(5, |_, _, _| true);
+        assert_eq!(grants.len(), 1);
+    }
+
+    #[test]
+    fn wormhole_keeps_packet_contiguous_per_vc() {
+        let mut r = ElectricalRouter::new(RouterId(0), RouterSpec::new(3, 2, 8));
+        r.set_route_fn(fixed_route(2));
+        // 3-flit packet on VC 0 of port 0.
+        r.accept(PortId(0), VcId(0), mk_flit(7, FlitKind::Head, 0, 3, 5), 0)
+            .unwrap();
+        r.accept(PortId(0), VcId(0), mk_flit(7, FlitKind::Body, 1, 3, 5), 1)
+            .unwrap();
+        r.accept(PortId(0), VcId(0), mk_flit(7, FlitKind::Tail, 2, 3, 5), 2)
+            .unwrap();
+        let mut seqs = Vec::new();
+        for c in 0..12 {
+            for g in r.step(c, |_, _, _| true) {
+                seqs.push(g.flit.seq);
+            }
+        }
+        assert_eq!(seqs, vec![0, 1, 2]);
+        // After the tail left, the VC assignment is released.
+        assert_eq!(
+            r.input(PortId(0)).unwrap().vc(VcId(0)).unwrap().assigned_output(),
+            None
+        );
+    }
+
+    #[test]
+    fn output_contention_is_serialised() {
+        let mut r = ElectricalRouter::new(RouterId(0), RouterSpec::new(3, 2, 4));
+        r.set_route_fn(fixed_route(2));
+        r.accept(PortId(0), VcId(0), mk_flit(1, FlitKind::Single, 0, 1, 9), 0)
+            .unwrap();
+        r.accept(PortId(1), VcId(0), mk_flit(2, FlitKind::Single, 0, 1, 9), 0)
+            .unwrap();
+        let mut per_cycle = Vec::new();
+        for c in 0..6 {
+            per_cycle.push(r.step(c, |_, _, _| true).len());
+        }
+        // Only one flit per cycle can use output port 2.
+        assert!(per_cycle.iter().all(|&n| n <= 1));
+        assert_eq!(per_cycle.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn two_packets_to_distinct_outputs_flow_in_parallel() {
+        let mut r = ElectricalRouter::new(RouterId(0), RouterSpec::new(3, 2, 4));
+        // Route by destination: even cores -> port 1, odd -> port 2.
+        r.set_route_fn(Box::new(|dst| {
+            if dst.0 % 2 == 0 {
+                PortId(1)
+            } else {
+                PortId(2)
+            }
+        }));
+        r.accept(PortId(0), VcId(0), mk_flit(1, FlitKind::Single, 0, 1, 2), 0)
+            .unwrap();
+        r.accept(PortId(1), VcId(0), mk_flit(2, FlitKind::Single, 0, 1, 3), 0)
+            .unwrap();
+        let grants = r.step(2, |_, _, _| true);
+        assert_eq!(grants.len(), 2, "distinct outputs should both fire");
+    }
+
+    #[test]
+    fn accept_rejects_when_buffer_full() {
+        let mut r = ElectricalRouter::new(RouterId(0), RouterSpec::new(2, 1, 1));
+        r.accept(PortId(0), VcId(0), mk_flit(1, FlitKind::Single, 0, 1, 1), 0)
+            .unwrap();
+        let err = r
+            .accept(PortId(0), VcId(0), mk_flit(2, FlitKind::Single, 0, 1, 1), 0)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NocError::BufferFull {
+                port: PortId(0),
+                ..
+            }
+        ));
+        assert!(!r.can_accept(PortId(0), VcId(0)));
+    }
+
+    #[test]
+    fn free_input_vc_reports_availability() {
+        let mut r = ElectricalRouter::new(RouterId(0), RouterSpec::new(2, 2, 1));
+        assert_eq!(r.free_input_vc(PortId(0)), Some(VcId(0)));
+        r.accept(PortId(0), VcId(0), mk_flit(1, FlitKind::Single, 0, 1, 1), 0)
+            .unwrap();
+        assert_eq!(r.free_input_vc(PortId(0)), Some(VcId(1)));
+        r.accept(PortId(0), VcId(1), mk_flit(2, FlitKind::Single, 0, 1, 1), 0)
+            .unwrap();
+        assert_eq!(r.free_input_vc(PortId(0)), None);
+    }
+
+    #[test]
+    fn buffered_bits_tracks_occupancy() {
+        let mut r = ElectricalRouter::new(RouterId(0), RouterSpec::new(2, 2, 4));
+        r.set_route_fn(fixed_route(1));
+        r.accept(PortId(0), VcId(0), mk_flit(1, FlitKind::Head, 0, 2, 9), 0)
+            .unwrap();
+        r.accept(PortId(0), VcId(0), mk_flit(1, FlitKind::Tail, 1, 2, 9), 0)
+            .unwrap();
+        assert_eq!(r.buffered_flits(), 2);
+        assert_eq!(r.buffered_bits(), 64);
+    }
+}

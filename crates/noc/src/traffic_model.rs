@@ -1,0 +1,173 @@
+//! The interface between traffic generators and the cycle-accurate engine.
+//!
+//! Traffic models live in the `pnoc-traffic` crate; the simulation engine and
+//! the photonic fabrics only see this trait. A traffic model is queried once
+//! per core per cycle and may produce at most one new packet request; it also
+//! exposes the *per-cluster-pair* bandwidth class and traffic volume share,
+//! which the d-HetPNoC dynamic-bandwidth-allocation logic uses to populate
+//! its demand tables (Section 3.2.1 of the thesis: the cores send demand
+//! tables to their photonic router whenever the task mapping changes).
+
+use crate::ids::{ClusterId, CoreId};
+use crate::packet::{BandwidthClass, PacketDescriptor};
+use serde::{Deserialize, Serialize};
+
+/// Offered load, expressed as the probability that a core injects a new
+/// packet in a given cycle (packets / core / cycle).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct OfferedLoad(pub f64);
+
+impl OfferedLoad {
+    /// Zero load.
+    pub const ZERO: OfferedLoad = OfferedLoad(0.0);
+
+    /// Creates a load value, clamping to `[0, 1]`.
+    #[must_use]
+    pub fn new(packets_per_core_per_cycle: f64) -> Self {
+        Self(packets_per_core_per_cycle.clamp(0.0, 1.0))
+    }
+
+    /// The raw packets-per-core-per-cycle value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// A source of packets for the cycle-accurate simulation.
+pub trait TrafficModel {
+    /// Asks the model whether core `src` creates a new packet at `cycle`.
+    ///
+    /// At most one packet per core per cycle is generated; the engine queues
+    /// requests that cannot be injected immediately.
+    fn next_packet(&mut self, cycle: u64, src: CoreId) -> Option<PacketDescriptor>;
+
+    /// The offered load the model is currently configured for.
+    fn offered_load(&self) -> OfferedLoad;
+
+    /// Reconfigures the offered load (used by saturation sweeps).
+    fn set_offered_load(&mut self, load: OfferedLoad);
+
+    /// Bandwidth class of the application flow from cluster `src` to cluster
+    /// `dst`. This is what the cores advertise in their demand tables.
+    fn demand_class(&self, src: ClusterId, dst: ClusterId) -> BandwidthClass;
+
+    /// Fraction of the traffic volume leaving cluster `src` that is destined
+    /// to cluster `dst` (0..=1; the values for all `dst != src` sum to ≈ 1).
+    /// d-HetPNoC uses this to weight its wavelength requests in proportion to
+    /// the traffic requirement (Section 3.1).
+    fn volume_share(&self, src: ClusterId, dst: ClusterId) -> f64;
+
+    /// Relative traffic intensity of cluster `src` compared to the chip
+    /// average (mean ≈ 1.0 across clusters). Clusters running high-bandwidth
+    /// applications communicate more frequently ("Traffic patterns with
+    /// increasing skew demands a higher frequency of communication for high
+    /// bandwidth applications", Section 3.4.1); this is the quantity the
+    /// dynamic bandwidth allocation responds to.
+    fn source_intensity(&self, _src: ClusterId) -> f64 {
+        1.0
+    }
+
+    /// Human-readable name used in reports ("uniform-random", "skewed-3", ...).
+    fn name(&self) -> String;
+}
+
+/// Blanket implementation so that boxed traffic models can be used wherever a
+/// concrete model is expected.
+impl<T: TrafficModel + ?Sized> TrafficModel for Box<T> {
+    fn next_packet(&mut self, cycle: u64, src: CoreId) -> Option<PacketDescriptor> {
+        (**self).next_packet(cycle, src)
+    }
+
+    fn offered_load(&self) -> OfferedLoad {
+        (**self).offered_load()
+    }
+
+    fn set_offered_load(&mut self, load: OfferedLoad) {
+        (**self).set_offered_load(load);
+    }
+
+    fn demand_class(&self, src: ClusterId, dst: ClusterId) -> BandwidthClass {
+        (**self).demand_class(src, dst)
+    }
+
+    fn volume_share(&self, src: ClusterId, dst: ClusterId) -> f64 {
+        (**self).volume_share(src, dst)
+    }
+
+    fn source_intensity(&self, src: ClusterId) -> f64 {
+        (**self).source_intensity(src)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offered_load_is_clamped() {
+        assert_eq!(OfferedLoad::new(-1.0).value(), 0.0);
+        assert_eq!(OfferedLoad::new(0.25).value(), 0.25);
+        assert_eq!(OfferedLoad::new(7.0).value(), 1.0);
+    }
+
+    /// A trivial model used to exercise the boxed blanket implementation.
+    struct Constant {
+        load: OfferedLoad,
+    }
+
+    impl TrafficModel for Constant {
+        fn next_packet(&mut self, cycle: u64, src: CoreId) -> Option<PacketDescriptor> {
+            Some(PacketDescriptor {
+                src,
+                dst: CoreId(src.0 + 1),
+                num_flits: 1,
+                flit_bits: 32,
+                class: BandwidthClass::Low,
+                created_cycle: cycle,
+            })
+        }
+
+        fn offered_load(&self) -> OfferedLoad {
+            self.load
+        }
+
+        fn set_offered_load(&mut self, load: OfferedLoad) {
+            self.load = load;
+        }
+
+        fn demand_class(&self, _src: ClusterId, _dst: ClusterId) -> BandwidthClass {
+            BandwidthClass::MediumHigh
+        }
+
+        fn volume_share(&self, _src: ClusterId, _dst: ClusterId) -> f64 {
+            1.0 / 15.0
+        }
+
+        fn name(&self) -> String {
+            "constant".to_string()
+        }
+    }
+
+    #[test]
+    fn boxed_models_delegate() {
+        let mut boxed: Box<dyn TrafficModel> = Box::new(Constant {
+            load: OfferedLoad::new(0.5),
+        });
+        assert_eq!(boxed.offered_load().value(), 0.5);
+        boxed.set_offered_load(OfferedLoad::new(0.75));
+        assert_eq!(boxed.offered_load().value(), 0.75);
+        let pkt = boxed.next_packet(3, CoreId(1)).unwrap();
+        assert_eq!(pkt.dst, CoreId(2));
+        assert_eq!(pkt.created_cycle, 3);
+        assert_eq!(boxed.name(), "constant");
+        assert_eq!(
+            boxed.demand_class(ClusterId(0), ClusterId(1)),
+            BandwidthClass::MediumHigh
+        );
+    }
+}

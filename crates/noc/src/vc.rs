@@ -1,0 +1,309 @@
+//! Virtual-channel buffers.
+//!
+//! Each router port holds a set of virtual channels (16 per port in the
+//! paper's configuration, Table 3-3), each a FIFO of flits with a fixed
+//! capacity (64 flits per VC in the paper). Virtual channels decouple
+//! independent packets sharing a physical link so that a blocked wormhole
+//! does not stall unrelated traffic (Section 1.4 of the thesis).
+
+use crate::error::{NocError, NocResult};
+use crate::flit::Flit;
+use crate::ids::{PortId, VcId};
+use std::collections::VecDeque;
+
+/// A single virtual-channel FIFO.
+#[derive(Debug, Clone)]
+pub struct VcBuffer {
+    fifo: VecDeque<(Flit, u64)>,
+    capacity: usize,
+    /// Output port assigned to the wormhole currently occupying this VC
+    /// (established by the head flit, released by the tail flit).
+    assigned_output: Option<PortId>,
+}
+
+impl VcBuffer {
+    /// Creates an empty buffer with room for `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "VC buffer capacity must be non-zero");
+        Self {
+            fifo: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+            assigned_output: None,
+        }
+    }
+
+    /// Configured capacity in flits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy in flits.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True when no flits are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// True when the buffer cannot accept any more flits.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.fifo.len() >= self.capacity
+    }
+
+    /// Number of free flit slots.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.fifo.len()
+    }
+
+    /// Pushes a flit into the buffer, recording the cycle of arrival.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BufferFull`] when the buffer is at capacity.
+    pub fn push(&mut self, flit: Flit, cycle: u64) -> NocResult<()> {
+        if self.is_full() {
+            return Err(NocError::BufferFull {
+                port: PortId(usize::MAX),
+                vc: flit.vc,
+                capacity: self.capacity,
+            });
+        }
+        self.fifo.push_back((flit, cycle));
+        Ok(())
+    }
+
+    /// Returns the head-of-line flit (and its arrival cycle) without removing it.
+    #[must_use]
+    pub fn front(&self) -> Option<(&Flit, u64)> {
+        self.fifo.front().map(|(f, c)| (f, *c))
+    }
+
+    /// Removes and returns the head-of-line flit and its arrival cycle.
+    pub fn pop(&mut self) -> Option<(Flit, u64)> {
+        self.fifo.pop_front()
+    }
+
+    /// Output port currently assigned to the wormhole occupying this VC.
+    #[must_use]
+    pub fn assigned_output(&self) -> Option<PortId> {
+        self.assigned_output
+    }
+
+    /// Assigns an output port (done when the head flit is routed).
+    pub fn assign_output(&mut self, port: PortId) {
+        self.assigned_output = Some(port);
+    }
+
+    /// Releases the output-port assignment (done when the tail flit departs).
+    pub fn release_output(&mut self) {
+        self.assigned_output = None;
+    }
+
+    /// Sum of bits of all buffered flits (used for buffer-energy accounting).
+    #[must_use]
+    pub fn buffered_bits(&self) -> u64 {
+        self.fifo.iter().map(|(f, _)| u64::from(f.bits)).sum()
+    }
+}
+
+/// A set of virtual channels belonging to one router port.
+#[derive(Debug, Clone)]
+pub struct VcSet {
+    vcs: Vec<VcBuffer>,
+}
+
+impl VcSet {
+    /// Creates `num_vcs` virtual channels of `depth` flits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vcs` is zero or `depth` is zero.
+    #[must_use]
+    pub fn new(num_vcs: usize, depth: usize) -> Self {
+        assert!(num_vcs > 0, "a port needs at least one virtual channel");
+        Self {
+            vcs: (0..num_vcs).map(|_| VcBuffer::new(depth)).collect(),
+        }
+    }
+
+    /// Number of virtual channels in the set.
+    #[must_use]
+    pub fn num_vcs(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Immutable access to a VC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidVc`] if the index is out of range.
+    pub fn vc(&self, vc: VcId) -> NocResult<&VcBuffer> {
+        self.vcs.get(vc.0).ok_or(NocError::InvalidVc {
+            vc,
+            num_vcs: self.vcs.len(),
+        })
+    }
+
+    /// Mutable access to a VC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidVc`] if the index is out of range.
+    pub fn vc_mut(&mut self, vc: VcId) -> NocResult<&mut VcBuffer> {
+        let n = self.vcs.len();
+        self.vcs
+            .get_mut(vc.0)
+            .ok_or(NocError::InvalidVc { vc, num_vcs: n })
+    }
+
+    /// Iterates over `(VcId, &VcBuffer)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VcId, &VcBuffer)> {
+        self.vcs.iter().enumerate().map(|(i, b)| (VcId(i), b))
+    }
+
+    /// Total occupancy across all VCs, in flits.
+    #[must_use]
+    pub fn total_occupancy(&self) -> usize {
+        self.vcs.iter().map(VcBuffer::occupancy).sum()
+    }
+
+    /// Total buffered bits across all VCs.
+    #[must_use]
+    pub fn buffered_bits(&self) -> u64 {
+        self.vcs.iter().map(VcBuffer::buffered_bits).sum()
+    }
+
+    /// Returns the id of a VC that could accept a new packet's head flit:
+    /// an empty VC with no wormhole assignment. Packets always start in an
+    /// empty VC so that flits of different packets never interleave within a
+    /// single FIFO.
+    #[must_use]
+    pub fn free_vc(&self) -> Option<VcId> {
+        self.vcs
+            .iter()
+            .position(|b| b.is_empty() && b.assigned_output().is_none())
+            .map(VcId)
+    }
+
+    /// True when every VC is completely empty.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.vcs.iter().all(VcBuffer::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlitPayload};
+    use crate::ids::{CoreId, PacketId};
+    use crate::packet::BandwidthClass;
+
+    fn flit(vc: usize) -> Flit {
+        Flit {
+            packet: PacketId(1),
+            kind: FlitKind::Single,
+            payload: FlitPayload::Data,
+            src: CoreId(0),
+            dst: CoreId(1),
+            seq: 0,
+            packet_len: 1,
+            bits: 32,
+            class: BandwidthClass::Low,
+            created_cycle: 0,
+            injected_cycle: 0,
+            vc: VcId(vc),
+        }
+    }
+
+    #[test]
+    fn buffer_push_pop_fifo_order() {
+        let mut b = VcBuffer::new(4);
+        for i in 0..4 {
+            let mut f = flit(0);
+            f.seq = i;
+            b.push(f, u64::from(i)).unwrap();
+        }
+        assert!(b.is_full());
+        assert_eq!(b.free_slots(), 0);
+        for i in 0..4 {
+            let (f, cycle) = b.pop().unwrap();
+            assert_eq!(f.seq, i);
+            assert_eq!(cycle, u64::from(i));
+        }
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn buffer_rejects_overflow() {
+        let mut b = VcBuffer::new(1);
+        b.push(flit(0), 0).unwrap();
+        let err = b.push(flit(0), 1).unwrap_err();
+        assert!(matches!(err, NocError::BufferFull { .. }));
+    }
+
+    #[test]
+    fn buffer_tracks_bits() {
+        let mut b = VcBuffer::new(8);
+        b.push(flit(0), 0).unwrap();
+        b.push(flit(0), 0).unwrap();
+        assert_eq!(b.buffered_bits(), 64);
+    }
+
+    #[test]
+    fn buffer_output_assignment_lifecycle() {
+        let mut b = VcBuffer::new(2);
+        assert_eq!(b.assigned_output(), None);
+        b.assign_output(PortId(3));
+        assert_eq!(b.assigned_output(), Some(PortId(3)));
+        b.release_output();
+        assert_eq!(b.assigned_output(), None);
+    }
+
+    #[test]
+    fn vcset_free_vc_skips_assigned() {
+        let mut set = VcSet::new(2, 2);
+        assert_eq!(set.free_vc(), Some(VcId(0)));
+        set.vc_mut(VcId(0)).unwrap().assign_output(PortId(1));
+        assert_eq!(set.free_vc(), Some(VcId(1)));
+        set.vc_mut(VcId(1)).unwrap().push(flit(1), 0).unwrap();
+        assert_eq!(set.free_vc(), None);
+    }
+
+    #[test]
+    fn vcset_occupancy_and_idle() {
+        let mut set = VcSet::new(3, 4);
+        assert!(set.is_idle());
+        set.vc_mut(VcId(2)).unwrap().push(flit(2), 0).unwrap();
+        assert_eq!(set.total_occupancy(), 1);
+        assert!(!set.is_idle());
+        assert_eq!(set.buffered_bits(), 32);
+    }
+
+    #[test]
+    fn vcset_invalid_index_is_error() {
+        let set = VcSet::new(2, 2);
+        assert!(matches!(
+            set.vc(VcId(5)),
+            Err(NocError::InvalidVc { num_vcs: 2, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = VcBuffer::new(0);
+    }
+}

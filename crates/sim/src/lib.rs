@@ -1,0 +1,45 @@
+//! # pnoc-sim — cycle-accurate simulation engine
+//!
+//! The thesis evaluates the Firefly baseline and the proposed d-HetPNoC with
+//! a cycle-accurate simulator that "models the progress of the data flits
+//! accurately per clock cycle accounting for those flits that reach the
+//! destination as well as those that are dropped" (Section 3.4.1). This crate
+//! is that simulator:
+//!
+//! * [`clock`] — the 2.5 GHz clock and cycle ↔ time conversions,
+//! * [`config`] — Table 3-3 simulation parameters and the three bandwidth
+//!   sets of Table 3-1,
+//! * [`stats`] — throughput, latency, drop and energy accounting, from which
+//!   *peak bandwidth* and *packet energy* are derived,
+//! * [`system`] — the full cluster system (cores, electrical core switches,
+//!   photonic routers, reservation-assisted photonic transfers) parameterised
+//!   by a [`system::PhotonicFabric`] implementation; Firefly and d-HetPNoC
+//!   plug in their own wavelength-allocation behaviour,
+//! * [`engine`] — warm-up / measurement driver,
+//! * [`sweep`] — offered-load sweeps and saturation (peak bandwidth) search,
+//! * [`report`] — plain-text table rendering used by the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+pub mod system;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::clock::Clock;
+    pub use crate::config::{BandwidthSet, SimConfig};
+    pub use crate::engine::{run_to_completion, CycleNetwork};
+    pub use crate::report::Table;
+    pub use crate::stats::SimStats;
+    pub use crate::sweep::{sweep_offered_loads, SaturationResult, SweepPoint};
+    pub use crate::system::{PhotonicFabric, PhotonicSystem};
+}
+
+pub use prelude::*;

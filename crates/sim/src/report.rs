@@ -1,0 +1,159 @@
+//! Plain-text table rendering.
+//!
+//! The experiment harness regenerates every table and figure of the paper as
+//! plain-text tables on stdout (and as serialisable rows). This module holds
+//! the small formatting helper shared by all experiments.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row. Rows shorter than the header are padded with empty cells;
+    /// longer rows are truncated.
+    pub fn add_row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Convenience helper adding a row of displayable values.
+    pub fn add_display_row(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.add_row(&row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The rows as raw strings (used by tests and by JSON export).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as column-aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(line, "| {:width$} ", cell, width = widths[i]);
+            }
+            line.push('|');
+            line
+        };
+        let header_line = render_row(&self.header, &widths);
+        let sep: String = "-".repeat(header_line.len());
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with a fixed number of decimals, used by experiment rows.
+#[must_use]
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a percentage difference between `new` and `baseline`
+/// (positive = `new` is larger).
+#[must_use]
+pub fn fmt_pct_change(new: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.2}%", (new - baseline) / baseline * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.add_row(&["alpha".to_string(), "1".to_string()]);
+        t.add_row(&["b".to_string(), "123456".to_string()]);
+        let out = t.render();
+        assert!(out.contains("== Demo =="));
+        assert!(out.contains("| name  | value  |"));
+        assert!(out.contains("| alpha | 1      |"));
+        assert!(out.contains("| b     | 123456 |"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_truncated() {
+        let mut t = Table::new("", &["a", "b", "c"]);
+        t.add_row(&["1".to_string()]);
+        t.add_row(&["1".to_string(), "2".to_string(), "3".to_string(), "4".to_string()]);
+        assert_eq!(t.rows()[0].len(), 3);
+        assert_eq!(t.rows()[1].len(), 3);
+    }
+
+    #[test]
+    fn percent_change_formatting() {
+        assert_eq!(fmt_pct_change(110.0, 100.0), "+10.00%");
+        assert_eq!(fmt_pct_change(95.0, 100.0), "-5.00%");
+        assert_eq!(fmt_pct_change(1.0, 0.0), "n/a");
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new("X", &["c"]);
+        t.add_display_row(&[&42]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

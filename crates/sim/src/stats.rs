@@ -1,0 +1,303 @@
+//! Simulation statistics: throughput, latency, drops and energy.
+//!
+//! The two headline metrics of the paper's evaluation are derived here:
+//!
+//! * **Peak bandwidth** — "measured as average number of bits successfully
+//!   arriving at all cores per second" (Section 3.4.1.1). [`SimStats`]
+//!   accumulates delivered bits during the measurement window and converts
+//!   them with the clock.
+//! * **Packet energy / energy per message** — "the energy dissipated in
+//!   transferring one packet completely from source to destination at network
+//!   saturation" (Section 3.4.1.2): the accumulated [`EnergyBreakdown`]
+//!   divided by the number of delivered packets.
+
+use crate::clock::Clock;
+use pnoc_photonics::energy::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// A latency histogram with fixed-width bins (in cycles).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram of `num_bins` bins of `bin_width` cycles each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(bin_width: u64, num_bins: usize) -> Self {
+        assert!(bin_width > 0 && num_bins > 0);
+        Self {
+            bin_width,
+            bins: vec![0; num_bins],
+            overflow: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        let idx = (latency / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Number of samples above the last bin.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The raw bins.
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Approximate latency below which `quantile` (0..=1) of samples fall,
+    /// using bin upper edges. Returns `None` when the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, quantile: f64) -> Option<u64> {
+        let total = self.samples();
+        if total == 0 {
+            return None;
+        }
+        let target = (quantile.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &count) in self.bins.iter().enumerate() {
+            acc += count;
+            if acc >= target {
+                return Some((i as u64 + 1) * self.bin_width);
+            }
+        }
+        Some(self.bins.len() as u64 * self.bin_width)
+    }
+}
+
+/// Statistics of one simulation run (measurement window only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Name of the architecture that produced the run.
+    pub architecture: String,
+    /// Name of the traffic pattern.
+    pub traffic: String,
+    /// Offered load (packets per core per cycle).
+    pub offered_load: f64,
+    /// Cycles in the measurement window.
+    pub measured_cycles: u64,
+    /// Packets created by the traffic generators.
+    pub generated_packets: u64,
+    /// Packets dropped at the injection queues (source overflow).
+    pub dropped_packets: u64,
+    /// Packets injected into the network.
+    pub injected_packets: u64,
+    /// Flits injected into the network.
+    pub injected_flits: u64,
+    /// Packets fully delivered to their destination core.
+    pub delivered_packets: u64,
+    /// Flits delivered.
+    pub delivered_flits: u64,
+    /// Bits delivered (payload of delivered flits).
+    pub delivered_bits: u64,
+    /// Bits delivered whose source and destination are in different clusters
+    /// (i.e. that crossed the photonic fabric).
+    pub delivered_photonic_bits: u64,
+    /// Sum of packet latencies (creation → tail delivery), cycles.
+    pub total_packet_latency: u64,
+    /// Maximum packet latency observed, cycles.
+    pub max_packet_latency: u64,
+    /// Latency histogram (16-cycle bins).
+    pub latency_histogram: LatencyHistogram,
+    /// Accumulated energy, split by component.
+    pub energy: EnergyBreakdown,
+    /// Clock used by the run (needed to convert cycles to seconds).
+    pub clock: Clock,
+}
+
+impl SimStats {
+    /// Creates an empty statistics record.
+    #[must_use]
+    pub fn new(architecture: &str, traffic: &str, offered_load: f64, clock: Clock) -> Self {
+        Self {
+            architecture: architecture.to_string(),
+            traffic: traffic.to_string(),
+            offered_load,
+            measured_cycles: 0,
+            generated_packets: 0,
+            dropped_packets: 0,
+            injected_packets: 0,
+            injected_flits: 0,
+            delivered_packets: 0,
+            delivered_flits: 0,
+            delivered_bits: 0,
+            delivered_photonic_bits: 0,
+            total_packet_latency: 0,
+            max_packet_latency: 0,
+            latency_histogram: LatencyHistogram::new(16, 256),
+            energy: EnergyBreakdown::default(),
+            clock,
+        }
+    }
+
+    /// Records a delivered packet.
+    pub fn record_packet_delivery(&mut self, latency: u64) {
+        self.delivered_packets += 1;
+        self.total_packet_latency += latency;
+        self.max_packet_latency = self.max_packet_latency.max(latency);
+        self.latency_histogram.record(latency);
+    }
+
+    /// Aggregate accepted bandwidth (all cores) in Gb/s — the paper's
+    /// "peak bandwidth" once measured at saturation.
+    #[must_use]
+    pub fn accepted_bandwidth_gbps(&self) -> f64 {
+        self.clock
+            .bandwidth_gbps(self.delivered_bits, self.measured_cycles)
+    }
+
+    /// Accepted bandwidth per core in Gb/s (the "peak core bandwidth" of
+    /// Figures 3-5, 3-7 and 3-10).
+    #[must_use]
+    pub fn accepted_bandwidth_per_core_gbps(&self, num_cores: usize) -> f64 {
+        if num_cores == 0 {
+            return 0.0;
+        }
+        self.accepted_bandwidth_gbps() / num_cores as f64
+    }
+
+    /// Offered (generated) bandwidth in Gb/s, assuming each generated packet
+    /// carries `packet_bits` bits.
+    #[must_use]
+    pub fn offered_bandwidth_gbps(&self, packet_bits: u64) -> f64 {
+        self.clock
+            .bandwidth_gbps(self.generated_packets * packet_bits, self.measured_cycles)
+    }
+
+    /// Mean packet latency in cycles.
+    #[must_use]
+    pub fn average_packet_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.total_packet_latency as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Energy per delivered packet ("packet energy" / "energy per message"),
+    /// in pico-joules.
+    #[must_use]
+    pub fn packet_energy_pj(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.energy.total_pj() / self.delivered_packets as f64
+        }
+    }
+
+    /// Fraction of generated packets that were dropped at the source queues.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        if self.generated_packets == 0 {
+            0.0
+        } else {
+            self.dropped_packets as f64 / self.generated_packets as f64
+        }
+    }
+
+    /// Fraction of injected packets that have been delivered.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected_packets == 0 {
+            0.0
+        } else {
+            self.delivered_packets as f64 / self.injected_packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        SimStats::new("test-arch", "uniform", 0.01, Clock::paper_default())
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LatencyHistogram::new(10, 10);
+        for lat in [5, 15, 25, 95, 1000] {
+            h.record(lat);
+        }
+        assert_eq!(h.samples(), 5);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.quantile(0.2), Some(10));
+        assert_eq!(h.quantile(0.6), Some(30));
+        assert!(h.quantile(1.0).unwrap() >= 100);
+        assert_eq!(LatencyHistogram::new(10, 10).quantile(0.5), None);
+    }
+
+    #[test]
+    fn bandwidth_from_delivered_bits() {
+        let mut s = stats();
+        s.measured_cycles = 10_000;
+        s.delivered_bits = 3_200_000;
+        // 3.2 Mbit over 4 µs = 800 Gb/s.
+        assert!((s.accepted_bandwidth_gbps() - 800.0).abs() < 1e-6);
+        assert!((s.accepted_bandwidth_per_core_gbps(64) - 12.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut s = stats();
+        s.record_packet_delivery(10);
+        s.record_packet_delivery(30);
+        assert_eq!(s.delivered_packets, 2);
+        assert!((s.average_packet_latency() - 20.0).abs() < 1e-12);
+        assert_eq!(s.max_packet_latency, 30);
+    }
+
+    #[test]
+    fn packet_energy_divides_total_by_packets() {
+        let mut s = stats();
+        s.energy.launch_pj = 100.0;
+        s.energy.electrical_pj = 300.0;
+        s.record_packet_delivery(1);
+        s.record_packet_delivery(1);
+        assert!((s.packet_energy_pj() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = stats();
+        assert_eq!(s.accepted_bandwidth_gbps(), 0.0);
+        assert_eq!(s.average_packet_latency(), 0.0);
+        assert_eq!(s.packet_energy_pj(), 0.0);
+        assert_eq!(s.drop_rate(), 0.0);
+        assert_eq!(s.delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn drop_and_delivery_ratios() {
+        let mut s = stats();
+        s.generated_packets = 10;
+        s.dropped_packets = 2;
+        s.injected_packets = 8;
+        s.delivered_packets = 4;
+        assert!((s.drop_rate() - 0.2).abs() < 1e-12);
+        assert!((s.delivery_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Offered-load sweeps and saturation search.
+//!
+//! "Peak bandwidth" and "packet energy at saturation" are properties of the
+//! saturated network: the evaluation sweeps the offered load upward until the
+//! accepted bandwidth stops improving and reports the maximum. This module
+//! provides the load ladder, the sweep driver and the result container used
+//! by every throughput/energy experiment.
+
+use crate::stats::SimStats;
+use serde::{Deserialize, Serialize};
+
+/// One point of an offered-load sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load in packets per core per cycle.
+    pub offered_load: f64,
+    /// Measured statistics at that load.
+    pub stats: SimStats,
+}
+
+/// The outcome of a saturation sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaturationResult {
+    /// All swept points, in increasing offered-load order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SaturationResult {
+    /// Index of the point with the highest accepted bandwidth.
+    #[must_use]
+    pub fn peak_index(&self) -> Option<usize> {
+        (0..self.points.len()).max_by(|&a, &b| {
+            self.points[a]
+                .stats
+                .accepted_bandwidth_gbps()
+                .partial_cmp(&self.points[b].stats.accepted_bandwidth_gbps())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// The sweep point with the highest accepted bandwidth.
+    #[must_use]
+    pub fn peak(&self) -> Option<&SweepPoint> {
+        self.peak_index().map(|i| &self.points[i])
+    }
+
+    /// Peak aggregate bandwidth in Gb/s (0 when the sweep is empty).
+    #[must_use]
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.peak()
+            .map(|p| p.stats.accepted_bandwidth_gbps())
+            .unwrap_or(0.0)
+    }
+
+    /// Peak per-core bandwidth in Gb/s.
+    #[must_use]
+    pub fn peak_core_bandwidth_gbps(&self, num_cores: usize) -> f64 {
+        self.peak()
+            .map(|p| p.stats.accepted_bandwidth_per_core_gbps(num_cores))
+            .unwrap_or(0.0)
+    }
+
+    /// Index of the *saturation point*: the sweep point with the highest
+    /// accepted bandwidth among those the network absorbs without significant
+    /// source-queue overflow (drop rate ≤ 2 %). Beyond this point injected
+    /// traffic is lost rather than delivered. Falls back to the
+    /// maximum-accepted point when even the lightest load already drops.
+    #[must_use]
+    pub fn saturation_index(&self) -> Option<usize> {
+        let sustained = (0..self.points.len())
+            .filter(|&i| self.points[i].stats.drop_rate() <= 0.02)
+            .max_by(|&a, &b| {
+                self.points[a]
+                    .stats
+                    .accepted_bandwidth_gbps()
+                    .partial_cmp(&self.points[b].stats.accepted_bandwidth_gbps())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        sustained.or_else(|| self.peak_index())
+    }
+
+    /// The sweep point at saturation (see [`SaturationResult::saturation_index`]).
+    #[must_use]
+    pub fn saturation_point(&self) -> Option<&SweepPoint> {
+        self.saturation_index().map(|i| &self.points[i])
+    }
+
+    /// The peak achievable (sustainable) bandwidth in Gb/s: the accepted
+    /// bandwidth at the saturation point. This is the figure reported as
+    /// "peak bandwidth" in the comparison experiments.
+    #[must_use]
+    pub fn sustainable_bandwidth_gbps(&self) -> f64 {
+        self.saturation_point()
+            .map(|p| p.stats.accepted_bandwidth_gbps())
+            .unwrap_or(0.0)
+    }
+
+    /// Packet energy at the saturation point, pico-joules.
+    #[must_use]
+    pub fn packet_energy_at_saturation_pj(&self) -> f64 {
+        self.saturation_point()
+            .map(|p| p.stats.packet_energy_pj())
+            .unwrap_or(0.0)
+    }
+
+    /// Average packet latency at the saturation point, cycles.
+    #[must_use]
+    pub fn latency_at_saturation(&self) -> f64 {
+        self.saturation_point()
+            .map(|p| p.stats.average_packet_latency())
+            .unwrap_or(0.0)
+    }
+}
+
+/// The default ladder of offered loads used by the experiments, expressed as
+/// multiples of the analytically estimated saturation load.
+pub const DEFAULT_LOAD_FRACTIONS: [f64; 8] = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0];
+
+/// Builds the ladder of absolute offered loads from an estimated saturation
+/// load.
+///
+/// # Panics
+///
+/// Panics if `estimated_saturation_load` is not positive.
+#[must_use]
+pub fn default_load_ladder(estimated_saturation_load: f64) -> Vec<f64> {
+    assert!(
+        estimated_saturation_load > 0.0,
+        "saturation estimate must be positive"
+    );
+    DEFAULT_LOAD_FRACTIONS
+        .iter()
+        .map(|f| f * estimated_saturation_load)
+        .collect()
+}
+
+/// Runs `run_at` for every load in `loads` and collects the results.
+pub fn sweep_offered_loads<R>(loads: &[f64], mut run_at: R) -> SaturationResult
+where
+    R: FnMut(f64) -> SimStats,
+{
+    let points = loads
+        .iter()
+        .map(|&load| SweepPoint {
+            offered_load: load,
+            stats: run_at(load),
+        })
+        .collect();
+    SaturationResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+
+    fn stats_with_bandwidth(load: f64, delivered_bits: u64) -> SimStats {
+        let mut s = SimStats::new("arch", "traffic", load, Clock::paper_default());
+        s.measured_cycles = 1000;
+        s.delivered_bits = delivered_bits;
+        s.delivered_packets = delivered_bits / 2048;
+        s.energy.launch_pj = delivered_bits as f64 * 0.15;
+        s
+    }
+
+    #[test]
+    fn peak_is_the_maximum_accepted_bandwidth() {
+        // Accepted bandwidth rises then falls (post-saturation congestion).
+        let loads = [0.1, 0.2, 0.3, 0.4];
+        let delivered = [1_000_000u64, 2_000_000, 1_800_000, 1_500_000];
+        let mut i = 0;
+        let result = sweep_offered_loads(&loads, |load| {
+            let s = stats_with_bandwidth(load, delivered[i]);
+            i += 1;
+            s
+        });
+        assert_eq!(result.points.len(), 4);
+        assert_eq!(result.peak_index(), Some(1));
+        let peak = result.peak().unwrap();
+        assert!((peak.offered_load - 0.2).abs() < 1e-12);
+        assert!(result.peak_bandwidth_gbps() > 0.0);
+        assert!(result.packet_energy_at_saturation_pj() > 0.0);
+    }
+
+    #[test]
+    fn empty_sweep_is_harmless() {
+        let result = sweep_offered_loads(&[], |_| unreachable!());
+        assert_eq!(result.peak_index(), None);
+        assert_eq!(result.peak_bandwidth_gbps(), 0.0);
+        assert_eq!(result.packet_energy_at_saturation_pj(), 0.0);
+    }
+
+    #[test]
+    fn ladder_scales_with_estimate() {
+        let ladder = default_load_ladder(0.01);
+        assert_eq!(ladder.len(), DEFAULT_LOAD_FRACTIONS.len());
+        assert!((ladder[0] - 0.0025).abs() < 1e-12);
+        assert!((ladder.last().unwrap() - 0.03).abs() < 1e-12);
+        // Monotone increasing.
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn per_core_bandwidth_divides_aggregate() {
+        let result = sweep_offered_loads(&[0.1], |load| stats_with_bandwidth(load, 640_000));
+        let agg = result.peak_bandwidth_gbps();
+        let per_core = result.peak_core_bandwidth_gbps(64);
+        assert!((agg / 64.0 - per_core).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ladder_rejects_zero_estimate() {
+        let _ = default_load_ladder(0.0);
+    }
+}

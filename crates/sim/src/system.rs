@@ -1,0 +1,916 @@
+//! The full cluster system: cores, electrical core switches, photonic routers
+//! and reservation-assisted photonic transfers.
+//!
+//! [`PhotonicSystem`] implements the hybrid, hierarchical organisation shared
+//! by the Firefly baseline and d-HetPNoC (Section 3.1):
+//!
+//! * every core has an injection queue and a 5-port electrical core switch,
+//! * the four switches of a cluster are connected all-to-all and to the
+//!   cluster's photonic router,
+//! * the photonic router buffers outgoing flits per source switch, transmits
+//!   packets over the photonic crossbar after broadcasting a reservation, and
+//!   buffers incoming flits per destination switch (ejection),
+//! * a [`PhotonicFabric`] implementation decides how many wavelengths each
+//!   transmission may use — this is the only place where Firefly and
+//!   d-HetPNoC differ.
+//!
+//! The simulation is flit-level and cycle-accurate: electrical routers follow
+//! the three-stage pipeline of `pnoc-noc`, photonic transfers accumulate
+//! wavelength·cycle credit (5 bits per wavelength per cycle with the paper's
+//! clock and line rate), and energy is accounted per bit with the
+//! coefficients of Table 3-5.
+
+use crate::config::SimConfig;
+use crate::engine::CycleNetwork;
+use crate::stats::SimStats;
+use pnoc_noc::arbiter::{Arbiter, RoundRobinArbiter};
+use pnoc_noc::flit::Flit;
+use pnoc_noc::ids::{ClusterId, CoreId, PacketId, PacketIdAllocator, PortId, RouterId, VcId};
+use pnoc_noc::packet::{Packet, PacketFramer};
+use pnoc_noc::router::ElectricalRouter;
+use pnoc_noc::routing::ClusterRoutingTable;
+use pnoc_noc::topology::ClusterTopology;
+use pnoc_noc::traffic_model::TrafficModel;
+use pnoc_noc::vc::VcSet;
+use pnoc_photonics::energy::{EnergyAccumulator, PhotonicEnergyModel};
+use std::collections::VecDeque;
+
+/// The photonic interconnect behaviour that distinguishes architectures.
+///
+/// The generic [`PhotonicSystem`] asks the fabric, every time a cluster wants
+/// to start an inter-cluster packet transfer, how many wavelengths that
+/// transfer may use and how long the reservation broadcast takes. The Firefly
+/// baseline answers with its fixed per-channel width; d-HetPNoC answers from
+/// its dynamically allocated wavelength pool and per-destination demand.
+pub trait PhotonicFabric {
+    /// Architecture name used in reports ("firefly", "d-hetpnoc", ...).
+    fn architecture_name(&self) -> &str;
+
+    /// Called once at the beginning of every cycle (d-HetPNoC circulates its
+    /// allocation token here).
+    fn pre_cycle(&mut self, cycle: u64);
+
+    /// Total number of wavelengths cluster `src` may drive concurrently at
+    /// this moment (its write-channel width).
+    fn pool_size(&self, src: ClusterId) -> usize;
+
+    /// Number of wavelengths a single transmission from `src` to `dst` uses
+    /// (before being limited by the currently free part of the pool).
+    fn wavelengths_for(&self, src: ClusterId, dst: ClusterId) -> usize;
+
+    /// Cycles taken by the reservation broadcast for a `src` → `dst` packet
+    /// (1 for Firefly; 1–2 for d-HetPNoC depending on how many wavelength
+    /// identifiers must be piggybacked, Section 3.4.1.1).
+    fn reservation_cycles(&self, src: ClusterId, dst: ClusterId) -> u64;
+
+    /// Total data wavelengths in the fabric.
+    fn total_data_wavelengths(&self) -> usize;
+
+    /// Current per-cluster wavelength allocation (diagnostic).
+    fn allocation_snapshot(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+/// A trivially uniform fabric: every cluster always owns `wavelengths_per_channel`
+/// wavelengths and every transmission uses all of them. Used for tests and as
+/// the simplest possible baseline.
+#[derive(Debug, Clone)]
+pub struct UniformFabric {
+    /// Name reported in statistics.
+    pub name: String,
+    /// Wavelengths per cluster write channel.
+    pub wavelengths_per_channel: usize,
+    /// Total data wavelengths.
+    pub total_wavelengths: usize,
+    /// Reservation latency in cycles.
+    pub reservation_cycles: u64,
+}
+
+impl UniformFabric {
+    /// Creates a uniform fabric with `total` wavelengths split evenly over
+    /// `clusters` clusters.
+    #[must_use]
+    pub fn new(name: &str, total: usize, clusters: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            wavelengths_per_channel: (total / clusters).max(1),
+            total_wavelengths: total,
+            reservation_cycles: 1,
+        }
+    }
+}
+
+impl PhotonicFabric for UniformFabric {
+    fn architecture_name(&self) -> &str {
+        &self.name
+    }
+
+    fn pre_cycle(&mut self, _cycle: u64) {}
+
+    fn pool_size(&self, _src: ClusterId) -> usize {
+        self.wavelengths_per_channel
+    }
+
+    fn wavelengths_for(&self, _src: ClusterId, _dst: ClusterId) -> usize {
+        self.wavelengths_per_channel
+    }
+
+    fn reservation_cycles(&self, _src: ClusterId, _dst: ClusterId) -> u64 {
+        self.reservation_cycles
+    }
+
+    fn total_data_wavelengths(&self) -> usize {
+        self.total_wavelengths
+    }
+}
+
+/// An in-flight photonic packet transfer.
+///
+/// A transmission goes through two phases: the *reservation* phase (the
+/// reservation flit travels on the dedicated reservation channel, overlapping
+/// with other transmissions' data phases) and the *data* phase, during which
+/// the transmission occupies `wavelengths` wavelengths of the source's write
+/// channel. Wavelengths are assigned when the data phase starts: at least the
+/// application's demanded wavelengths (bounded by what is free), plus any
+/// idle wavelengths of the pool that no other pending transfer is asking for
+/// (work-conserving use of the allocated channel).
+#[derive(Debug, Clone)]
+struct Transmission {
+    packet: PacketId,
+    src_port: usize,
+    src_vc: VcId,
+    dst_cluster: ClusterId,
+    dst_local: usize,
+    dst_vc: VcId,
+    /// Wavelengths demanded by the application class of this flow.
+    demand: usize,
+    /// Wavelengths actually driving the data phase (0 until it starts).
+    wavelengths: usize,
+    data_started: bool,
+    reservation_remaining: u64,
+    credit_bits: f64,
+    flits_sent: u32,
+    flits_total: u32,
+}
+
+/// Per-cluster photonic router state.
+struct PhotonicRouter {
+    /// Input buffers, one port per local core switch.
+    inputs: Vec<VcSet>,
+    /// Ejection buffers, one port per local core switch.
+    ejection: Vec<VcSet>,
+    /// Which packet reserved each ejection VC (None = free).
+    ejection_reserved: Vec<Vec<Option<PacketId>>>,
+    /// Round-robin over ejection VCs, one arbiter per ejection port.
+    ejection_rr: Vec<RoundRobinArbiter>,
+    /// Round-robin over input ports for starting transmissions.
+    start_rr: RoundRobinArbiter,
+    /// Active outgoing transmissions.
+    active: Vec<Transmission>,
+}
+
+impl PhotonicRouter {
+    fn new(ports: usize, vcs: usize, depth: usize) -> Self {
+        Self {
+            inputs: (0..ports).map(|_| VcSet::new(vcs, depth)).collect(),
+            ejection: (0..ports).map(|_| VcSet::new(vcs, depth)).collect(),
+            ejection_reserved: vec![vec![None; vcs]; ports],
+            ejection_rr: (0..ports).map(|_| RoundRobinArbiter::new(vcs)).collect(),
+            start_rr: RoundRobinArbiter::new(ports),
+            active: Vec::new(),
+        }
+    }
+
+    /// Wavelengths occupied by transmissions in their data phase. Reservation
+    /// broadcasts travel on the separate reservation channel and do not hold
+    /// data wavelengths.
+    fn wavelengths_in_use(&self) -> usize {
+        self.active
+            .iter()
+            .filter(|t| t.data_started)
+            .map(|t| t.wavelengths)
+            .sum()
+    }
+
+    /// Total wavelengths demanded by transmissions that have not started
+    /// their data phase yet (used for work-conserving wavelength assignment).
+    fn pending_demand(&self) -> usize {
+        self.active
+            .iter()
+            .filter(|t| !t.data_started)
+            .map(|t| t.demand)
+            .sum()
+    }
+
+    fn has_active_on(&self, port: usize, vc: VcId) -> bool {
+        self.active
+            .iter()
+            .any(|t| t.src_port == port && t.src_vc == vc)
+    }
+
+    fn free_ejection_vc(&self, port: usize) -> Option<VcId> {
+        (0..self.ejection[port].num_vcs())
+            .map(VcId)
+            .find(|&vc| {
+                self.ejection_reserved[port][vc.0].is_none()
+                    && self.ejection[port].vc(vc).map(|b| b.is_empty()).unwrap_or(false)
+            })
+    }
+
+    fn buffered_flits(&self) -> usize {
+        self.inputs.iter().map(VcSet::total_occupancy).sum::<usize>()
+            + self.ejection.iter().map(VcSet::total_occupancy).sum::<usize>()
+    }
+}
+
+/// Per-core injection state.
+struct CoreState {
+    queue: VecDeque<Packet>,
+    injecting: Option<InjectionProgress>,
+}
+
+struct InjectionProgress {
+    flits: Vec<Flit>,
+    next: usize,
+}
+
+/// A flit handed from a photonic transmission to a destination ejection
+/// buffer (two-phase update to satisfy the borrow checker).
+struct PhotonicDelivery {
+    dst_cluster: usize,
+    dst_local: usize,
+    dst_vc: VcId,
+    flit: Flit,
+}
+
+/// The complete simulated chip.
+pub struct PhotonicSystem<F: PhotonicFabric, T: TrafficModel> {
+    config: SimConfig,
+    topology: ClusterTopology,
+    fabric: F,
+    traffic: T,
+    ids: PacketIdAllocator,
+    switches: Vec<ElectricalRouter>,
+    photonic: Vec<PhotonicRouter>,
+    cores: Vec<CoreState>,
+    energy: EnergyAccumulator,
+    stats: SimStats,
+}
+
+impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured VC depth cannot hold a full packet (the
+    /// reservation protocol pre-allocates one ejection VC per packet).
+    pub fn new(config: SimConfig, fabric: F, traffic: T) -> Self {
+        assert!(
+            config.vc_depth as u32 >= config.bandwidth_set.packet_flits(),
+            "VC depth ({}) must hold a full packet ({} flits)",
+            config.vc_depth,
+            config.bandwidth_set.packet_flits()
+        );
+        let topology = config.topology;
+        let spec = config.core_switch_spec();
+        let mut switches = Vec::with_capacity(topology.num_cores());
+        for core in topology.cores() {
+            let mut router = ElectricalRouter::new(RouterId(core.0), spec);
+            let table = ClusterRoutingTable::new(topology, core);
+            router.set_route_fn(Box::new(move |dst| table.output_port(dst)));
+            switches.push(router);
+        }
+        let photonic = (0..topology.num_clusters())
+            .map(|_| {
+                PhotonicRouter::new(
+                    topology.cores_per_cluster(),
+                    config.vcs_per_port,
+                    config.vc_depth,
+                )
+            })
+            .collect();
+        let cores = (0..topology.num_cores())
+            .map(|_| CoreState {
+                queue: VecDeque::new(),
+                injecting: None,
+            })
+            .collect();
+        let stats = SimStats::new(
+            fabric.architecture_name(),
+            &traffic.name(),
+            traffic.offered_load().value(),
+            config.clock,
+        );
+        Self {
+            config,
+            topology,
+            fabric,
+            traffic,
+            ids: PacketIdAllocator::new(),
+            switches,
+            photonic,
+            cores,
+            energy: EnergyAccumulator::new(PhotonicEnergyModel::paper_default()),
+            stats,
+        }
+    }
+
+    /// Immutable access to the fabric (used by tests and experiments to
+    /// inspect allocations).
+    pub fn fabric(&self) -> &F {
+        &self.fabric
+    }
+
+    /// Immutable access to the traffic model.
+    pub fn traffic(&self) -> &T {
+        &self.traffic
+    }
+
+    /// Total flits currently buffered anywhere in the network.
+    #[must_use]
+    pub fn buffered_flits(&self) -> usize {
+        let electrical: usize = self.switches.iter().map(ElectricalRouter::buffered_flits).sum();
+        let photonic: usize = self.photonic.iter().map(PhotonicRouter::buffered_flits).sum();
+        electrical + photonic
+    }
+
+    fn generate_traffic(&mut self, cycle: u64) {
+        for core_idx in 0..self.topology.num_cores() {
+            let core = CoreId(core_idx);
+            if let Some(desc) = self.traffic.next_packet(cycle, core) {
+                self.stats.generated_packets += 1;
+                let state = &mut self.cores[core_idx];
+                if state.queue.len() >= self.config.injection_queue_capacity {
+                    self.stats.dropped_packets += 1;
+                    continue;
+                }
+                let packet = Packet {
+                    id: self.ids.allocate(),
+                    descriptor: desc,
+                    injected_cycle: 0,
+                };
+                state.queue.push_back(packet);
+            }
+        }
+    }
+
+    fn inject_flits(&mut self, cycle: u64) {
+        for core_idx in 0..self.topology.num_cores() {
+            // Start a new packet if the previous one finished injecting.
+            if self.cores[core_idx].injecting.is_none() {
+                let local_port = self.topology.local_port();
+                let Some(vc) = self.switches[core_idx].free_input_vc(local_port) else {
+                    continue;
+                };
+                let Some(mut packet) = self.cores[core_idx].queue.pop_front() else {
+                    continue;
+                };
+                packet.injected_cycle = cycle;
+                let flits = PacketFramer::frame(&packet, vc);
+                self.stats.injected_packets += 1;
+                self.cores[core_idx].injecting = Some(InjectionProgress { flits, next: 0 });
+            }
+            // Push at most one flit of the in-progress packet per cycle.
+            let mut finished = false;
+            if let Some(progress) = self.cores[core_idx].injecting.as_mut() {
+                let flit = progress.flits[progress.next];
+                let local_port = self.topology.local_port();
+                if self.switches[core_idx].can_accept(local_port, flit.vc) {
+                    self.switches[core_idx]
+                        .accept(local_port, flit.vc, flit, cycle)
+                        .expect("capacity checked");
+                    self.energy.record_buffer_write(u64::from(flit.bits));
+                    self.stats.injected_flits += 1;
+                    progress.next += 1;
+                    if progress.next == progress.flits.len() {
+                        finished = true;
+                    }
+                }
+            }
+            if finished {
+                self.cores[core_idx].injecting = None;
+            }
+        }
+    }
+
+    fn step_switches(&mut self, cycle: u64) {
+        let topology = self.topology;
+        let num_cores = topology.num_cores();
+        let cpc = topology.cores_per_cluster();
+        let photonic_port = topology.photonic_port();
+
+        // Snapshot of downstream acceptance (one upstream per input port, so
+        // the snapshot cannot be invalidated within the cycle).
+        let switch_free: Vec<Vec<Vec<bool>>> = (0..num_cores)
+            .map(|c| {
+                (0..topology.switch_ports())
+                    .map(|p| {
+                        (0..self.config.vcs_per_port)
+                            .map(|v| self.switches[c].can_accept(PortId(p), VcId(v)))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let photonic_free: Vec<Vec<Vec<bool>>> = (0..topology.num_clusters())
+            .map(|cl| {
+                (0..cpc)
+                    .map(|p| {
+                        (0..self.config.vcs_per_port)
+                            .map(|v| {
+                                self.photonic[cl].inputs[p]
+                                    .vc(VcId(v))
+                                    .map(|b| !b.is_full())
+                                    .unwrap_or(false)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Step each switch, gathering its grants.
+        let mut all_grants: Vec<(usize, pnoc_noc::router::OutputGrant)> = Vec::new();
+        for core_idx in 0..num_cores {
+            let core = CoreId(core_idx);
+            let cluster = topology.cluster_of(core).0;
+            let local = topology.local_index(core);
+            let grants = self.switches[core_idx].step(cycle, |out, vc, _flit| {
+                if out == topology.local_port() {
+                    true
+                } else if out == photonic_port {
+                    photonic_free[cluster][local][vc.0]
+                } else {
+                    let peer_local = topology.peer_of_port(local, out);
+                    let peer_core = ClusterId(cluster).core(peer_local, cpc);
+                    let arrival_port = topology.peer_port(peer_core, core);
+                    switch_free[peer_core.0][arrival_port.0][vc.0]
+                }
+            });
+            for g in grants {
+                all_grants.push((core_idx, g));
+            }
+        }
+
+        // Apply the grants.
+        for (core_idx, grant) in all_grants {
+            let core = CoreId(core_idx);
+            let cluster = topology.cluster_of(core).0;
+            let local = topology.local_index(core);
+            let flit = grant.flit;
+            self.energy.record_router_traversal(u64::from(flit.bits));
+            if grant.output == topology.local_port() {
+                debug_assert_eq!(flit.dst, core, "flit ejected at the wrong core");
+                self.stats.delivered_flits += 1;
+                self.stats.delivered_bits += u64::from(flit.bits);
+                if !topology.same_cluster(flit.src, flit.dst) {
+                    self.stats.delivered_photonic_bits += u64::from(flit.bits);
+                }
+                if flit.is_tail() {
+                    let latency = cycle.saturating_sub(flit.created_cycle);
+                    self.stats.record_packet_delivery(latency);
+                }
+            } else if grant.output == photonic_port {
+                self.energy.record_buffer_write(u64::from(flit.bits));
+                self.photonic[cluster].inputs[local]
+                    .vc_mut(grant.vc)
+                    .expect("vc in range")
+                    .push(flit, cycle)
+                    .expect("photonic input capacity checked via snapshot");
+            } else {
+                let peer_local = topology.peer_of_port(local, grant.output);
+                let peer_core = ClusterId(cluster).core(peer_local, cpc);
+                let arrival_port = topology.peer_port(peer_core, core);
+                self.energy.record_buffer_write(u64::from(flit.bits));
+                self.switches[peer_core.0]
+                    .accept(arrival_port, grant.vc, flit, cycle)
+                    .expect("peer capacity checked via snapshot");
+            }
+        }
+    }
+
+    fn advance_transmissions(&mut self, cycle: u64) {
+        let bits_per_wavelength = self.config.bits_per_wavelength_per_cycle();
+        let mut deliveries: Vec<PhotonicDelivery> = Vec::new();
+
+        for cluster_idx in 0..self.topology.num_clusters() {
+            let pool = self.fabric.pool_size(ClusterId(cluster_idx));
+            let router = &mut self.photonic[cluster_idx];
+            let mut in_use = router.wavelengths_in_use();
+            let mut pending_demand = router.pending_demand();
+            let mut finished: Vec<usize> = Vec::new();
+            for (tx_idx, tx) in router.active.iter_mut().enumerate() {
+                if tx.reservation_remaining > 0 {
+                    tx.reservation_remaining -= 1;
+                    continue;
+                }
+                if !tx.data_started {
+                    // Assign wavelengths: at least the flow's demand (bounded
+                    // by what is free), plus idle pool wavelengths that no
+                    // other pending transfer is asking for.
+                    let available = pool.saturating_sub(in_use);
+                    if available == 0 {
+                        continue;
+                    }
+                    let others_demand = pending_demand.saturating_sub(tx.demand);
+                    let spare = available.saturating_sub(others_demand);
+                    let wavelengths = tx.demand.max(spare).min(available);
+                    tx.wavelengths = wavelengths.max(1);
+                    tx.data_started = true;
+                    in_use += tx.wavelengths;
+                    pending_demand = pending_demand.saturating_sub(tx.demand);
+                }
+                tx.credit_bits += tx.wavelengths as f64 * bits_per_wavelength;
+                loop {
+                    let buffer = router.inputs[tx.src_port]
+                        .vc_mut(tx.src_vc)
+                        .expect("vc in range");
+                    let Some((flit, _)) = buffer.front() else {
+                        // Source stalled: the wavelength·cycles are lost.
+                        tx.credit_bits = 0.0;
+                        break;
+                    };
+                    if flit.packet != tx.packet {
+                        tx.credit_bits = 0.0;
+                        break;
+                    }
+                    if tx.credit_bits < f64::from(flit.bits) {
+                        break;
+                    }
+                    let (mut flit, _) = buffer.pop().expect("front checked");
+                    tx.credit_bits -= f64::from(flit.bits);
+                    tx.flits_sent += 1;
+                    flit.vc = tx.dst_vc;
+                    deliveries.push(PhotonicDelivery {
+                        dst_cluster: tx.dst_cluster.0,
+                        dst_local: tx.dst_local,
+                        dst_vc: tx.dst_vc,
+                        flit,
+                    });
+                    if tx.flits_sent == tx.flits_total {
+                        finished.push(tx_idx);
+                        break;
+                    }
+                }
+            }
+            for idx in finished.into_iter().rev() {
+                router.active.swap_remove(idx);
+            }
+        }
+
+        for delivery in deliveries {
+            self.energy
+                .record_photonic_transfer(u64::from(delivery.flit.bits));
+            // Source-side photonic router electrical traversal and the write
+            // into the destination's ejection buffer.
+            self.energy
+                .record_router_traversal(u64::from(delivery.flit.bits));
+            self.energy.record_buffer_write(u64::from(delivery.flit.bits));
+            self.photonic[delivery.dst_cluster].ejection[delivery.dst_local]
+                .vc_mut(delivery.dst_vc)
+                .expect("vc in range")
+                .push(delivery.flit, cycle)
+                .expect("ejection VC reserved for the whole packet");
+        }
+    }
+
+    fn start_transmissions(&mut self) {
+        let num_clusters = self.topology.num_clusters();
+        let cpc = self.topology.cores_per_cluster();
+        let vcs = self.config.vcs_per_port;
+
+        for cluster_idx in 0..num_clusters {
+            let src_cluster = ClusterId(cluster_idx);
+            // Reservations are broadcast on the reservation channel, so a new
+            // transfer may enter its reservation phase even while the data
+            // wavelengths are fully occupied; the data phase is gated on
+            // wavelength availability in `advance_transmissions`.
+            // Candidate head flits, visited in round-robin port order.
+            let requests: Vec<bool> = (0..cpc)
+                .map(|p| {
+                    (0..vcs).any(|v| {
+                        let vc = VcId(v);
+                        if self.photonic[cluster_idx].has_active_on(p, vc) {
+                            return false;
+                        }
+                        self.photonic[cluster_idx].inputs[p]
+                            .vc(vc)
+                            .ok()
+                            .and_then(|b| b.front().map(|(f, _)| f.is_head()))
+                            .unwrap_or(false)
+                    })
+                })
+                .collect();
+            let Some(port) = self.photonic[cluster_idx].start_rr.grant(&requests) else {
+                continue;
+            };
+            // Pick the first startable VC on the granted port.
+            let mut started = false;
+            for v in 0..vcs {
+                if started {
+                    break;
+                }
+                let vc = VcId(v);
+                if self.photonic[cluster_idx].has_active_on(port, vc) {
+                    continue;
+                }
+                let Some(flit) = self.photonic[cluster_idx].inputs[port]
+                    .vc(vc)
+                    .ok()
+                    .and_then(|b| b.front().map(|(f, _)| *f))
+                else {
+                    continue;
+                };
+                if !flit.is_head() {
+                    continue;
+                }
+                let dst_cluster = self.topology.cluster_of(flit.dst);
+                debug_assert_ne!(
+                    dst_cluster, src_cluster,
+                    "intra-cluster packets must not reach the photonic router"
+                );
+                let demand = self.fabric.wavelengths_for(src_cluster, dst_cluster).max(1);
+                let dst_local = self.topology.local_index(flit.dst);
+                let Some(dst_vc) = self.photonic[dst_cluster.0].free_ejection_vc(dst_local) else {
+                    continue;
+                };
+                self.photonic[dst_cluster.0].ejection_reserved[dst_local][dst_vc.0] =
+                    Some(flit.packet);
+                let reservation = self.fabric.reservation_cycles(src_cluster, dst_cluster);
+                self.photonic[cluster_idx].active.push(Transmission {
+                    packet: flit.packet,
+                    src_port: port,
+                    src_vc: vc,
+                    dst_cluster,
+                    dst_local,
+                    dst_vc,
+                    demand,
+                    wavelengths: 0,
+                    data_started: false,
+                    reservation_remaining: reservation,
+                    credit_bits: 0.0,
+                    flits_sent: 0,
+                    flits_total: flit.packet_len,
+                });
+                started = true;
+            }
+        }
+    }
+
+    fn drain_ejection(&mut self, cycle: u64) {
+        let topology = self.topology;
+        let cpc = topology.cores_per_cluster();
+        let vcs = self.config.vcs_per_port;
+        let photonic_port = topology.photonic_port();
+
+        for cluster_idx in 0..topology.num_clusters() {
+            for local in 0..cpc {
+                let core = ClusterId(cluster_idx).core(local, cpc);
+                // Which VCs have a head-of-line flit that the core switch can accept?
+                let requests: Vec<bool> = (0..vcs)
+                    .map(|v| {
+                        self.photonic[cluster_idx].ejection[local]
+                            .vc(VcId(v))
+                            .ok()
+                            .and_then(|b| b.front())
+                            .map(|_| self.switches[core.0].can_accept(photonic_port, VcId(v)))
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                let Some(vc_idx) = self.photonic[cluster_idx].ejection_rr[local].grant(&requests)
+                else {
+                    continue;
+                };
+                let vc = VcId(vc_idx);
+                let (flit, _) = self.photonic[cluster_idx].ejection[local]
+                    .vc_mut(vc)
+                    .expect("vc in range")
+                    .pop()
+                    .expect("request implies occupancy");
+                if flit.is_tail() {
+                    self.photonic[cluster_idx].ejection_reserved[local][vc.0] = None;
+                }
+                // Destination-side photonic router electrical traversal.
+                self.energy.record_router_traversal(u64::from(flit.bits));
+                self.energy.record_buffer_write(u64::from(flit.bits));
+                self.switches[core.0]
+                    .accept(photonic_port, vc, flit, cycle)
+                    .expect("acceptance checked in request vector");
+            }
+        }
+    }
+
+    fn account_buffer_energy(&mut self) {
+        let flit_bits = u64::from(self.config.bandwidth_set.flit_bits());
+        let buffered = self.buffered_flits() as u64;
+        self.energy.record_buffer_occupancy(buffered * flit_bits);
+    }
+}
+
+impl<F: PhotonicFabric, T: TrafficModel> CycleNetwork for PhotonicSystem<F, T> {
+    fn step(&mut self, cycle: u64) {
+        self.fabric.pre_cycle(cycle);
+        self.generate_traffic(cycle);
+        self.inject_flits(cycle);
+        self.drain_ejection(cycle);
+        self.step_switches(cycle);
+        self.advance_transmissions(cycle);
+        self.start_transmissions();
+        self.account_buffer_energy();
+        self.stats.measured_cycles += 1;
+    }
+
+    fn begin_measurement(&mut self, _cycle: u64) {
+        let arch = self.fabric.architecture_name().to_string();
+        let traffic = self.traffic.name();
+        let load = self.traffic.offered_load().value();
+        self.stats = SimStats::new(&arch, &traffic, load, self.config.clock);
+        self.energy.reset();
+    }
+
+    fn stats(&self) -> SimStats {
+        let mut s = self.stats.clone();
+        s.energy = self.energy.breakdown();
+        s
+    }
+
+    fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn architecture(&self) -> &str {
+        self.fabric.architecture_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BandwidthSet;
+    use crate::engine::run_to_completion;
+    use pnoc_noc::packet::{BandwidthClass, PacketDescriptor};
+    use pnoc_noc::traffic_model::OfferedLoad;
+
+    /// Deterministic test traffic: every `period` cycles each core sends one
+    /// packet to a fixed destination (its core id offset by `offset`).
+    struct FixedOffsetTraffic {
+        period: u64,
+        offset: usize,
+        num_cores: usize,
+        packet_flits: u32,
+        flit_bits: u32,
+        load: OfferedLoad,
+    }
+
+    impl FixedOffsetTraffic {
+        fn new(period: u64, offset: usize, set: BandwidthSet) -> Self {
+            Self {
+                period,
+                offset,
+                num_cores: 64,
+                packet_flits: set.packet_flits(),
+                flit_bits: set.flit_bits(),
+                load: OfferedLoad::new(1.0 / period as f64),
+            }
+        }
+    }
+
+    impl TrafficModel for FixedOffsetTraffic {
+        fn next_packet(&mut self, cycle: u64, src: CoreId) -> Option<PacketDescriptor> {
+            if cycle % self.period != 0 {
+                return None;
+            }
+            let dst = CoreId((src.0 + self.offset) % self.num_cores);
+            Some(PacketDescriptor {
+                src,
+                dst,
+                num_flits: self.packet_flits,
+                flit_bits: self.flit_bits,
+                class: BandwidthClass::MediumHigh,
+                created_cycle: cycle,
+            })
+        }
+
+        fn offered_load(&self) -> OfferedLoad {
+            self.load
+        }
+
+        fn set_offered_load(&mut self, load: OfferedLoad) {
+            self.load = load;
+            self.period = (1.0 / load.value().max(1e-9)).round().max(1.0) as u64;
+        }
+
+        fn demand_class(&self, _src: ClusterId, _dst: ClusterId) -> BandwidthClass {
+            BandwidthClass::MediumHigh
+        }
+
+        fn volume_share(&self, _src: ClusterId, _dst: ClusterId) -> f64 {
+            1.0 / 15.0
+        }
+
+        fn name(&self) -> String {
+            format!("fixed-offset-{}", self.offset)
+        }
+    }
+
+    fn small_config(set: BandwidthSet) -> SimConfig {
+        let mut c = SimConfig::fast(set);
+        c.sim_cycles = 1200;
+        c.warmup_cycles = 200;
+        c
+    }
+
+    #[test]
+    fn intra_cluster_packets_are_delivered() {
+        // Offset 1 stays within the cluster for 3 of 4 cores; offset 2 also
+        // mixes. Use offset 1: cores 0->1, 1->2, 2->3 intra; 3->4 inter.
+        let config = small_config(BandwidthSet::Set1);
+        let fabric = UniformFabric::new("uniform-test", 64, 16);
+        let traffic = FixedOffsetTraffic::new(400, 1, BandwidthSet::Set1);
+        let mut system = PhotonicSystem::new(config, fabric, traffic);
+        let stats = run_to_completion(&mut system);
+        assert!(
+            stats.delivered_packets > 0,
+            "no packets delivered: {stats:?}"
+        );
+        assert!(stats.delivered_flits >= stats.delivered_packets * 64);
+        assert!(stats.average_packet_latency() > 0.0);
+    }
+
+    #[test]
+    fn inter_cluster_packets_cross_the_photonic_fabric() {
+        let config = small_config(BandwidthSet::Set1);
+        let fabric = UniformFabric::new("uniform-test", 64, 16);
+        // Offset 4 = always the next cluster, never intra-cluster.
+        let traffic = FixedOffsetTraffic::new(400, 4, BandwidthSet::Set1);
+        let mut system = PhotonicSystem::new(config, fabric, traffic);
+        let stats = run_to_completion(&mut system);
+        assert!(stats.delivered_packets > 0);
+        assert_eq!(
+            stats.delivered_photonic_bits, stats.delivered_bits,
+            "all traffic is inter-cluster"
+        );
+        // Photonic energy must have been charged.
+        assert!(stats.energy.launch_pj > 0.0);
+        assert!(stats.energy.modulation_pj > 0.0);
+    }
+
+    #[test]
+    fn packets_are_conserved_when_below_saturation() {
+        let config = small_config(BandwidthSet::Set1);
+        let fabric = UniformFabric::new("uniform-test", 64, 16);
+        let traffic = FixedOffsetTraffic::new(500, 8, BandwidthSet::Set1);
+        let mut system = PhotonicSystem::new(config, fabric, traffic);
+        let stats = run_to_completion(&mut system);
+        assert_eq!(stats.dropped_packets, 0, "light load must not drop");
+        // Everything injected during the window either arrived or is still in
+        // flight; deliveries cannot exceed injections (plus warm-up leftovers).
+        assert!(stats.delivered_packets <= stats.injected_packets + 64);
+    }
+
+    #[test]
+    fn higher_wavelength_budget_gives_higher_throughput() {
+        // The same traffic saturates the 1-wavelength-per-cluster fabric but
+        // not the 8-wavelength one.
+        let run = |per_cluster: usize| {
+            let config = small_config(BandwidthSet::Set1);
+            let fabric = UniformFabric::new("uniform-test", per_cluster * 16, 16);
+            let traffic = FixedOffsetTraffic::new(120, 16, BandwidthSet::Set1);
+            let mut system = PhotonicSystem::new(config, fabric, traffic);
+            run_to_completion(&mut system).accepted_bandwidth_gbps()
+        };
+        let narrow = run(1);
+        let wide = run(8);
+        assert!(
+            wide > narrow * 1.5,
+            "wide fabric ({wide} Gb/s) should clearly beat narrow ({narrow} Gb/s)"
+        );
+    }
+
+    #[test]
+    fn energy_breakdown_components_are_all_positive_under_load() {
+        let config = small_config(BandwidthSet::Set2);
+        let fabric = UniformFabric::new("uniform-test", 256, 16);
+        let traffic = FixedOffsetTraffic::new(200, 20, BandwidthSet::Set2);
+        let mut system = PhotonicSystem::new(config, fabric, traffic);
+        let stats = run_to_completion(&mut system);
+        assert!(stats.delivered_packets > 0);
+        let e = stats.energy;
+        assert!(e.launch_pj > 0.0);
+        assert!(e.tuning_pj > 0.0);
+        assert!(e.buffer_pj > 0.0);
+        assert!(e.electrical_pj > 0.0);
+        assert!(stats.packet_energy_pj() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "VC depth")]
+    fn shallow_vc_depth_is_rejected() {
+        let mut config = small_config(BandwidthSet::Set1);
+        config.vc_depth = 8; // packet is 64 flits
+        let fabric = UniformFabric::new("uniform-test", 64, 16);
+        let traffic = FixedOffsetTraffic::new(100, 4, BandwidthSet::Set1);
+        let _ = PhotonicSystem::new(config, fabric, traffic);
+    }
+}

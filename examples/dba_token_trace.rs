@@ -1,0 +1,72 @@
+//! A close-up of the dynamic bandwidth allocation protocol itself: watch the
+//! token circulate, clusters acquire and release wavelengths after a task
+//! remapping, and verify the allocation invariants along the way.
+//!
+//! ```bash
+//! cargo run --release --example dba_token_trace
+//! ```
+
+use d_hetpnoc_repro::prelude::*;
+use pnoc_noc::ids::ClusterId;
+
+fn main() {
+    // BW set 1 geometry: 64 wavelengths, 16 reserved (one per cluster),
+    // 48 dynamically allocatable, at most 8 per cluster.
+    let token_bits = token_size_bits(1, 64, 16);
+    let hop = token_hop_cycles(token_bits, 64, 12.5, Clock::paper_default());
+    println!(
+        "token: {token_bits} bits (eq. 1), {hop} cycle(s) per hop (eq. 2), \
+         worst-case repossession {} cycles\n",
+        hop * 16
+    );
+
+    let mut controller = DbaController::new(16, 48, 1, 8, hop);
+
+    // Initial task mapping: clusters 0-3 run high-bandwidth applications.
+    let mut targets = vec![2usize; 16];
+    for c in 0..4 {
+        targets[c] = 8;
+    }
+    controller.set_targets(&targets);
+
+    println!("cycle-by-cycle acquisition (token visits shown when the allocation changes):");
+    let mut last = controller.allocation_snapshot();
+    for cycle in 0..200u64 {
+        if let Some(holder) = controller.tick() {
+            let now = controller.allocation_snapshot();
+            if now != last {
+                println!(
+                    "  cycle {cycle:>4}: token at cluster {:>2} -> pools {:?}",
+                    holder.0, now
+                );
+                last = now;
+            }
+        }
+    }
+    controller.check_invariants().expect("allocation invariants");
+    println!(
+        "\nconverged allocation: {:?} (total {} of 64 wavelengths)\n",
+        controller.allocation_snapshot(),
+        controller.total_held()
+    );
+
+    // A task remapping: the high-bandwidth work migrates to clusters 12-15.
+    println!("task remapping: high-bandwidth applications move to clusters 12-15");
+    let mut targets = vec![2usize; 16];
+    for c in 12..16 {
+        targets[c] = 8;
+    }
+    controller.set_targets(&targets);
+    controller.converge(64);
+    controller.check_invariants().expect("allocation invariants");
+    println!("re-converged allocation: {:?}", controller.allocation_snapshot());
+    println!(
+        "cluster 0 now holds {} wavelength(s); cluster 15 holds {}",
+        controller.pool(ClusterId(0)),
+        controller.pool(ClusterId(15))
+    );
+    println!(
+        "\nNo wavelength is ever double-allocated and every cluster keeps its reserved minimum — \
+         the invariants the thesis relies on for starvation freedom (Section 3.2.1)."
+    );
+}

@@ -1,0 +1,57 @@
+//! # d-hetpnoc-repro — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *"Heterogeneous Photonic
+//! Network-on-Chip with Dynamic Bandwidth Allocation"* (Shah, SOCC 2014):
+//! a cycle-accurate photonic NoC simulator, the crossbar-based Firefly
+//! baseline, and the proposed d-HetPNoC architecture with token-based
+//! dynamic bandwidth allocation, together with the traffic generators,
+//! photonic device/energy/area models and the benchmark harness that
+//! regenerates every table and figure of the paper's evaluation.
+//!
+//! This crate simply re-exports the workspace crates under friendly names and
+//! hosts the runnable examples (`examples/`) and the cross-crate integration
+//! and property tests (`tests/`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use d_hetpnoc_repro::prelude::*;
+//!
+//! // Paper configuration at bandwidth set 1, scaled down for a doc test.
+//! let config = SimConfig::fast(BandwidthSet::Set1);
+//! let traffic = UniformRandomTraffic::new(
+//!     ClusterTopology::paper_default(),
+//!     PacketShape::new(64, 32),
+//!     OfferedLoad::new(config.estimated_saturation_load() * 0.5),
+//!     42,
+//! );
+//! let mut system = build_dhetpnoc_system(config, traffic);
+//! let stats = run_to_completion(&mut system);
+//! assert!(stats.delivered_packets > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Electrical NoC substrate (flits, virtual channels, routers, topology).
+pub use pnoc_noc as noc;
+/// Photonic device, energy and area models.
+pub use pnoc_photonics as photonics;
+/// Cycle-accurate simulation engine.
+pub use pnoc_sim as sim;
+/// Traffic generators (uniform, skewed, hotspot, GPU applications).
+pub use pnoc_traffic as traffic;
+/// The Firefly baseline architecture.
+pub use pnoc_firefly as firefly;
+/// The d-HetPNoC architecture (the paper's contribution).
+pub use pnoc_dhetpnoc as dhetpnoc;
+
+/// The most commonly used items across the whole workspace.
+pub mod prelude {
+    pub use pnoc_dhetpnoc::prelude::*;
+    pub use pnoc_firefly::prelude::*;
+    pub use pnoc_noc::prelude::*;
+    pub use pnoc_photonics::prelude::*;
+    pub use pnoc_sim::prelude::*;
+    pub use pnoc_traffic::prelude::*;
+}
