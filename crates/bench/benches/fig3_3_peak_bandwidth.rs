@@ -5,39 +5,32 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pnoc_bench::runner::{compare_architectures, run_once, Architecture, EffortLevel, TrafficKind};
 use pnoc_sim::config::BandwidthSet;
-use pnoc_traffic::pattern::SkewLevel;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     // Print the quick-scale comparison rows once.
-    for kind in TrafficKind::SYNTHETIC {
-        let row = compare_architectures(EffortLevel::Quick, BandwidthSet::Set1, kind);
+    for kind in TrafficKind::synthetic() {
+        let row = compare_architectures(EffortLevel::Quick, BandwidthSet::Set1, &kind);
         println!(
             "fig3_3 (quick, BW set 1) {:<16} firefly {:7.1} Gb/s   d-hetpnoc {:7.1} Gb/s   gain {:+.2}%",
             row.traffic,
-            row.firefly_peak_gbps,
-            row.dhet_peak_gbps,
+            row.baseline_peak_gbps,
+            row.candidate_peak_gbps,
             row.bandwidth_gain_percent()
         );
     }
 
     let mut group = c.benchmark_group("fig3_3/saturation_run");
     group.sample_size(10);
-    for architecture in Architecture::BOTH {
+    for architecture in Architecture::comparison_pair() {
         group.bench_with_input(
             BenchmarkId::from_parameter(architecture.label()),
             &architecture,
-            |b, &arch| {
+            |b, arch| {
                 let config = EffortLevel::Quick.config(BandwidthSet::Set1);
                 let load = config.estimated_saturation_load();
-                b.iter(|| {
-                    black_box(run_once(
-                        arch,
-                        config,
-                        TrafficKind::Skewed(SkewLevel::Skewed3),
-                        load,
-                    ))
-                })
+                let kind = TrafficKind::named("skewed-3");
+                b.iter(|| black_box(run_once(arch, config, &kind, load)))
             },
         );
     }

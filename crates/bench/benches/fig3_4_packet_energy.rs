@@ -5,17 +5,19 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pnoc_bench::runner::{compare_architectures, run_once, Architecture, EffortLevel, TrafficKind};
 use pnoc_sim::config::BandwidthSet;
-use pnoc_traffic::pattern::SkewLevel;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    for kind in [TrafficKind::Uniform, TrafficKind::Skewed(SkewLevel::Skewed3)] {
-        let row = compare_architectures(EffortLevel::Quick, BandwidthSet::Set1, kind);
+    for kind in [
+        TrafficKind::named("uniform-random"),
+        TrafficKind::named("skewed-3"),
+    ] {
+        let row = compare_architectures(EffortLevel::Quick, BandwidthSet::Set1, &kind);
         println!(
             "fig3_4 (quick, BW set 1) {:<16} firefly {:9.1} pJ   d-hetpnoc {:9.1} pJ   saving {:+.2}%",
             row.traffic,
-            row.firefly_packet_energy_pj,
-            row.dhet_packet_energy_pj,
+            row.baseline_packet_energy_pj,
+            row.candidate_packet_energy_pj,
             row.energy_saving_percent()
         );
     }
@@ -23,13 +25,10 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig3_4/packet_energy_accounting_run", |b| {
         let config = EffortLevel::Quick.config(BandwidthSet::Set2);
         let load = config.estimated_saturation_load();
+        let architecture = Architecture::dhetpnoc();
+        let kind = TrafficKind::named("skewed-2");
         b.iter(|| {
-            let stats = run_once(
-                Architecture::DhetPnoc,
-                config,
-                TrafficKind::Skewed(SkewLevel::Skewed2),
-                load,
-            );
+            let stats = run_once(&architecture, config, &kind, load);
             black_box(stats.packet_energy_pj())
         })
     });

@@ -4,28 +4,26 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pnoc_bench::runner::{run_once, Architecture, EffortLevel, TrafficKind};
 use pnoc_sim::config::BandwidthSet;
-use pnoc_traffic::pattern::SkewLevel;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_5/case_study_run");
     group.sample_size(10);
     let cases = [
-        (
-            "hotspot-10pct-skewed-3",
-            TrafficKind::Hotspot {
-                fraction: 0.10,
-                skew: SkewLevel::Skewed3,
-            },
-        ),
-        ("real-application", TrafficKind::RealApplication),
+        TrafficKind::named("hotspot-10pct-skewed-3"),
+        TrafficKind::named("real-application"),
     ];
-    for (label, kind) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
-            let config = EffortLevel::Quick.config(BandwidthSet::Set1);
-            let load = config.estimated_saturation_load();
-            b.iter(|| black_box(run_once(Architecture::DhetPnoc, config, kind, load)))
-        });
+    for kind in cases {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                let config = EffortLevel::Quick.config(BandwidthSet::Set1);
+                let load = config.estimated_saturation_load();
+                let architecture = Architecture::dhetpnoc();
+                b.iter(|| black_box(run_once(&architecture, config, kind, load)))
+            },
+        );
     }
     group.finish();
 }

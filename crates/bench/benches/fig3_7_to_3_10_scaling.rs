@@ -4,7 +4,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pnoc_bench::runner::{run_once, Architecture, EffortLevel, TrafficKind};
 use pnoc_sim::config::BandwidthSet;
-use pnoc_traffic::pattern::SkewLevel;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -14,14 +13,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(set.label()), &set, |b, &set| {
             let config = EffortLevel::Quick.config(set);
             let load = config.estimated_saturation_load();
-            b.iter(|| {
-                black_box(run_once(
-                    Architecture::DhetPnoc,
-                    config,
-                    TrafficKind::Skewed(SkewLevel::Skewed3),
-                    load,
-                ))
-            })
+            let architecture = Architecture::dhetpnoc();
+            let kind = TrafficKind::named("skewed-3");
+            b.iter(|| black_box(run_once(&architecture, config, &kind, load)))
         });
     }
     group.finish();

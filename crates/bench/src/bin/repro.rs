@@ -8,17 +8,112 @@
 //! repro fig3_3_3_4 fig3_6    # run selected experiments
 //! repro --list               # list experiment names
 //! repro --json results.json  # additionally dump the reports as JSON
+//! repro --bench-sweep        # time sequential vs parallel sweeps for every
+//!                            # registered architecture and write
+//!                            # BENCH_sweep.json (wall-clock + peak bandwidth)
+//! repro --bench-sweep=FILE   # same, custom output path
 //! ```
 
 use pnoc_bench::experiments::{run_by_name, ExperimentReport, ALL_EXPERIMENTS};
-use pnoc_bench::runner::EffortLevel;
+use pnoc_bench::json::{reports_json, Json};
+use pnoc_bench::runner::{saturation_sweep_with_mode, Architecture, EffortLevel, TrafficKind};
+use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::sweep::SweepMode;
 use std::io::Write as _;
+use std::time::Instant;
+
+fn write_file(path: &str, contents: &str) {
+    let mut file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    });
+    file.write_all(contents.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+/// Times sequential vs parallel saturation sweeps for every registered
+/// architecture on the paper-scale load ladder and writes the results as
+/// machine-readable JSON, so future changes can track the performance
+/// trajectory. Also asserts, on every run, that the parallel sweep is
+/// bitwise-identical to the sequential one.
+fn run_bench_sweep(effort: EffortLevel, path: &str) {
+    let kind = TrafficKind::named("skewed-3");
+    let set = BandwidthSet::Set1;
+    let config = effort.config(set);
+    let loads = EffortLevel::Paper.load_ladder(&config);
+    let threads = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    let mut entries = Vec::new();
+    for architecture in Architecture::all() {
+        eprintln!(
+            "[repro] bench-sweep {} ({} points) ...",
+            architecture.name(),
+            loads.len()
+        );
+        let started = Instant::now();
+        let sequential =
+            saturation_sweep_with_mode(&architecture, config, &kind, &loads, SweepMode::Sequential);
+        let sequential_seconds = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let parallel =
+            saturation_sweep_with_mode(&architecture, config, &kind, &loads, SweepMode::Parallel);
+        let parallel_seconds = started.elapsed().as_secs_f64();
+        assert_eq!(
+            sequential,
+            parallel,
+            "parallel sweep diverged from the sequential sweep for '{}'",
+            architecture.name()
+        );
+        eprintln!(
+            "[repro]   sequential {sequential_seconds:.2}s, parallel {parallel_seconds:.2}s \
+             (speedup {:.2}x), peak {:.1} Gb/s",
+            sequential_seconds / parallel_seconds.max(1e-9),
+            parallel.peak_bandwidth_gbps()
+        );
+        entries.push(Json::obj(vec![
+            ("architecture", Json::str(architecture.name())),
+            ("label", Json::str(architecture.label())),
+            ("sequential_seconds", Json::Num(sequential_seconds)),
+            ("parallel_seconds", Json::Num(parallel_seconds)),
+            (
+                "parallel_speedup",
+                Json::Num(sequential_seconds / parallel_seconds.max(1e-9)),
+            ),
+            (
+                "peak_bandwidth_gbps",
+                Json::Num(parallel.peak_bandwidth_gbps()),
+            ),
+            (
+                "sustainable_bandwidth_gbps",
+                Json::Num(parallel.sustainable_bandwidth_gbps()),
+            ),
+            ("sweep_points", Json::Num(loads.len() as f64)),
+        ]));
+    }
+    let doc = Json::obj(vec![
+        ("generated_by", Json::str("repro --bench-sweep")),
+        ("effort", Json::str(effort.label())),
+        ("bandwidth_set", Json::str(set.label())),
+        ("traffic", Json::str(kind.label())),
+        ("threads", Json::Num(threads as f64)),
+        ("architectures", Json::Arr(entries)),
+    ]);
+    write_file(path, &(doc.render() + "\n"));
+    eprintln!("[repro] wrote {path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut effort = EffortLevel::Paper;
     let mut names: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut bench_sweep_path: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -37,9 +132,13 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--bench-sweep" => bench_sweep_path = Some("BENCH_sweep.json".to_string()),
+            other if other.starts_with("--bench-sweep=") => {
+                bench_sweep_path = Some(other["--bench-sweep=".len()..].to_string());
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick|--paper] [--json FILE] [EXPERIMENT ...]\n\
+                    "usage: repro [--quick|--paper] [--json FILE] [--bench-sweep[=FILE]] [EXPERIMENT ...]\n\
                      experiments: {}",
                     ALL_EXPERIMENTS.join(", ")
                 );
@@ -52,6 +151,16 @@ fn main() {
             other => names.push(other.to_string()),
         }
     }
+
+    if let Some(path) = &bench_sweep_path {
+        run_bench_sweep(effort, path);
+        // `repro --bench-sweep` on its own only benchmarks; experiments run
+        // too when named explicitly or when a --json report was requested.
+        if names.is_empty() && json_path.is_none() {
+            return;
+        }
+    }
+
     if names.is_empty() {
         names = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -68,27 +177,18 @@ fn main() {
     let mut reports: Vec<ExperimentReport> = Vec::new();
     for name in &names {
         eprintln!("[repro] running {name} ({effort:?}) ...");
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         let report = run_by_name(name, effort);
-        eprintln!("[repro] {name} finished in {:.1}s", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[repro] {name} finished in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
         println!("{}", report.render());
         reports.push(report);
     }
 
     if let Some(path) = json_path {
-        match serde_json::to_string_pretty(&reports) {
-            Ok(json) => {
-                let mut file = std::fs::File::create(&path).unwrap_or_else(|e| {
-                    eprintln!("cannot create {path}: {e}");
-                    std::process::exit(1);
-                });
-                file.write_all(json.as_bytes()).expect("write JSON");
-                eprintln!("[repro] wrote {path}");
-            }
-            Err(e) => {
-                eprintln!("cannot serialise reports: {e}");
-                std::process::exit(1);
-            }
-        }
+        write_file(&path, &(reports_json(&reports).render() + "\n"));
+        eprintln!("[repro] wrote {path}");
     }
 }

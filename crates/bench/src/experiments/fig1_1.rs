@@ -20,7 +20,12 @@ pub fn run() -> ExperimentReport {
     );
     let mut table = Table::new(
         "Figure 1-1: speedup per benchmark",
-        &["benchmark", "suite", "kernel launches", "speedup over 32B flits"],
+        &[
+            "benchmark",
+            "suite",
+            "kernel launches",
+            "speedup over 32B flits",
+        ],
     );
     let mut rows: Vec<_> = model
         .benchmarks

@@ -19,8 +19,8 @@ use pnoc_sim::report::{fmt_f, Table};
 pub fn rows(effort: EffortLevel) -> Vec<ComparisonRow> {
     let mut rows = Vec::new();
     for set in BandwidthSet::ALL {
-        for kind in TrafficKind::SYNTHETIC {
-            rows.push(compare_architectures(effort, set, kind));
+        for kind in TrafficKind::synthetic() {
+            rows.push(compare_architectures(effort, set, &kind));
         }
     }
     rows
@@ -35,25 +35,37 @@ pub fn report_from_rows(rows: &[ComparisonRow]) -> ExperimentReport {
     );
     let mut bw = Table::new(
         "Figure 3-3: peak aggregate bandwidth (Gb/s)",
-        &["bandwidth set", "traffic", "Firefly", "d-HetPNoC", "d-HetPNoC gain"],
+        &[
+            "bandwidth set",
+            "traffic",
+            "Firefly",
+            "d-HetPNoC",
+            "d-HetPNoC gain",
+        ],
     );
     let mut energy = Table::new(
         "Figure 3-4: packet energy at saturation (pJ)",
-        &["bandwidth set", "traffic", "Firefly", "d-HetPNoC", "d-HetPNoC saving"],
+        &[
+            "bandwidth set",
+            "traffic",
+            "Firefly",
+            "d-HetPNoC",
+            "d-HetPNoC saving",
+        ],
     );
     for row in rows {
         bw.add_row(&[
             row.bandwidth_set.clone(),
             row.traffic.clone(),
-            fmt_f(row.firefly_peak_gbps, 1),
-            fmt_f(row.dhet_peak_gbps, 1),
+            fmt_f(row.baseline_peak_gbps, 1),
+            fmt_f(row.candidate_peak_gbps, 1),
             format!("{}%", fmt_f(row.bandwidth_gain_percent(), 2)),
         ]);
         energy.add_row(&[
             row.bandwidth_set.clone(),
             row.traffic.clone(),
-            fmt_f(row.firefly_packet_energy_pj, 1),
-            fmt_f(row.dhet_packet_energy_pj, 1),
+            fmt_f(row.baseline_packet_energy_pj, 1),
+            fmt_f(row.candidate_packet_energy_pj, 1),
             format!("{}%", fmt_f(row.energy_saving_percent(), 2)),
         ]);
     }
@@ -106,9 +118,9 @@ mod tests {
     fn quick_run_produces_all_rows() {
         // A single bandwidth set at quick effort keeps the test fast while
         // exercising the full pipeline.
-        let rows: Vec<ComparisonRow> = TrafficKind::SYNTHETIC
+        let rows: Vec<ComparisonRow> = TrafficKind::synthetic()
             .iter()
-            .map(|kind| compare_architectures(EffortLevel::Quick, BandwidthSet::Set1, *kind))
+            .map(|kind| compare_architectures(EffortLevel::Quick, BandwidthSet::Set1, kind))
             .collect();
         let report = report_from_rows(&rows);
         assert_eq!(report.tables[0].num_rows(), 4);

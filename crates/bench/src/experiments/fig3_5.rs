@@ -15,7 +15,7 @@ use pnoc_sim::report::{fmt_f, Table};
 #[must_use]
 pub fn rows(effort: EffortLevel) -> Vec<ComparisonRow> {
     TrafficKind::case_studies()
-        .into_iter()
+        .iter()
         .map(|kind| compare_architectures(effort, BandwidthSet::Set1, kind))
         .collect()
 }
@@ -42,18 +42,18 @@ pub fn report_from_rows(rows: &[ComparisonRow]) -> ExperimentReport {
     for row in rows {
         table.add_row(&[
             row.traffic.clone(),
-            fmt_f(row.firefly_peak_gbps / 64.0, 2),
-            fmt_f(row.dhet_peak_gbps / 64.0, 2),
+            fmt_f(row.baseline_peak_gbps / 64.0, 2),
+            fmt_f(row.candidate_peak_gbps / 64.0, 2),
             format!("{}%", fmt_f(row.bandwidth_gain_percent(), 2)),
-            fmt_f(row.firefly_packet_energy_pj, 1),
-            fmt_f(row.dhet_packet_energy_pj, 1),
+            fmt_f(row.baseline_packet_energy_pj, 1),
+            fmt_f(row.candidate_packet_energy_pj, 1),
             format!("{}%", fmt_f(row.energy_saving_percent(), 2)),
         ]);
     }
     report.tables.push(table);
     let wins = rows
         .iter()
-        .filter(|r| r.dhet_peak_gbps >= r.firefly_peak_gbps * 0.995)
+        .filter(|r| r.candidate_peak_gbps >= r.baseline_peak_gbps * 0.995)
         .count();
     report.notes.push(format!(
         "d-HetPNoC matches or beats Firefly peak bandwidth in {}/{} case studies (paper: all cases)",
@@ -81,7 +81,7 @@ mod tests {
         let one = compare_architectures(
             EffortLevel::Quick,
             BandwidthSet::Set1,
-            TrafficKind::RealApplication,
+            &TrafficKind::named("real-application"),
         );
         let report = report_from_rows(&[one]);
         assert_eq!(report.tables[0].num_rows(), 1);

@@ -40,7 +40,10 @@ pub fn run() -> ExperimentReport {
             fmt_f(dhet.area_mm2, 3),
             format!(
                 "{}%",
-                fmt_f((dhet.area_mm2 - firefly.area_mm2) / firefly.area_mm2 * 100.0, 1)
+                fmt_f(
+                    (dhet.area_mm2 - firefly.area_mm2) / firefly.area_mm2 * 100.0,
+                    1
+                )
             ),
         ]);
     }

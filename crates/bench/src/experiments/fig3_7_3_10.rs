@@ -8,13 +8,11 @@
 //! ahead of Firefly in bandwidth and below it in energy for skewed traffic.
 
 use crate::experiments::ExperimentReport;
-use crate::runner::{
-    saturation_sweep, Architecture, EffortLevel, TrafficKind,
-};
+use crate::runner::{saturation_sweep, Architecture, EffortLevel, TrafficKind};
 use pnoc_photonics::area::AreaModel;
 use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::registry::Provisioning;
 use pnoc_sim::report::{fmt_f, Table};
-use pnoc_traffic::pattern::SkewLevel;
 use serde::{Deserialize, Serialize};
 
 /// One scaling-point measurement for one architecture.
@@ -41,16 +39,18 @@ pub struct ScalingRow {
 pub fn rows(effort: EffortLevel, kinds: &[TrafficKind]) -> Vec<ScalingRow> {
     let area_model = AreaModel::paper_default();
     let mut out = Vec::new();
-    for architecture in Architecture::BOTH {
+    for architecture in Architecture::comparison_pair() {
         for set in BandwidthSet::ALL {
             let config = effort.config(set);
             let loads = effort.load_ladder(&config);
-            let area = match architecture {
-                Architecture::Firefly => area_model.firefly_report(set.total_wavelengths()).area_mm2,
-                Architecture::DhetPnoc => area_model.dynamic_report(set.total_wavelengths()).area_mm2,
+            let area = match architecture.provisioning() {
+                Provisioning::Static => area_model.firefly_report(set.total_wavelengths()).area_mm2,
+                Provisioning::Dynamic => {
+                    area_model.dynamic_report(set.total_wavelengths()).area_mm2
+                }
             };
             for kind in kinds {
-                let sweep = saturation_sweep(architecture, config, *kind, &loads);
+                let sweep = saturation_sweep(&architecture, config, kind, &loads);
                 let peak = sweep.sustainable_bandwidth_gbps();
                 out.push(ScalingRow {
                     architecture: architecture.label().to_string(),
@@ -138,10 +138,10 @@ pub fn report_from_rows(rows: &[ScalingRow]) -> ExperimentReport {
 #[must_use]
 pub fn run(effort: EffortLevel) -> ExperimentReport {
     let kinds = match effort {
-        EffortLevel::Paper => TrafficKind::SYNTHETIC.to_vec(),
+        EffortLevel::Paper => TrafficKind::synthetic().to_vec(),
         EffortLevel::Quick => vec![
-            TrafficKind::Uniform,
-            TrafficKind::Skewed(SkewLevel::Skewed3),
+            TrafficKind::named("uniform-random"),
+            TrafficKind::named("skewed-3"),
         ],
     };
     report_from_rows(&rows(effort, &kinds))

@@ -40,7 +40,10 @@ impl ExperimentReport {
     /// Renders the full report as plain text.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = format!("################ {} — {} ################\n", self.id, self.title);
+        let mut out = format!(
+            "################ {} — {} ################\n",
+            self.id, self.title
+        );
         for table in &self.tables {
             out.push_str(&table.render());
             out.push('\n');

@@ -15,7 +15,8 @@ use pnoc_traffic::pattern::SkewLevel;
 /// Regenerates Tables 3-1 through 3-5.
 #[must_use]
 pub fn run() -> ExperimentReport {
-    let mut report = ExperimentReport::new("tables", "Tables 3-1 … 3-5 (configuration and constants)");
+    let mut report =
+        ExperimentReport::new("tables", "Tables 3-1 … 3-5 (configuration and constants)");
 
     // Table 3-1: bandwidth sets.
     let mut t31 = Table::new(
@@ -42,9 +43,18 @@ pub fn run() -> ExperimentReport {
     for skew in SkewLevel::ALL {
         t32.add_row(&[
             skew.label().to_string(),
-            format!("{}%", fmt_f(skew.frequency(BandwidthClass::High) * 100.0, 2)),
-            format!("{}%", fmt_f(skew.frequency(BandwidthClass::MediumHigh) * 100.0, 2)),
-            format!("{}%", fmt_f(skew.frequency(BandwidthClass::MediumLow) * 100.0, 2)),
+            format!(
+                "{}%",
+                fmt_f(skew.frequency(BandwidthClass::High) * 100.0, 2)
+            ),
+            format!(
+                "{}%",
+                fmt_f(skew.frequency(BandwidthClass::MediumHigh) * 100.0, 2)
+            ),
+            format!(
+                "{}%",
+                fmt_f(skew.frequency(BandwidthClass::MediumLow) * 100.0, 2)
+            ),
             format!("{}%", fmt_f(skew.frequency(BandwidthClass::Low) * 100.0, 2)),
         ]);
     }
@@ -55,12 +65,24 @@ pub fn run() -> ExperimentReport {
     let mut t33 = Table::new("Table 3-3: simulation parameters", &["parameter", "value"]);
     let rows = [
         ("number of cores", config.topology.num_cores().to_string()),
-        ("number of clusters", config.topology.num_clusters().to_string()),
-        ("cluster size", format!("{} cores", config.topology.cores_per_cluster())),
-        ("clock frequency", format!("{} GHz", config.clock.frequency_ghz)),
+        (
+            "number of clusters",
+            config.topology.num_clusters().to_string(),
+        ),
+        (
+            "cluster size",
+            format!("{} cores", config.topology.cores_per_cluster()),
+        ),
+        (
+            "clock frequency",
+            format!("{} GHz", config.clock.frequency_ghz),
+        ),
         (
             "simulation cycles",
-            format!("{} with {} reset cycles", config.sim_cycles, config.warmup_cycles),
+            format!(
+                "{} with {} reset cycles",
+                config.sim_cycles, config.warmup_cycles
+            ),
         ),
         ("virtual channels per port", config.vcs_per_port.to_string()),
         ("buffer depth per VC", format!("{} flits", config.vc_depth)),
@@ -119,7 +141,10 @@ pub fn run() -> ExperimentReport {
         "Table 3-4: power / energy of photonic components",
         &["component", "value"],
     );
-    t34.add_row(&["modulator / demodulator".to_string(), "40 fJ/bit".to_string()]);
+    t34.add_row(&[
+        "modulator / demodulator".to_string(),
+        "40 fJ/bit".to_string(),
+    ]);
     t34.add_row(&["thermal tuning".to_string(), "2.4 mW/nm".to_string()]);
     t34.add_row(&["laser source".to_string(), "1.5 mW/wavelength".to_string()]);
     report.tables.push(t34);
@@ -128,7 +153,10 @@ pub fn run() -> ExperimentReport {
         "Table 3-5: energy per bit of the packet-energy model (pJ/bit)",
         &["component", "pJ/bit"],
     );
-    t35.add_row(&["E_modulation".to_string(), fmt_f(energy.modulation_pj_per_bit, 4)]);
+    t35.add_row(&[
+        "E_modulation".to_string(),
+        fmt_f(energy.modulation_pj_per_bit, 4),
+    ]);
     t35.add_row(&["E_tuning".to_string(), fmt_f(energy.tuning_pj_per_bit, 4)]);
     t35.add_row(&["E_launch".to_string(), fmt_f(energy.launch_pj_per_bit, 4)]);
     t35.add_row(&["E_buffer".to_string(), fmt_f(energy.buffer_pj_per_bit, 7)]);

@@ -1,0 +1,210 @@
+//! Hand-rolled JSON rendering for machine-readable outputs.
+//!
+//! The workspace builds offline against a no-op `serde` shim (see
+//! `vendor/README.md`), so the JSON the harness emits — `repro --json` and
+//! the `BENCH_sweep.json` performance log — is rendered by this small,
+//! dependency-free value model instead.
+
+use crate::experiments::ExperimentReport;
+use pnoc_sim::report::Table;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for objects.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Self {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as pretty-printed JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_inner = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON representation of a report table.
+#[must_use]
+pub fn table_json(table: &Table) -> Json {
+    Json::obj(vec![
+        ("title", Json::str(table.title())),
+        (
+            "header",
+            Json::Arr(table.header().iter().map(Json::str).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                table
+                    .rows()
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// JSON representation of one experiment report.
+#[must_use]
+pub fn report_json(report: &ExperimentReport) -> Json {
+    Json::obj(vec![
+        ("id", Json::str(&report.id)),
+        ("title", Json::str(&report.title)),
+        (
+            "tables",
+            Json::Arr(report.tables.iter().map(table_json).collect()),
+        ),
+        (
+            "notes",
+            Json::Arr(report.notes.iter().map(Json::str).collect()),
+        ),
+    ])
+}
+
+/// JSON representation of a batch of experiment reports (what
+/// `repro --json` writes).
+#[must_use]
+pub fn reports_json(reports: &[ExperimentReport]) -> Json {
+    Json::Arr(reports.iter().map(report_json).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_escapes_and_nests() {
+        let value = Json::obj(vec![
+            ("name", Json::str("say \"hi\"\n")),
+            ("count", Json::Num(3.0)),
+            ("nan", Json::Num(f64::NAN)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            ("items", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("empty", Json::Arr(Vec::new())),
+        ]);
+        let text = value.render();
+        assert!(text.contains("\"say \\\"hi\\\"\\n\""));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"nan\": null"));
+        assert!(text.contains("\"items\": [\n"));
+        assert!(text.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn report_round_trips_structure() {
+        let mut report = ExperimentReport::new("x", "demo");
+        let mut table = Table::new("t", &["a", "b"]);
+        table.add_row(&["1".to_string(), "2".to_string()]);
+        report.tables.push(table);
+        report.notes.push("note".to_string());
+        let text = reports_json(&[report]).render();
+        assert!(text.contains("\"id\": \"x\""));
+        assert!(text.contains("\"header\": [\n"));
+        assert!(text.contains("\"note\""));
+    }
+}

@@ -21,7 +21,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod json;
 pub mod runner;
 
 pub use experiments::ExperimentReport;
-pub use runner::{ComparisonRow, EffortLevel, TrafficKind};
+pub use runner::{Architecture, ComparisonRow, EffortLevel, TrafficKind};

@@ -1,21 +1,33 @@
-//! Shared machinery for the throughput / energy experiments: traffic
-//! construction, architecture comparison sweeps, and parallel execution of
-//! sweep points.
+//! Shared machinery for the throughput / energy experiments, built entirely
+//! on the **architecture registry** (`pnoc_sim::registry`) and the **traffic
+//! registry** (`pnoc_traffic::factory`).
+//!
+//! Nothing in this module names a concrete architecture or traffic type:
+//! [`Architecture`] and [`TrafficKind`] are handles resolved by name, and
+//! sweeps go through the generic parallel driver in `pnoc_sim::sweep`.
+//! Adding an architecture (register it with
+//! `pnoc_sim::registry::register_architecture`) or a workload (register it
+//! with `pnoc_traffic::factory::register_traffic_factory`) makes it
+//! available to every experiment without touching this crate.
 
-use pnoc_dhetpnoc::network::build_dhetpnoc_system;
-use pnoc_firefly::network::build_firefly_system;
-use pnoc_noc::topology::ClusterTopology;
 use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
 use pnoc_sim::config::{BandwidthSet, SimConfig};
 use pnoc_sim::engine::run_to_completion;
+use pnoc_sim::registry::{
+    lookup_architecture, registered_architectures, ArchitectureBuilder, Provisioning,
+};
 use pnoc_sim::stats::SimStats;
-use pnoc_sim::sweep::{default_load_ladder, SaturationResult, SweepPoint};
-use pnoc_traffic::gpu::RealApplicationTraffic;
-use pnoc_traffic::hotspot::HotspotSkewedTraffic;
-use pnoc_traffic::pattern::{PacketShape, SkewLevel};
-use pnoc_traffic::skewed::SkewedTraffic;
-use pnoc_traffic::uniform::UniformRandomTraffic;
+use pnoc_sim::sweep::{default_load_ladder, run_saturation_sweep, SaturationResult, SweepMode};
+use pnoc_traffic::factory::{lookup_traffic_factory, registered_traffic_patterns, TrafficSpec};
+use pnoc_traffic::pattern::PacketShape;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Makes sure the workspace's architectures are registered. Called by every
+/// resolving entry point, so binaries and tests need no explicit setup.
+pub fn ensure_registered() {
+    d_hetpnoc_repro::install_architectures();
+}
 
 /// How much simulation effort to spend (paper scale vs quick smoke runs for
 /// benches and tests).
@@ -52,234 +64,302 @@ impl EffortLevel {
             EffortLevel::Quick => vec![full[1], full[3], full[5]],
         }
     }
-}
 
-/// The traffic scenarios of the evaluation chapter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum TrafficKind {
-    /// Uniform-random traffic.
-    Uniform,
-    /// Skewed traffic at one of the three skew levels.
-    Skewed(SkewLevel),
-    /// Hotspot-coupled skewed traffic (fraction of traffic to the hotspot).
-    Hotspot {
-        /// Fraction of all traffic sent to the hotspot core.
-        fraction: f64,
-        /// Skew level of the remaining traffic.
-        skew: SkewLevel,
-    },
-    /// Real-application (GPU + memory clusters) traffic.
-    RealApplication,
-}
-
-impl TrafficKind {
-    /// The scenarios of Figures 3-3 / 3-4 (uniform + three skews).
-    pub const SYNTHETIC: [TrafficKind; 4] = [
-        TrafficKind::Uniform,
-        TrafficKind::Skewed(SkewLevel::Skewed1),
-        TrafficKind::Skewed(SkewLevel::Skewed2),
-        TrafficKind::Skewed(SkewLevel::Skewed3),
-    ];
-
-    /// The case studies of Figure 3-5 (four hotspot mixes + real application).
+    /// Label used in reports and JSON output.
     #[must_use]
-    pub fn case_studies() -> Vec<TrafficKind> {
-        vec![
-            TrafficKind::Hotspot {
-                fraction: 0.10,
-                skew: SkewLevel::Skewed2,
-            },
-            TrafficKind::Hotspot {
-                fraction: 0.10,
-                skew: SkewLevel::Skewed3,
-            },
-            TrafficKind::Hotspot {
-                fraction: 0.20,
-                skew: SkewLevel::Skewed2,
-            },
-            TrafficKind::Hotspot {
-                fraction: 0.20,
-                skew: SkewLevel::Skewed3,
-            },
-            TrafficKind::RealApplication,
-        ]
-    }
-
-    /// Human-readable label used in report rows.
-    #[must_use]
-    pub fn label(&self) -> String {
+    pub fn label(self) -> &'static str {
         match self {
-            TrafficKind::Uniform => "uniform-random".to_string(),
-            TrafficKind::Skewed(s) => s.label().to_string(),
-            TrafficKind::Hotspot { fraction, skew } => format!(
-                "hotspot-{}pct-{}",
-                (fraction * 100.0).round() as u32,
-                skew.label()
-            ),
-            TrafficKind::RealApplication => "real-application".to_string(),
+            EffortLevel::Paper => "paper",
+            EffortLevel::Quick => "quick",
+        }
+    }
+}
+
+/// A handle to a registered architecture, resolved by name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Architecture {
+    name: String,
+    label: String,
+}
+
+impl Architecture {
+    /// Resolves a registered architecture by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no architecture of that name is registered; the message
+    /// lists the registered names.
+    #[must_use]
+    pub fn named(name: &str) -> Self {
+        let builder = Self::resolve(name);
+        Self {
+            name: builder.name().to_string(),
+            label: builder.label(),
         }
     }
 
-    /// Builds the traffic model for this scenario at the given load.
+    fn resolve(name: &str) -> Arc<dyn ArchitectureBuilder> {
+        ensure_registered();
+        lookup_architecture(name).unwrap_or_else(|| {
+            panic!(
+                "architecture '{name}' is not registered; registered: {:?}",
+                registered_architectures()
+            )
+        })
+    }
+
+    /// The Firefly baseline.
     #[must_use]
-    pub fn build(&self, config: &SimConfig, load: OfferedLoad) -> Box<dyn TrafficModel + Send> {
-        let topology = ClusterTopology::paper_default();
+    pub fn firefly() -> Self {
+        Self::named("firefly")
+    }
+
+    /// The d-HetPNoC architecture.
+    #[must_use]
+    pub fn dhetpnoc() -> Self {
+        Self::named("d-hetpnoc")
+    }
+
+    /// The paper's comparison pair: the Firefly baseline first, d-HetPNoC
+    /// second.
+    #[must_use]
+    pub fn comparison_pair() -> [Architecture; 2] {
+        [Self::firefly(), Self::dhetpnoc()]
+    }
+
+    /// Every registered architecture, sorted by name.
+    #[must_use]
+    pub fn all() -> Vec<Architecture> {
+        ensure_registered();
+        registered_architectures()
+            .iter()
+            .map(|name| Architecture::named(name))
+            .collect()
+    }
+
+    /// Registry name ("firefly", "d-hetpnoc", ...).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Display label ("Firefly", "d-HetPNoC", ...).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The underlying registry builder.
+    #[must_use]
+    pub fn builder(&self) -> Arc<dyn ArchitectureBuilder> {
+        Self::resolve(&self.name)
+    }
+
+    /// Resource-provisioning style declared by the builder (drives the
+    /// area/cost model selection in the experiments).
+    #[must_use]
+    pub fn provisioning(&self) -> Provisioning {
+        self.builder().provisioning()
+    }
+}
+
+/// A handle to a registered traffic pattern, resolved by name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficKind {
+    name: String,
+}
+
+impl TrafficKind {
+    /// Resolves a registered traffic pattern by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pattern of that name is registered; the message lists
+    /// the registered names.
+    #[must_use]
+    pub fn named(name: &str) -> Self {
+        assert!(
+            lookup_traffic_factory(name).is_some(),
+            "traffic pattern '{name}' is not registered; registered: {:?}",
+            registered_traffic_patterns()
+        );
+        Self {
+            name: name.to_string(),
+        }
+    }
+
+    /// The scenarios of Figures 3-3 / 3-4 (uniform + three skews).
+    #[must_use]
+    pub fn synthetic() -> [TrafficKind; 4] {
+        ["uniform-random", "skewed-1", "skewed-2", "skewed-3"].map(TrafficKind::named)
+    }
+
+    /// The case studies of Figure 3-5 (four hotspot mixes + real
+    /// application).
+    #[must_use]
+    pub fn case_studies() -> Vec<TrafficKind> {
+        [
+            "hotspot-10pct-skewed-2",
+            "hotspot-10pct-skewed-3",
+            "hotspot-20pct-skewed-2",
+            "hotspot-20pct-skewed-3",
+            "real-application",
+        ]
+        .map(TrafficKind::named)
+        .to_vec()
+    }
+
+    /// The extended scenarios added by this reproduction (permutation and
+    /// bursty patterns).
+    #[must_use]
+    pub fn extended() -> Vec<TrafficKind> {
+        ["transpose", "bit-reverse", "tornado", "bursty-uniform"]
+            .map(TrafficKind::named)
+            .to_vec()
+    }
+
+    /// Every registered traffic pattern, sorted by name.
+    #[must_use]
+    pub fn all() -> Vec<TrafficKind> {
+        registered_traffic_patterns()
+            .iter()
+            .map(|name| TrafficKind::named(name))
+            .collect()
+    }
+
+    /// Registry name, also used as the report label.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable label used in report rows (same as the name).
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.name.clone()
+    }
+
+    /// Builds the traffic model for this pattern at the given load and seed,
+    /// with geometry taken from `config`.
+    #[must_use]
+    pub fn build(
+        &self,
+        config: &SimConfig,
+        load: OfferedLoad,
+        seed: u64,
+    ) -> Box<dyn TrafficModel + Send> {
+        let factory = lookup_traffic_factory(&self.name).unwrap_or_else(|| {
+            panic!(
+                "traffic pattern '{}' disappeared from the registry",
+                self.name
+            )
+        });
         let shape = PacketShape::new(
             config.bandwidth_set.packet_flits(),
             config.bandwidth_set.flit_bits(),
         );
-        let seed = config.seed;
-        match self {
-            TrafficKind::Uniform => {
-                Box::new(UniformRandomTraffic::new(topology, shape, load, seed))
-            }
-            TrafficKind::Skewed(skew) => {
-                Box::new(SkewedTraffic::new(topology, shape, *skew, load, seed))
-            }
-            TrafficKind::Hotspot { fraction, skew } => Box::new(HotspotSkewedTraffic::new(
-                topology,
-                shape,
-                *skew,
-                pnoc_noc::ids::CoreId(0),
-                *fraction,
-                load,
-                seed,
-            )),
-            TrafficKind::RealApplication => {
-                Box::new(RealApplicationTraffic::paper_mapping(topology, shape, load, seed))
-            }
-        }
-    }
-}
-
-/// Which architecture to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Architecture {
-    /// The Firefly baseline with uniform static allocation.
-    Firefly,
-    /// The proposed d-HetPNoC with dynamic bandwidth allocation.
-    DhetPnoc,
-}
-
-impl Architecture {
-    /// Both architectures, baseline first.
-    pub const BOTH: [Architecture; 2] = [Architecture::Firefly, Architecture::DhetPnoc];
-
-    /// Display label.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            Architecture::Firefly => "Firefly",
-            Architecture::DhetPnoc => "d-HetPNoC",
-        }
+        factory.build(&TrafficSpec::new(config.topology, shape, load, seed))
     }
 }
 
 /// Runs one simulation of one architecture at one offered load.
 #[must_use]
 pub fn run_once(
-    architecture: Architecture,
+    architecture: &Architecture,
     config: SimConfig,
-    kind: TrafficKind,
+    kind: &TrafficKind,
     load: f64,
 ) -> SimStats {
-    let traffic = kind.build(&config, OfferedLoad::new(load));
-    match architecture {
-        Architecture::Firefly => {
-            let mut system = build_firefly_system(config, traffic);
-            run_to_completion(&mut system)
-        }
-        Architecture::DhetPnoc => {
-            let mut system = build_dhetpnoc_system(config, traffic);
-            run_to_completion(&mut system)
-        }
-    }
+    let traffic = kind.build(&config, OfferedLoad::new(load), config.seed);
+    let mut network = architecture.builder().build(config, traffic);
+    run_to_completion(&mut *network)
 }
 
 /// Sweeps the offered load for one architecture and traffic scenario,
-/// running the sweep points in parallel.
+/// running the sweep points in parallel through the generic driver.
 #[must_use]
 pub fn saturation_sweep(
-    architecture: Architecture,
+    architecture: &Architecture,
     config: SimConfig,
-    kind: TrafficKind,
+    kind: &TrafficKind,
     loads: &[f64],
 ) -> SaturationResult {
-    let mut points: Vec<(usize, SweepPoint)> = Vec::with_capacity(loads.len());
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = loads
-            .iter()
-            .enumerate()
-            .map(|(i, &load)| {
-                scope.spawn(move |_| {
-                    (
-                        i,
-                        SweepPoint {
-                            offered_load: load,
-                            stats: run_once(architecture, config, kind, load),
-                        },
-                    )
-                })
-            })
-            .collect();
-        for handle in handles {
-            points.push(handle.join().expect("sweep worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    points.sort_by_key(|(i, _)| *i);
-    SaturationResult {
-        points: points.into_iter().map(|(_, p)| p).collect(),
-    }
+    saturation_sweep_with_mode(architecture, config, kind, loads, SweepMode::Parallel)
 }
 
-/// The outcome of comparing both architectures on one scenario.
+/// Like [`saturation_sweep`] but with an explicit execution mode (used by
+/// determinism tests and the `repro --bench-sweep` timing harness).
+#[must_use]
+pub fn saturation_sweep_with_mode(
+    architecture: &Architecture,
+    config: SimConfig,
+    kind: &TrafficKind,
+    loads: &[f64],
+    mode: SweepMode,
+) -> SaturationResult {
+    let builder = architecture.builder();
+    run_saturation_sweep(
+        builder.as_ref(),
+        &|spec| kind.build(&spec.config, spec.offered_load, spec.seed),
+        &config,
+        loads,
+        mode,
+    )
+}
+
+/// The outcome of comparing two architectures on one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComparisonRow {
     /// Bandwidth set of the experiment.
     pub bandwidth_set: String,
     /// Traffic scenario label.
     pub traffic: String,
-    /// Firefly peak aggregate bandwidth, Gb/s.
-    pub firefly_peak_gbps: f64,
-    /// d-HetPNoC peak aggregate bandwidth, Gb/s.
-    pub dhet_peak_gbps: f64,
-    /// Firefly packet energy at saturation, pJ.
-    pub firefly_packet_energy_pj: f64,
-    /// d-HetPNoC packet energy at saturation, pJ.
-    pub dhet_packet_energy_pj: f64,
-    /// Firefly average latency at saturation, cycles.
-    pub firefly_latency_cycles: f64,
-    /// d-HetPNoC average latency at saturation, cycles.
-    pub dhet_latency_cycles: f64,
+    /// Baseline architecture label.
+    pub baseline: String,
+    /// Candidate architecture label.
+    pub candidate: String,
+    /// Baseline peak aggregate bandwidth, Gb/s.
+    pub baseline_peak_gbps: f64,
+    /// Candidate peak aggregate bandwidth, Gb/s.
+    pub candidate_peak_gbps: f64,
+    /// Baseline packet energy at the common operating point, pJ.
+    pub baseline_packet_energy_pj: f64,
+    /// Candidate packet energy at the common operating point, pJ.
+    pub candidate_packet_energy_pj: f64,
+    /// Baseline average latency at the common operating point, cycles.
+    pub baseline_latency_cycles: f64,
+    /// Candidate average latency at the common operating point, cycles.
+    pub candidate_latency_cycles: f64,
 }
 
 impl ComparisonRow {
-    /// Peak-bandwidth improvement of d-HetPNoC over Firefly, percent.
+    /// Peak-bandwidth improvement of the candidate over the baseline,
+    /// percent.
     #[must_use]
     pub fn bandwidth_gain_percent(&self) -> f64 {
-        if self.firefly_peak_gbps == 0.0 {
+        if self.baseline_peak_gbps == 0.0 {
             0.0
         } else {
-            (self.dhet_peak_gbps - self.firefly_peak_gbps) / self.firefly_peak_gbps * 100.0
+            (self.candidate_peak_gbps - self.baseline_peak_gbps) / self.baseline_peak_gbps * 100.0
         }
     }
 
-    /// Packet-energy reduction of d-HetPNoC relative to Firefly, percent
-    /// (positive = d-HetPNoC dissipates less).
+    /// Packet-energy reduction of the candidate relative to the baseline,
+    /// percent (positive = candidate dissipates less).
     #[must_use]
     pub fn energy_saving_percent(&self) -> f64 {
-        if self.firefly_packet_energy_pj == 0.0 {
+        if self.baseline_packet_energy_pj == 0.0 {
             0.0
         } else {
-            (self.firefly_packet_energy_pj - self.dhet_packet_energy_pj)
-                / self.firefly_packet_energy_pj
+            (self.baseline_packet_energy_pj - self.candidate_packet_energy_pj)
+                / self.baseline_packet_energy_pj
                 * 100.0
         }
     }
 }
 
-/// Compares both architectures on one scenario at one bandwidth set.
+/// Compares two registered architectures on one scenario at one bandwidth
+/// set.
 ///
 /// Peak bandwidth is each architecture's own sustainable (saturation)
 /// bandwidth. Packet energy and latency are compared at a **common operating
@@ -288,19 +368,21 @@ impl ComparisonRow {
 /// residence under d-HetPNoC, Section 3.4.1.2) rather than how far past
 /// saturation each one happens to be driven.
 #[must_use]
-pub fn compare_architectures(
+pub fn compare(
+    baseline: &Architecture,
+    candidate: &Architecture,
     effort: EffortLevel,
     set: BandwidthSet,
-    kind: TrafficKind,
+    kind: &TrafficKind,
 ) -> ComparisonRow {
     let config = effort.config(set);
     let loads = effort.load_ladder(&config);
-    let firefly = saturation_sweep(Architecture::Firefly, config, kind, &loads);
-    let dhet = saturation_sweep(Architecture::DhetPnoc, config, kind, &loads);
-    let common_idx = firefly
+    let base = saturation_sweep(baseline, config, kind, &loads);
+    let cand = saturation_sweep(candidate, config, kind, &loads);
+    let common_idx = base
         .saturation_index()
         .unwrap_or(0)
-        .min(dhet.points.len().saturating_sub(1));
+        .min(cand.points.len().saturating_sub(1));
     let energy_at = |sweep: &SaturationResult| {
         sweep
             .points
@@ -318,13 +400,32 @@ pub fn compare_architectures(
     ComparisonRow {
         bandwidth_set: set.label().to_string(),
         traffic: kind.label(),
-        firefly_peak_gbps: firefly.sustainable_bandwidth_gbps(),
-        dhet_peak_gbps: dhet.sustainable_bandwidth_gbps(),
-        firefly_packet_energy_pj: energy_at(&firefly),
-        dhet_packet_energy_pj: energy_at(&dhet),
-        firefly_latency_cycles: latency_at(&firefly),
-        dhet_latency_cycles: latency_at(&dhet),
+        baseline: baseline.label().to_string(),
+        candidate: candidate.label().to_string(),
+        baseline_peak_gbps: base.sustainable_bandwidth_gbps(),
+        candidate_peak_gbps: cand.sustainable_bandwidth_gbps(),
+        baseline_packet_energy_pj: energy_at(&base),
+        candidate_packet_energy_pj: energy_at(&cand),
+        baseline_latency_cycles: latency_at(&base),
+        candidate_latency_cycles: latency_at(&cand),
     }
+}
+
+/// Compares the paper's pair (Firefly baseline vs d-HetPNoC) on one
+/// scenario.
+#[must_use]
+pub fn compare_architectures(
+    effort: EffortLevel,
+    set: BandwidthSet,
+    kind: &TrafficKind,
+) -> ComparisonRow {
+    compare(
+        &Architecture::firefly(),
+        &Architecture::dhetpnoc(),
+        effort,
+        set,
+        kind,
+    )
 }
 
 #[cfg(test)]
@@ -332,13 +433,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn traffic_kinds_have_distinct_labels() {
-        let mut labels: Vec<String> = TrafficKind::SYNTHETIC.iter().map(TrafficKind::label).collect();
+    fn registry_handles_resolve_and_label() {
+        let all = Architecture::all();
+        assert!(all.len() >= 3, "expected ≥3 architectures, got {all:?}");
+        let [firefly, dhet] = Architecture::comparison_pair();
+        assert_eq!(firefly.name(), "firefly");
+        assert_eq!(firefly.label(), "Firefly");
+        assert_eq!(dhet.name(), "d-hetpnoc");
+        assert_eq!(dhet.label(), "d-HetPNoC");
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_architecture_panics_with_the_registered_names() {
+        let _ = Architecture::named("warp-drive");
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_traffic_pattern_panics() {
+        let _ = TrafficKind::named("smoke-signals");
+    }
+
+    #[test]
+    fn traffic_kinds_have_distinct_labels_and_cover_the_registry() {
+        let mut labels: Vec<String> = TrafficKind::synthetic()
+            .iter()
+            .map(TrafficKind::label)
+            .collect();
         labels.extend(TrafficKind::case_studies().iter().map(TrafficKind::label));
+        labels.extend(TrafficKind::extended().iter().map(TrafficKind::label));
         let before = labels.len();
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), before, "labels must be unique");
+        assert!(TrafficKind::all().len() >= 7);
     }
 
     #[test]
@@ -346,26 +475,46 @@ mod tests {
         let row = compare_architectures(
             EffortLevel::Quick,
             BandwidthSet::Set1,
-            TrafficKind::Skewed(SkewLevel::Skewed2),
+            &TrafficKind::named("skewed-2"),
         );
-        assert!(row.firefly_peak_gbps > 0.0);
-        assert!(row.dhet_peak_gbps > 0.0);
-        assert!(row.firefly_packet_energy_pj > 0.0);
-        assert!(row.dhet_packet_energy_pj > 0.0);
+        assert_eq!(row.baseline, "Firefly");
+        assert_eq!(row.candidate, "d-HetPNoC");
+        assert!(row.baseline_peak_gbps > 0.0);
+        assert!(row.candidate_peak_gbps > 0.0);
+        assert!(row.baseline_packet_energy_pj > 0.0);
+        assert!(row.candidate_packet_energy_pj > 0.0);
         // Both architectures share the same aggregate wavelength budget, so
         // neither can be more than ~2× the photonic limit even with
         // intra-cluster traffic counted.
-        assert!(row.firefly_peak_gbps < 1600.0);
-        assert!(row.dhet_peak_gbps < 1600.0);
+        assert!(row.baseline_peak_gbps < 1600.0);
+        assert!(row.candidate_peak_gbps < 1600.0);
     }
 
     #[test]
     fn run_once_honours_the_architecture_label() {
         let config = EffortLevel::Quick.config(BandwidthSet::Set1);
         let load = config.estimated_saturation_load() * 0.5;
-        let firefly = run_once(Architecture::Firefly, config, TrafficKind::Uniform, load);
-        let dhet = run_once(Architecture::DhetPnoc, config, TrafficKind::Uniform, load);
+        let kind = TrafficKind::named("uniform-random");
+        let firefly = run_once(&Architecture::firefly(), config, &kind, load);
+        let dhet = run_once(&Architecture::dhetpnoc(), config, &kind, load);
         assert_eq!(firefly.architecture, "firefly");
         assert_eq!(dhet.architecture, "d-hetpnoc");
+    }
+
+    #[test]
+    fn extended_patterns_flow_through_the_uniform_test_fabric() {
+        let mut config = EffortLevel::Quick.config(BandwidthSet::Set1);
+        config.sim_cycles = 800;
+        config.warmup_cycles = 200;
+        let load = config.estimated_saturation_load() * 0.8;
+        let arch = Architecture::named("uniform-fabric");
+        for kind in TrafficKind::extended() {
+            let stats = run_once(&arch, config, &kind, load);
+            assert!(
+                stats.delivered_packets > 0,
+                "pattern '{}' delivered nothing",
+                kind.name()
+            );
+        }
     }
 }

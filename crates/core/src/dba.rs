@@ -82,7 +82,10 @@ impl DbaController {
         token_hop_cycles: u64,
     ) -> Self {
         assert!(num_clusters > 0);
-        assert!(reserved_per_cluster >= 1, "the minimum allocation is 1 wavelength");
+        assert!(
+            reserved_per_cluster >= 1,
+            "the minimum allocation is 1 wavelength"
+        );
         assert!(max_channel_wavelengths >= reserved_per_cluster);
         let clusters = (0..num_clusters)
             .map(|_| ClusterAllocation {
@@ -146,10 +149,7 @@ impl DbaController {
     /// dynamic).
     #[must_use]
     pub fn total_held(&self) -> usize {
-        self.clusters
-            .iter()
-            .map(|c| c.current.total_held())
-            .sum()
+        self.clusters.iter().map(|c| c.current.total_held()).sum()
     }
 
     /// Free (unallocated) dynamic wavelengths.
@@ -359,7 +359,10 @@ mod tests {
         }
         assert_eq!(visits, 64, "hop latency 1 means one visit per cycle");
         assert!(c.token_visits() >= 64);
-        assert!(c.total_held() > 16, "some wavelengths must have been acquired");
+        assert!(
+            c.total_held() > 16,
+            "some wavelengths must have been acquired"
+        );
         assert!(c.check_invariants().is_ok());
     }
 }

@@ -42,11 +42,7 @@ impl DhetFabric {
 
     /// Builds the fabric with an explicit allocation policy.
     #[must_use]
-    pub fn with_policy(
-        config: &SimConfig,
-        demand: DemandMatrix,
-        policy: AllocationPolicy,
-    ) -> Self {
+    pub fn with_policy(config: &SimConfig, demand: DemandMatrix, policy: AllocationPolicy) -> Self {
         let num_clusters = config.topology.num_clusters();
         assert_eq!(
             demand.num_clusters(),
@@ -54,7 +50,8 @@ impl DhetFabric {
             "demand matrix does not match the topology"
         );
         let set = config.bandwidth_set;
-        let grid = WavelengthGrid::for_total(set.total_wavelengths(), config.wavelengths_per_waveguide);
+        let grid =
+            WavelengthGrid::for_total(set.total_wavelengths(), config.wavelengths_per_waveguide);
         let reserved_per_cluster = 1;
         let dynamic = token_size_bits(
             grid.num_waveguides(),
@@ -295,14 +292,20 @@ mod tests {
     #[test]
     fn skewed_demand_gives_heterogeneous_pools_within_budget() {
         let cfg = config(BandwidthSet::Set1);
-        let fabric = DhetFabric::new(&cfg, skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed3, 11));
+        let fabric = DhetFabric::new(
+            &cfg,
+            skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed3, 11),
+        );
         let alloc = fabric.allocation_snapshot();
         let total: usize = alloc.iter().sum();
         assert!(total <= 64, "allocation {alloc:?} exceeds the budget");
         assert!(alloc.iter().all(|&p| (1..=8).contains(&p)), "{alloc:?}");
         let min = alloc.iter().min().unwrap();
         let max = alloc.iter().max().unwrap();
-        assert!(max > min, "skewed demand must produce a heterogeneous allocation");
+        assert!(
+            max > min,
+            "skewed demand must produce a heterogeneous allocation"
+        );
         fabric.controller().check_invariants().unwrap();
     }
 
@@ -349,19 +352,21 @@ mod tests {
                 let w = fabric.wavelengths_for(src, dst);
                 assert!(w >= 1);
                 assert!(w <= fabric.pool_size(src));
-                assert!(
-                    w <= cfg
-                        .bandwidth_set
-                        .class_wavelengths(demand.class(src, dst))
-                );
+                assert!(w <= cfg.bandwidth_set.class_wavelengths(demand.class(src, dst)));
             }
         }
     }
 
     #[test]
     fn reservation_cycles_match_the_bandwidth_set() {
-        let f1 = DhetFabric::new(&config(BandwidthSet::Set1), uniform_demand(BandwidthSet::Set1));
-        let f3 = DhetFabric::new(&config(BandwidthSet::Set3), uniform_demand(BandwidthSet::Set3));
+        let f1 = DhetFabric::new(
+            &config(BandwidthSet::Set1),
+            uniform_demand(BandwidthSet::Set1),
+        );
+        let f3 = DhetFabric::new(
+            &config(BandwidthSet::Set3),
+            uniform_demand(BandwidthSet::Set3),
+        );
         assert_eq!(f1.reservation_cycles(ClusterId(0), ClusterId(1)), 1);
         assert_eq!(f3.reservation_cycles(ClusterId(0), ClusterId(1)), 2);
     }
@@ -382,7 +387,10 @@ mod tests {
     #[test]
     fn remap_reconverges_the_allocation() {
         let cfg = config(BandwidthSet::Set1);
-        let mut fabric = DhetFabric::new(&cfg, skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed3, 1));
+        let mut fabric = DhetFabric::new(
+            &cfg,
+            skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed3, 1),
+        );
         let before = fabric.allocation_snapshot();
         fabric.remap(uniform_demand(BandwidthSet::Set1));
         let after = fabric.allocation_snapshot();

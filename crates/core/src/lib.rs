@@ -35,7 +35,11 @@ pub mod token;
 pub mod prelude {
     pub use crate::dba::{AllocationPolicy, DbaController};
     pub use crate::fabric::DhetFabric;
-    pub use crate::network::{build_dhetpnoc_system, dhetpnoc_saturation_sweep};
+    #[allow(deprecated)]
+    pub use crate::network::dhetpnoc_saturation_sweep;
+    pub use crate::network::{
+        build_dhetpnoc_system, register_dhetpnoc_architecture, DhetPnocArchitecture,
+    };
     pub use crate::reservation::ReservationTiming;
     pub use crate::tables::{CurrentTable, DemandTable, RequestTable};
     pub use crate::token::{token_hop_cycles, token_size_bits, Token, TokenRing};

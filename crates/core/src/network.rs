@@ -1,12 +1,15 @@
-//! Convenience constructors for d-HetPNoC simulations.
+//! Convenience constructors and the registry entry for d-HetPNoC
+//! simulations.
 
 use crate::fabric::DhetFabric;
 use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
 use pnoc_sim::config::SimConfig;
-use pnoc_sim::engine::run_to_completion;
-use pnoc_sim::sweep::{default_load_ladder, sweep_offered_loads, SaturationResult};
+use pnoc_sim::engine::CycleNetwork;
+use pnoc_sim::registry::{register_architecture, ArchitectureBuilder};
+use pnoc_sim::sweep::{default_load_ladder, run_saturation_sweep_seq, SaturationResult};
 use pnoc_sim::system::PhotonicSystem;
 use pnoc_traffic::demand::DemandMatrix;
+use std::sync::Arc;
 
 /// Builds a ready-to-run d-HetPNoC system for the given traffic model. The
 /// demand matrix (and therefore the wavelength allocation) is derived from
@@ -21,18 +24,54 @@ pub fn build_dhetpnoc_system<T: TrafficModel>(
     PhotonicSystem::new(config, fabric, traffic)
 }
 
+/// The d-HetPNoC [`ArchitectureBuilder`], registered under the name
+/// `"d-hetpnoc"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DhetPnocArchitecture;
+
+impl ArchitectureBuilder for DhetPnocArchitecture {
+    fn name(&self) -> &str {
+        "d-hetpnoc"
+    }
+
+    fn label(&self) -> String {
+        "d-HetPNoC".to_string()
+    }
+
+    fn build(
+        &self,
+        config: SimConfig,
+        traffic: Box<dyn TrafficModel + Send>,
+    ) -> Box<dyn CycleNetwork> {
+        Box::new(build_dhetpnoc_system(config, traffic))
+    }
+}
+
+/// Registers d-HetPNoC into the process-global architecture registry.
+/// Idempotent; usually invoked through the umbrella crate's
+/// `install_architectures`.
+pub fn register_dhetpnoc_architecture() {
+    register_architecture(Arc::new(DhetPnocArchitecture));
+}
+
 /// Sweeps the offered load and returns the saturation result for d-HetPNoC.
+#[deprecated(
+    since = "0.2.0",
+    note = "use pnoc_sim::sweep::run_saturation_sweep with the \"d-hetpnoc\" registry entry; \
+            this wrapper forwards to the generic sequential driver"
+)]
 pub fn dhetpnoc_saturation_sweep<T, M>(config: SimConfig, mut make_traffic: M) -> SaturationResult
 where
-    T: TrafficModel,
+    T: TrafficModel + Send + 'static,
     M: FnMut(OfferedLoad) -> T,
 {
     let loads = default_load_ladder(config.estimated_saturation_load());
-    sweep_offered_loads(&loads, |load| {
-        let traffic = make_traffic(OfferedLoad::new(load));
-        let mut system = build_dhetpnoc_system(config, traffic);
-        run_to_completion(&mut system)
-    })
+    run_saturation_sweep_seq(
+        &DhetPnocArchitecture,
+        &mut |spec| Box::new(make_traffic(spec.offered_load)),
+        &config,
+        &loads,
+    )
 }
 
 #[cfg(test)]
@@ -40,6 +79,7 @@ mod tests {
     use super::*;
     use pnoc_noc::topology::ClusterTopology;
     use pnoc_sim::config::BandwidthSet;
+    use pnoc_sim::engine::run_to_completion;
     use pnoc_sim::system::PhotonicFabric;
     use pnoc_traffic::pattern::{PacketShape, SkewLevel};
     use pnoc_traffic::skewed::SkewedTraffic;
@@ -83,6 +123,31 @@ mod tests {
     }
 
     #[test]
+    fn registry_builder_matches_the_direct_constructor() {
+        let mut config = SimConfig::fast(BandwidthSet::Set1);
+        config.sim_cycles = 900;
+        config.warmup_cycles = 200;
+        let load = OfferedLoad::new(config.estimated_saturation_load() * 0.7);
+        let make = || {
+            SkewedTraffic::new(
+                ClusterTopology::paper_default(),
+                shape(BandwidthSet::Set1),
+                SkewLevel::Skewed2,
+                load,
+                config.seed,
+            )
+        };
+        let direct = run_to_completion(&mut build_dhetpnoc_system(config, make()));
+        let mut via_registry = DhetPnocArchitecture.build(config, Box::new(make()));
+        let registry_stats = run_to_completion(&mut *via_registry);
+        assert_eq!(
+            direct, registry_stats,
+            "registry path must not change results"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn saturation_sweep_produces_a_peak() {
         let mut config = SimConfig::fast(BandwidthSet::Set1);
         config.sim_cycles = 1_000;

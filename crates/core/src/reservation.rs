@@ -62,10 +62,9 @@ impl ReservationTiming {
         let max_identifiers = set.dhet_max_channel_wavelengths();
         let identifier_payload_bits = identifier_bits * max_identifiers as u32;
         let reservation_channel_gbps = wavelengths_per_waveguide as f64 * wavelength_rate_gbps;
-        let payload_time_ps =
-            f64::from(identifier_payload_bits) / reservation_channel_gbps * 1e3;
-        let cycles = clock
-            .cycles_for_transfer(u64::from(identifier_payload_bits), reservation_channel_gbps);
+        let payload_time_ps = f64::from(identifier_payload_bits) / reservation_channel_gbps * 1e3;
+        let cycles =
+            clock.cycles_for_transfer(u64::from(identifier_payload_bits), reservation_channel_gbps);
         Self {
             identifier_bits,
             max_identifiers,
@@ -93,10 +92,17 @@ mod tests {
     #[test]
     fn bw_set_1_fits_in_one_cycle() {
         let t = timing(BandwidthSet::Set1);
-        assert_eq!(t.identifier_bits, 6, "single waveguide: no waveguide number");
+        assert_eq!(
+            t.identifier_bits, 6,
+            "single waveguide: no waveguide number"
+        );
         assert_eq!(t.max_identifiers, 8);
         assert_eq!(t.identifier_payload_bits, 48);
-        assert!((t.payload_time_ps - 60.0).abs() < 1e-9, "{}", t.payload_time_ps);
+        assert!(
+            (t.payload_time_ps - 60.0).abs() < 1e-9,
+            "{}",
+            t.payload_time_ps
+        );
         assert_eq!(t.cycles, 1);
         assert_eq!(t.extra_cycles_vs_firefly(), 0);
     }
@@ -104,10 +110,17 @@ mod tests {
     #[test]
     fn bw_set_3_needs_two_cycles() {
         let t = timing(BandwidthSet::Set3);
-        assert_eq!(t.identifier_bits, 9, "6-bit wavelength + 3-bit waveguide number");
+        assert_eq!(
+            t.identifier_bits, 9,
+            "6-bit wavelength + 3-bit waveguide number"
+        );
         assert_eq!(t.max_identifiers, 64);
         assert_eq!(t.identifier_payload_bits, 576);
-        assert!((t.payload_time_ps - 720.0).abs() < 1e-9, "{}", t.payload_time_ps);
+        assert!(
+            (t.payload_time_ps - 720.0).abs() < 1e-9,
+            "{}",
+            t.payload_time_ps
+        );
         assert_eq!(t.cycles, 2);
         assert_eq!(t.extra_cycles_vs_firefly(), 1);
     }

@@ -142,7 +142,10 @@ impl TokenRing {
     #[must_use]
     pub fn new(num_routers: usize, hop_cycles: u64) -> Self {
         assert!(num_routers > 0, "need at least one photonic router");
-        assert!(hop_cycles >= 1, "token hop latency must be at least 1 cycle");
+        assert!(
+            hop_cycles >= 1,
+            "token hop latency must be at least 1 cycle"
+        );
         Self {
             num_routers,
             hop_cycles,

@@ -27,7 +27,11 @@ pub mod rswmr;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::fabric::FireflyFabric;
-    pub use crate::network::{build_firefly_system, firefly_saturation_sweep};
+    #[allow(deprecated)]
+    pub use crate::network::firefly_saturation_sweep;
+    pub use crate::network::{
+        build_firefly_system, register_firefly_architecture, FireflyArchitecture,
+    };
     pub use crate::rswmr::{ReservationFlit, RswmrChannel};
 }
 

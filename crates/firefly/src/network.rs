@@ -1,11 +1,13 @@
-//! Convenience constructors for Firefly simulations.
+//! Convenience constructors and the registry entry for Firefly simulations.
 
 use crate::fabric::FireflyFabric;
 use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
 use pnoc_sim::config::SimConfig;
-use pnoc_sim::engine::run_to_completion;
-use pnoc_sim::sweep::{default_load_ladder, sweep_offered_loads, SaturationResult};
+use pnoc_sim::engine::CycleNetwork;
+use pnoc_sim::registry::{register_architecture, ArchitectureBuilder, Provisioning};
+use pnoc_sim::sweep::{default_load_ladder, run_saturation_sweep_seq, SaturationResult};
 use pnoc_sim::system::PhotonicSystem;
+use std::sync::Arc;
 
 /// Builds a ready-to-run Firefly system for the given traffic model.
 pub fn build_firefly_system<T: TrafficModel>(
@@ -16,21 +18,61 @@ pub fn build_firefly_system<T: TrafficModel>(
     PhotonicSystem::new(config, fabric, traffic)
 }
 
+/// The Firefly baseline's [`ArchitectureBuilder`], registered under the name
+/// `"firefly"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FireflyArchitecture;
+
+impl ArchitectureBuilder for FireflyArchitecture {
+    fn name(&self) -> &str {
+        "firefly"
+    }
+
+    fn label(&self) -> String {
+        "Firefly".to_string()
+    }
+
+    fn provisioning(&self) -> Provisioning {
+        Provisioning::Static
+    }
+
+    fn build(
+        &self,
+        config: SimConfig,
+        traffic: Box<dyn TrafficModel + Send>,
+    ) -> Box<dyn CycleNetwork> {
+        Box::new(build_firefly_system(config, traffic))
+    }
+}
+
+/// Registers the Firefly baseline into the process-global architecture
+/// registry. Idempotent; usually invoked through the umbrella crate's
+/// `install_architectures`.
+pub fn register_firefly_architecture() {
+    register_architecture(Arc::new(FireflyArchitecture));
+}
+
 /// Sweeps the offered load and returns the saturation result for Firefly.
 ///
 /// `make_traffic` is called once per sweep point with the offered load for
 /// that point, so every run starts from a fresh, reproducible traffic state.
+#[deprecated(
+    since = "0.2.0",
+    note = "use pnoc_sim::sweep::run_saturation_sweep with the \"firefly\" registry entry; \
+            this wrapper forwards to the generic sequential driver"
+)]
 pub fn firefly_saturation_sweep<T, M>(config: SimConfig, mut make_traffic: M) -> SaturationResult
 where
-    T: TrafficModel,
+    T: TrafficModel + Send + 'static,
     M: FnMut(OfferedLoad) -> T,
 {
     let loads = default_load_ladder(config.estimated_saturation_load());
-    sweep_offered_loads(&loads, |load| {
-        let traffic = make_traffic(OfferedLoad::new(load));
-        let mut system = build_firefly_system(config, traffic);
-        run_to_completion(&mut system)
-    })
+    run_saturation_sweep_seq(
+        &FireflyArchitecture,
+        &mut |spec| Box::new(make_traffic(spec.offered_load)),
+        &config,
+        &loads,
+    )
 }
 
 #[cfg(test)]
@@ -38,6 +80,7 @@ mod tests {
     use super::*;
     use pnoc_noc::topology::ClusterTopology;
     use pnoc_sim::config::BandwidthSet;
+    use pnoc_sim::engine::run_to_completion;
     use pnoc_traffic::pattern::PacketShape;
     use pnoc_traffic::uniform::UniformRandomTraffic;
 
@@ -51,7 +94,7 @@ mod tests {
         let traffic = UniformRandomTraffic::new(
             ClusterTopology::paper_default(),
             shape(BandwidthSet::Set1),
-            OfferedLoad::new(config.estimated_saturation_load() * 0.5),
+            pnoc_noc::traffic_model::OfferedLoad::new(config.estimated_saturation_load() * 0.5),
             config.seed,
         );
         let mut system = build_firefly_system(config, traffic);
@@ -62,6 +105,31 @@ mod tests {
     }
 
     #[test]
+    fn registry_builder_matches_the_direct_constructor() {
+        let mut config = SimConfig::fast(BandwidthSet::Set1);
+        config.sim_cycles = 900;
+        config.warmup_cycles = 200;
+        let load =
+            pnoc_noc::traffic_model::OfferedLoad::new(config.estimated_saturation_load() * 0.6);
+        let make = || {
+            UniformRandomTraffic::new(
+                ClusterTopology::paper_default(),
+                shape(BandwidthSet::Set1),
+                load,
+                config.seed,
+            )
+        };
+        let direct = run_to_completion(&mut build_firefly_system(config, make()));
+        let mut via_registry = FireflyArchitecture.build(config, Box::new(make()));
+        let registry_stats = run_to_completion(&mut *via_registry);
+        assert_eq!(
+            direct, registry_stats,
+            "registry path must not change results"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn saturation_sweep_finds_a_peak_below_the_aggregate_photonic_limit() {
         let mut config = SimConfig::fast(BandwidthSet::Set1);
         config.sim_cycles = 1_000;

@@ -39,9 +39,7 @@ impl ReservationFlit {
     /// and the wavelength identifiers (each `identifier_bits` wide).
     #[must_use]
     pub fn size_bits(&self, cluster_id_bits: u32, length_bits: u32, identifier_bits: u32) -> u32 {
-        cluster_id_bits
-            + length_bits
-            + identifier_bits * self.wavelength_identifiers.len() as u32
+        cluster_id_bits + length_bits + identifier_bits * self.wavelength_identifiers.len() as u32
     }
 }
 

@@ -243,6 +243,10 @@ impl ElectricalRouter {
     ///
     /// Panics if no routing function has been installed and a head flit needs
     /// routing.
+    // Index-based loops: the bodies index several parallel per-port /
+    // per-VC structures while mutably borrowing `self.inputs`, which
+    // iterator adapters cannot express.
+    #[allow(clippy::needless_range_loop)]
     pub fn step<F>(&mut self, cycle: u64, mut can_send: F) -> Vec<OutputGrant>
     where
         F: FnMut(PortId, VcId, &Flit) -> bool,
@@ -420,7 +424,11 @@ mod tests {
         assert_eq!(seqs, vec![0, 1, 2]);
         // After the tail left, the VC assignment is released.
         assert_eq!(
-            r.input(PortId(0)).unwrap().vc(VcId(0)).unwrap().assigned_output(),
+            r.input(PortId(0))
+                .unwrap()
+                .vc(VcId(0))
+                .unwrap()
+                .assigned_output(),
             None
         );
     }
@@ -446,13 +454,15 @@ mod tests {
     fn two_packets_to_distinct_outputs_flow_in_parallel() {
         let mut r = ElectricalRouter::new(RouterId(0), RouterSpec::new(3, 2, 4));
         // Route by destination: even cores -> port 1, odd -> port 2.
-        r.set_route_fn(Box::new(|dst| {
-            if dst.0 % 2 == 0 {
-                PortId(1)
-            } else {
-                PortId(2)
-            }
-        }));
+        r.set_route_fn(Box::new(
+            |dst| {
+                if dst.0 % 2 == 0 {
+                    PortId(1)
+                } else {
+                    PortId(2)
+                }
+            },
+        ));
         r.accept(PortId(0), VcId(0), mk_flit(1, FlitKind::Single, 0, 1, 2), 0)
             .unwrap();
         r.accept(PortId(1), VcId(0), mk_flit(2, FlitKind::Single, 0, 1, 3), 0)

@@ -238,7 +238,11 @@ mod tests {
         let m = AreaModel::paper_default();
         let d = m.dynamic_report(64);
         let f = m.firefly_report(64);
-        assert!((d.area_mm2 - 1.608).abs() < 0.01, "d-HetPNoC {}", d.area_mm2);
+        assert!(
+            (d.area_mm2 - 1.608).abs() < 0.01,
+            "d-HetPNoC {}",
+            d.area_mm2
+        );
         assert!((f.area_mm2 - 1.367).abs() < 0.01, "Firefly {}", f.area_mm2);
         assert!(d.area_mm2 > f.area_mm2);
     }

@@ -110,8 +110,6 @@ mod tests {
     #[test]
     fn aggregate_bandwidth_of_paper_sets() {
         assert!((LaserSource::paper_default(64).aggregate_bandwidth_gbps() - 800.0).abs() < 1e-9);
-        assert!(
-            (LaserSource::paper_default(512).aggregate_bandwidth_gbps() - 6400.0).abs() < 1e-9
-        );
+        assert!((LaserSource::paper_default(512).aggregate_bandwidth_gbps() - 6400.0).abs() < 1e-9);
     }
 }

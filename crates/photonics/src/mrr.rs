@@ -6,9 +6,7 @@
 //! of 2 µm radius with a free spectral range (FSR) of 6.92 THz [13] and
 //! assumes 5 µm-radius rings [28] for the area estimate of Section 3.4.3.
 
-use crate::units::{
-    um_to_m, um2_to_mm2, SILICON_GROUP_INDEX, SPEED_OF_LIGHT_M_PER_S,
-};
+use crate::units::{um2_to_mm2, um_to_m, SILICON_GROUP_INDEX, SPEED_OF_LIGHT_M_PER_S};
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 

@@ -31,7 +31,7 @@ pub trait CycleNetwork {
 
 /// Runs a network for its configured warm-up + measurement window and returns
 /// the measured statistics.
-pub fn run_to_completion<N: CycleNetwork>(network: &mut N) -> SimStats {
+pub fn run_to_completion<N: CycleNetwork + ?Sized>(network: &mut N) -> SimStats {
     let warmup = network.config().warmup_cycles;
     let total = network.config().total_cycles();
     for cycle in 0..total {
@@ -45,7 +45,7 @@ pub fn run_to_completion<N: CycleNetwork>(network: &mut N) -> SimStats {
 
 /// Runs a network for an explicit number of cycles (no warm-up handling).
 /// Useful for fine-grained tests that want to observe transient behaviour.
-pub fn run_cycles<N: CycleNetwork>(network: &mut N, start: u64, cycles: u64) -> SimStats {
+pub fn run_cycles<N: CycleNetwork + ?Sized>(network: &mut N, start: u64, cycles: u64) -> SimStats {
     for cycle in start..start + cycles {
         network.step(cycle);
     }

@@ -16,7 +16,12 @@
 //!   by a [`system::PhotonicFabric`] implementation; Firefly and d-HetPNoC
 //!   plug in their own wavelength-allocation behaviour,
 //! * [`engine`] — warm-up / measurement driver,
-//! * [`sweep`] — offered-load sweeps and saturation (peak bandwidth) search,
+//! * [`registry`] — the open-ended architecture registry
+//!   ([`registry::ArchitectureBuilder`]) that Firefly, d-HetPNoC and the
+//!   uniform test fabric plug into,
+//! * [`sweep`] — the generic (optionally parallel) saturation-sweep driver
+//!   shared by every architecture, with deterministic per-point seed
+//!   derivation,
 //! * [`report`] — plain-text table rendering used by the experiment harness.
 
 #![forbid(unsafe_code)]
@@ -26,6 +31,7 @@
 pub mod clock;
 pub mod config;
 pub mod engine;
+pub mod registry;
 pub mod report;
 pub mod stats;
 pub mod sweep;
@@ -36,9 +42,16 @@ pub mod prelude {
     pub use crate::clock::Clock;
     pub use crate::config::{BandwidthSet, SimConfig};
     pub use crate::engine::{run_to_completion, CycleNetwork};
+    pub use crate::registry::{
+        lookup_architecture, register_architecture, registered_architectures, ArchitectureBuilder,
+        ArchitectureRegistry, Provisioning, UniformFabricArchitecture,
+    };
     pub use crate::report::Table;
     pub use crate::stats::SimStats;
-    pub use crate::sweep::{sweep_offered_loads, SaturationResult, SweepPoint};
+    pub use crate::sweep::{
+        derive_point_seed, run_saturation_sweep, run_saturation_sweep_seq, sweep_offered_loads,
+        SaturationResult, SweepMode, SweepPoint, SweepPointSpec,
+    };
     pub use crate::system::{PhotonicFabric, PhotonicSystem};
 }
 

@@ -1,0 +1,336 @@
+//! The architecture registry: the open-ended catalogue of simulatable
+//! network architectures.
+//!
+//! Historically every architecture crate exposed its own `build_*_system`
+//! constructor and its own saturation-sweep driver, and the benchmark harness
+//! hard-coded a closed two-variant enum. The registry inverts that
+//! dependency: an architecture implements [`ArchitectureBuilder`] — a name
+//! plus a `build(config, traffic) → network` constructor — and registers
+//! itself into the process-global [`ArchitectureRegistry`]. Everything
+//! downstream (the generic sweep driver in [`crate::sweep`], the experiment
+//! harness, the `repro` binary) resolves architectures by name, so adding an
+//! architecture touches only the crate that defines it.
+//!
+//! The [`UniformFabric`](crate::system::UniformFabric) test fabric registers
+//! here out of the box under the name `"uniform-fabric"`; the Firefly
+//! baseline and d-HetPNoC register from their own crates (see
+//! `pnoc_firefly::register_firefly_architecture` and
+//! `pnoc_dhetpnoc::register_dhetpnoc_architecture`, both invoked by the
+//! umbrella crate's `install_architectures`).
+
+use crate::config::SimConfig;
+use crate::engine::CycleNetwork;
+use crate::system::{PhotonicSystem, UniformFabric};
+use pnoc_noc::traffic_model::TrafficModel;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How an architecture provisions its photonic resources. Cost models (e.g.
+/// the electro-optic area model) differ between the two styles, so the
+/// builder declares its style instead of experiments special-casing names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provisioning {
+    /// Resources are provisioned once, at design time (Firefly-style fixed
+    /// per-cluster channels).
+    Static,
+    /// Resources are (re)allocated at run time (d-HetPNoC-style dynamic
+    /// bandwidth allocation), which needs the larger ring complement.
+    Dynamic,
+}
+
+/// A factory for one network architecture.
+///
+/// Implementations must be cheap to construct and thread-safe: during a
+/// parallel sweep the same builder instance is shared across worker threads,
+/// each calling [`ArchitectureBuilder::build`] to obtain its own private
+/// network instance.
+pub trait ArchitectureBuilder: Send + Sync {
+    /// Stable registry key, also used as the architecture label in
+    /// statistics (e.g. `"firefly"`, `"d-hetpnoc"`).
+    fn name(&self) -> &str;
+
+    /// Human-readable display label (defaults to [`ArchitectureBuilder::name`]).
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Resource-provisioning style, consumed by the cost models (defaults to
+    /// [`Provisioning::Dynamic`]).
+    fn provisioning(&self) -> Provisioning {
+        Provisioning::Dynamic
+    }
+
+    /// Builds a ready-to-run network for the given configuration and traffic
+    /// source.
+    fn build(
+        &self,
+        config: SimConfig,
+        traffic: Box<dyn TrafficModel + Send>,
+    ) -> Box<dyn CycleNetwork>;
+}
+
+/// Builder for the trivially uniform test fabric
+/// ([`UniformFabric`]): every cluster statically owns
+/// `total wavelengths / clusters` wavelengths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformFabricArchitecture;
+
+impl ArchitectureBuilder for UniformFabricArchitecture {
+    fn name(&self) -> &str {
+        "uniform-fabric"
+    }
+
+    fn label(&self) -> String {
+        "Uniform fabric".to_string()
+    }
+
+    fn provisioning(&self) -> Provisioning {
+        Provisioning::Static
+    }
+
+    fn build(
+        &self,
+        config: SimConfig,
+        traffic: Box<dyn TrafficModel + Send>,
+    ) -> Box<dyn CycleNetwork> {
+        let fabric = UniformFabric::new(
+            "uniform-fabric",
+            config.bandwidth_set.total_wavelengths(),
+            config.topology.num_clusters(),
+        );
+        Box::new(PhotonicSystem::new(config, fabric, traffic))
+    }
+}
+
+/// A name-keyed collection of architecture builders.
+#[derive(Default, Clone)]
+pub struct ArchitectureRegistry {
+    builders: BTreeMap<String, Arc<dyn ArchitectureBuilder>>,
+}
+
+impl std::fmt::Debug for ArchitectureRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArchitectureRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl ArchitectureRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a builder under its own name, replacing (and returning) any
+    /// previous builder of the same name.
+    pub fn register(
+        &mut self,
+        builder: Arc<dyn ArchitectureBuilder>,
+    ) -> Option<Arc<dyn ArchitectureBuilder>> {
+        self.builders.insert(builder.name().to_string(), builder)
+    }
+
+    /// Looks up a builder by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<dyn ArchitectureBuilder>> {
+        self.builders.get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.builders.keys().cloned().collect()
+    }
+
+    /// Number of registered architectures.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.builders.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.builders.is_empty()
+    }
+}
+
+fn global() -> &'static Mutex<ArchitectureRegistry> {
+    static GLOBAL: OnceLock<Mutex<ArchitectureRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let mut registry = ArchitectureRegistry::new();
+        registry.register(Arc::new(UniformFabricArchitecture));
+        Mutex::new(registry)
+    })
+}
+
+/// Registers a builder into the process-global registry, replacing (and
+/// returning) any previous builder of the same name.
+pub fn register_architecture(
+    builder: Arc<dyn ArchitectureBuilder>,
+) -> Option<Arc<dyn ArchitectureBuilder>> {
+    global()
+        .lock()
+        .expect("architecture registry poisoned")
+        .register(builder)
+}
+
+/// Looks up a builder in the process-global registry.
+#[must_use]
+pub fn lookup_architecture(name: &str) -> Option<Arc<dyn ArchitectureBuilder>> {
+    global()
+        .lock()
+        .expect("architecture registry poisoned")
+        .get(name)
+}
+
+/// Names registered in the process-global registry, sorted.
+#[must_use]
+pub fn registered_architectures() -> Vec<String> {
+    global()
+        .lock()
+        .expect("architecture registry poisoned")
+        .names()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BandwidthSet;
+    use crate::engine::run_to_completion;
+    use crate::stats::SimStats;
+
+    struct NullNetwork {
+        config: SimConfig,
+    }
+
+    impl CycleNetwork for NullNetwork {
+        fn step(&mut self, _cycle: u64) {}
+
+        fn begin_measurement(&mut self, _cycle: u64) {}
+
+        fn stats(&self) -> SimStats {
+            SimStats::new("null", "none", 0.0, self.config.clock)
+        }
+
+        fn config(&self) -> &SimConfig {
+            &self.config
+        }
+
+        fn architecture(&self) -> &str {
+            "null"
+        }
+    }
+
+    struct NullArchitecture;
+
+    impl ArchitectureBuilder for NullArchitecture {
+        fn name(&self) -> &str {
+            "null"
+        }
+
+        fn build(
+            &self,
+            config: SimConfig,
+            _traffic: Box<dyn TrafficModel + Send>,
+        ) -> Box<dyn CycleNetwork> {
+            Box::new(NullNetwork { config })
+        }
+    }
+
+    #[test]
+    fn registry_registers_and_resolves_by_name() {
+        let mut registry = ArchitectureRegistry::new();
+        assert!(registry.is_empty());
+        assert!(registry.register(Arc::new(NullArchitecture)).is_none());
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.names(), vec!["null".to_string()]);
+        assert!(registry.get("null").is_some());
+        assert!(registry.get("missing").is_none());
+        // Re-registration replaces and hands back the previous builder.
+        let previous = registry.register(Arc::new(NullArchitecture));
+        assert_eq!(previous.expect("was registered").name(), "null");
+    }
+
+    #[test]
+    fn global_registry_ships_the_uniform_test_fabric() {
+        let builder = lookup_architecture("uniform-fabric").expect("uniform-fabric is built in");
+        assert_eq!(builder.name(), "uniform-fabric");
+        assert!(registered_architectures().contains(&"uniform-fabric".to_string()));
+    }
+
+    /// Deterministic one-destination traffic for driving a registry-built
+    /// network end to end.
+    struct SingleFlow {
+        shape: (u32, u32),
+        load: pnoc_noc::traffic_model::OfferedLoad,
+    }
+
+    impl TrafficModel for SingleFlow {
+        fn next_packet(
+            &mut self,
+            cycle: u64,
+            src: pnoc_noc::ids::CoreId,
+        ) -> Option<pnoc_noc::packet::PacketDescriptor> {
+            cycle
+                .is_multiple_of(400)
+                .then(|| pnoc_noc::packet::PacketDescriptor {
+                    src,
+                    dst: pnoc_noc::ids::CoreId((src.0 + 4) % 64),
+                    num_flits: self.shape.0,
+                    flit_bits: self.shape.1,
+                    class: pnoc_noc::packet::BandwidthClass::MediumHigh,
+                    created_cycle: cycle,
+                })
+        }
+
+        fn offered_load(&self) -> pnoc_noc::traffic_model::OfferedLoad {
+            self.load
+        }
+
+        fn set_offered_load(&mut self, load: pnoc_noc::traffic_model::OfferedLoad) {
+            self.load = load;
+        }
+
+        fn demand_class(
+            &self,
+            _src: pnoc_noc::ids::ClusterId,
+            _dst: pnoc_noc::ids::ClusterId,
+        ) -> pnoc_noc::packet::BandwidthClass {
+            pnoc_noc::packet::BandwidthClass::MediumHigh
+        }
+
+        fn volume_share(
+            &self,
+            _src: pnoc_noc::ids::ClusterId,
+            _dst: pnoc_noc::ids::ClusterId,
+        ) -> f64 {
+            1.0 / 15.0
+        }
+
+        fn name(&self) -> String {
+            "single-flow".to_string()
+        }
+    }
+
+    #[test]
+    fn uniform_fabric_builder_produces_a_working_network() {
+        let mut config = SimConfig::fast(BandwidthSet::Set1);
+        config.sim_cycles = 1_000;
+        config.warmup_cycles = 200;
+        let builder = UniformFabricArchitecture;
+        let traffic = Box::new(SingleFlow {
+            shape: (
+                config.bandwidth_set.packet_flits(),
+                config.bandwidth_set.flit_bits(),
+            ),
+            load: pnoc_noc::traffic_model::OfferedLoad::new(1.0 / 400.0),
+        });
+        let mut network = builder.build(config, traffic);
+        let stats = run_to_completion(&mut *network);
+        assert!(stats.delivered_packets > 0);
+        assert_eq!(stats.architecture, "uniform-fabric");
+    }
+}

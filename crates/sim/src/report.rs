@@ -54,6 +54,12 @@ impl Table {
         &self.title
     }
 
+    /// The column headers (used by tests and by JSON export).
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
     /// The rows as raw strings (used by tests and by JSON export).
     #[must_use]
     pub fn rows(&self) -> &[Vec<String>] {
@@ -76,9 +82,9 @@ impl Table {
         }
         let render_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
-            for i in 0..ncols {
+            for (i, &width) in widths.iter().enumerate().take(ncols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                let _ = write!(line, "| {:width$} ", cell, width = widths[i]);
+                let _ = write!(line, "| {cell:width$} ");
             }
             line.push('|');
             line
@@ -137,7 +143,12 @@ mod tests {
     fn short_rows_are_padded_and_long_rows_truncated() {
         let mut t = Table::new("", &["a", "b", "c"]);
         t.add_row(&["1".to_string()]);
-        t.add_row(&["1".to_string(), "2".to_string(), "3".to_string(), "4".to_string()]);
+        t.add_row(&[
+            "1".to_string(),
+            "2".to_string(),
+            "3".to_string(),
+            "4".to_string(),
+        ]);
         assert_eq!(t.rows()[0].len(), 3);
         assert_eq!(t.rows()[1].len(), 3);
     }
@@ -147,7 +158,7 @@ mod tests {
         assert_eq!(fmt_pct_change(110.0, 100.0), "+10.00%");
         assert_eq!(fmt_pct_change(95.0, 100.0), "-5.00%");
         assert_eq!(fmt_pct_change(1.0, 0.0), "n/a");
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
     }
 
     #[test]

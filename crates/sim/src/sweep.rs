@@ -3,10 +3,42 @@
 //! "Peak bandwidth" and "packet energy at saturation" are properties of the
 //! saturated network: the evaluation sweeps the offered load upward until the
 //! accepted bandwidth stops improving and reports the maximum. This module
-//! provides the load ladder, the sweep driver and the result container used
-//! by every throughput/energy experiment.
+//! provides the load ladder, the **generic sweep driver** shared by every
+//! architecture, and the result container used by every throughput/energy
+//! experiment.
+//!
+//! # The generic driver
+//!
+//! [`run_saturation_sweep`] takes an [`ArchitectureBuilder`] (usually
+//! resolved from the [registry](crate::registry)), a traffic factory
+//! closure, a base configuration and a load ladder, and simulates one
+//! independent network per ladder point. With [`SweepMode::Parallel`] the
+//! points run on a rayon thread pool; because each point is a fully
+//! independent deterministic simulation, the parallel result is
+//! **bitwise-identical** to the sequential one.
+//!
+//! # Per-point seed derivation
+//!
+//! Every sweep point gets its own RNG seed derived from the base
+//! configuration seed:
+//!
+//! ```text
+//! point_seed(i) = splitmix64(config.seed XOR (i + 1) · 0x9E3779B97F4A7C15)
+//! ```
+//!
+//! (golden-ratio increment, SplitMix64 finalizer — see [`derive_point_seed`]).
+//! The derived seed is stored in the per-point [`SweepPointSpec`] and in the
+//! per-point copy of the [`SimConfig`] handed to the builder, so a point's
+//! result depends only on `(base seed, point index, load)` — never on which
+//! thread ran it or in which order points completed. This is what makes the
+//! parallel sweep reproducible and bitwise-equal to the sequential sweep.
 
+use crate::config::SimConfig;
+use crate::engine::run_to_completion;
+use crate::registry::ArchitectureBuilder;
 use crate::stats::SimStats;
+use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One point of an offered-load sweep.
@@ -149,6 +181,134 @@ where
     SaturationResult { points }
 }
 
+/// Execution strategy of the generic sweep driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepMode {
+    /// Run the ladder points one after another on the calling thread.
+    Sequential,
+    /// Run the ladder points on a rayon thread pool. Results are
+    /// bitwise-identical to [`SweepMode::Sequential`] because every point is
+    /// an independent deterministic simulation with a seed derived only from
+    /// the base seed and the point index.
+    Parallel,
+}
+
+/// Everything that identifies one point of a sweep: its index in the ladder,
+/// its offered load, its derived seed, and the per-point configuration
+/// (the base configuration with `seed` replaced by the derived seed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPointSpec {
+    /// Position of the point in the load ladder.
+    pub index: usize,
+    /// Offered load of the point.
+    pub offered_load: OfferedLoad,
+    /// Seed derived from the base configuration seed and `index`
+    /// (see [`derive_point_seed`]).
+    pub seed: u64,
+    /// The base configuration with [`SimConfig::seed`] set to
+    /// [`SweepPointSpec::seed`].
+    pub config: SimConfig,
+}
+
+/// Derives the RNG seed of sweep point `index` from the base configuration
+/// seed: a golden-ratio increment XORed into the base seed, passed through
+/// the SplitMix64 finalizer. Distinct indices give statistically independent
+/// seeds; the same `(base_seed, index)` pair always gives the same seed.
+#[must_use]
+pub fn derive_point_seed(base_seed: u64, index: usize) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = base_seed ^ GOLDEN.wrapping_mul(index as u64 + 1);
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn point_spec(config: &SimConfig, index: usize, load: f64) -> SweepPointSpec {
+    let seed = derive_point_seed(config.seed, index);
+    let mut point_config = *config;
+    point_config.seed = seed;
+    SweepPointSpec {
+        index,
+        offered_load: OfferedLoad::new(load),
+        seed,
+        config: point_config,
+    }
+}
+
+/// Builds and runs the network of one sweep point.
+fn run_point(
+    architecture: &dyn ArchitectureBuilder,
+    spec: &SweepPointSpec,
+    traffic: Box<dyn TrafficModel + Send>,
+) -> SweepPoint {
+    let mut network = architecture.build(spec.config, traffic);
+    SweepPoint {
+        offered_load: spec.offered_load.value(),
+        stats: run_to_completion(&mut *network),
+    }
+}
+
+/// The generic saturation-sweep driver: one simulation per ladder point, all
+/// points through the same architecture builder.
+///
+/// `make_traffic` is called exactly once per point and should construct the
+/// traffic model from the point's [`SweepPointSpec`] — in particular from
+/// `spec.offered_load` and `spec.seed`, so that every point is reproducible
+/// in isolation.
+///
+/// With [`SweepMode::Parallel`] the points run concurrently (thread count =
+/// `RAYON_NUM_THREADS` or the machine's available parallelism); the returned
+/// [`SaturationResult`] is bitwise-identical to the sequential result.
+#[must_use]
+pub fn run_saturation_sweep(
+    architecture: &dyn ArchitectureBuilder,
+    make_traffic: &(dyn Fn(&SweepPointSpec) -> Box<dyn TrafficModel + Send> + Sync),
+    config: &SimConfig,
+    loads: &[f64],
+    mode: SweepMode,
+) -> SaturationResult {
+    let specs: Vec<SweepPointSpec> = loads
+        .iter()
+        .enumerate()
+        .map(|(index, &load)| point_spec(config, index, load))
+        .collect();
+    let points: Vec<SweepPoint> = match mode {
+        SweepMode::Sequential => specs
+            .iter()
+            .map(|spec| run_point(architecture, spec, make_traffic(spec)))
+            .collect(),
+        SweepMode::Parallel => specs
+            .par_iter()
+            .map(|spec| run_point(architecture, spec, make_traffic(spec)))
+            .collect(),
+    };
+    SaturationResult { points }
+}
+
+/// Sequential-only variant of [`run_saturation_sweep`] accepting a stateful
+/// (`FnMut`) traffic factory. This exists so that the deprecated per-crate
+/// sweep wrappers (`firefly_saturation_sweep`, `dhetpnoc_saturation_sweep`)
+/// can forward to the generic driver without imposing `Sync` on their
+/// callers' closures.
+#[must_use]
+pub fn run_saturation_sweep_seq(
+    architecture: &dyn ArchitectureBuilder,
+    make_traffic: &mut dyn FnMut(&SweepPointSpec) -> Box<dyn TrafficModel + Send>,
+    config: &SimConfig,
+    loads: &[f64],
+) -> SaturationResult {
+    let points = loads
+        .iter()
+        .enumerate()
+        .map(|(index, &load)| {
+            let spec = point_spec(config, index, load);
+            run_point(architecture, &spec, make_traffic(&spec))
+        })
+        .collect();
+    SaturationResult { points }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +372,142 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn ladder_rejects_zero_estimate() {
         let _ = default_load_ladder(0.0);
+    }
+
+    #[test]
+    fn point_seeds_are_stable_and_distinct() {
+        let base = 0x2014_50CC;
+        // Stable: the scheme is part of the public contract.
+        assert_eq!(derive_point_seed(base, 0), derive_point_seed(base, 0));
+        // Distinct across indices and across base seeds.
+        let seeds: Vec<u64> = (0..64).map(|i| derive_point_seed(base, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            seeds.len(),
+            "per-point seeds must not collide"
+        );
+        assert_ne!(derive_point_seed(base, 3), derive_point_seed(base + 1, 3));
+    }
+
+    use crate::config::BandwidthSet;
+    use crate::registry::UniformFabricArchitecture;
+    use pnoc_noc::ids::{ClusterId, CoreId};
+    use pnoc_noc::packet::{BandwidthClass, PacketDescriptor};
+
+    /// A deterministic traffic model whose stream depends on its seed, so the
+    /// determinism test would notice a wrong per-point seed or a point run
+    /// with another point's spec.
+    struct SeededPeriodic {
+        seed: u64,
+        period: u64,
+        load: OfferedLoad,
+        shape: (u32, u32),
+    }
+
+    impl TrafficModel for SeededPeriodic {
+        fn next_packet(&mut self, cycle: u64, src: CoreId) -> Option<PacketDescriptor> {
+            let phase = (self.seed ^ src.0 as u64) % self.period;
+            (cycle % self.period == phase).then(|| PacketDescriptor {
+                src,
+                dst: CoreId((src.0 + 4 + (self.seed as usize % 8)) % 64),
+                num_flits: self.shape.0,
+                flit_bits: self.shape.1,
+                class: BandwidthClass::MediumHigh,
+                created_cycle: cycle,
+            })
+        }
+
+        fn offered_load(&self) -> OfferedLoad {
+            self.load
+        }
+
+        fn set_offered_load(&mut self, load: OfferedLoad) {
+            self.load = load;
+        }
+
+        fn demand_class(&self, _src: ClusterId, _dst: ClusterId) -> BandwidthClass {
+            BandwidthClass::MediumHigh
+        }
+
+        fn volume_share(&self, _src: ClusterId, _dst: ClusterId) -> f64 {
+            1.0 / 15.0
+        }
+
+        fn name(&self) -> String {
+            "seeded-periodic".to_string()
+        }
+    }
+
+    fn sweep_config() -> SimConfig {
+        let mut config = SimConfig::fast(BandwidthSet::Set1);
+        config.sim_cycles = 600;
+        config.warmup_cycles = 150;
+        config
+    }
+
+    fn make_seeded(spec: &SweepPointSpec) -> Box<dyn TrafficModel + Send> {
+        let period = (1.0 / spec.offered_load.value().max(1e-6)).round().max(1.0) as u64;
+        Box::new(SeededPeriodic {
+            seed: spec.seed,
+            period,
+            load: spec.offered_load,
+            shape: (
+                spec.config.bandwidth_set.packet_flits(),
+                spec.config.bandwidth_set.flit_bits(),
+            ),
+        })
+    }
+
+    #[test]
+    fn parallel_sweep_is_bitwise_identical_to_sequential() {
+        // Force real worker threads even on single-core CI hosts, so the
+        // parallel code path (and not a degenerate 1-thread fallback) is
+        // exercised. Uses the shim's atomic override rather than mutating
+        // the environment, which would race with concurrent getenv calls.
+        rayon::set_thread_count(4);
+        let config = sweep_config();
+        let loads = [1.0 / 400.0, 1.0 / 200.0, 1.0 / 100.0, 1.0 / 50.0];
+        let architecture = UniformFabricArchitecture;
+        let sequential = run_saturation_sweep(
+            &architecture,
+            &make_seeded,
+            &config,
+            &loads,
+            SweepMode::Sequential,
+        );
+        let parallel = run_saturation_sweep(
+            &architecture,
+            &make_seeded,
+            &config,
+            &loads,
+            SweepMode::Parallel,
+        );
+        assert!(sequential
+            .points
+            .iter()
+            .any(|p| p.stats.delivered_packets > 0));
+        assert_eq!(
+            sequential, parallel,
+            "parallel sweep must be bitwise-identical to the sequential sweep"
+        );
+    }
+
+    #[test]
+    fn seq_mut_driver_matches_the_generic_sequential_driver() {
+        let config = sweep_config();
+        let loads = [1.0 / 300.0, 1.0 / 150.0];
+        let architecture = UniformFabricArchitecture;
+        let generic = run_saturation_sweep(
+            &architecture,
+            &make_seeded,
+            &config,
+            &loads,
+            SweepMode::Sequential,
+        );
+        let seq = run_saturation_sweep_seq(&architecture, &mut make_seeded, &config, &loads);
+        assert_eq!(generic, seq);
     }
 }

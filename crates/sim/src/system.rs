@@ -210,17 +210,25 @@ impl PhotonicRouter {
     }
 
     fn free_ejection_vc(&self, port: usize) -> Option<VcId> {
-        (0..self.ejection[port].num_vcs())
-            .map(VcId)
-            .find(|&vc| {
-                self.ejection_reserved[port][vc.0].is_none()
-                    && self.ejection[port].vc(vc).map(|b| b.is_empty()).unwrap_or(false)
-            })
+        (0..self.ejection[port].num_vcs()).map(VcId).find(|&vc| {
+            self.ejection_reserved[port][vc.0].is_none()
+                && self.ejection[port]
+                    .vc(vc)
+                    .map(|b| b.is_empty())
+                    .unwrap_or(false)
+        })
     }
 
     fn buffered_flits(&self) -> usize {
-        self.inputs.iter().map(VcSet::total_occupancy).sum::<usize>()
-            + self.ejection.iter().map(VcSet::total_occupancy).sum::<usize>()
+        self.inputs
+            .iter()
+            .map(VcSet::total_occupancy)
+            .sum::<usize>()
+            + self
+                .ejection
+                .iter()
+                .map(VcSet::total_occupancy)
+                .sum::<usize>()
     }
 }
 
@@ -330,8 +338,16 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
     /// Total flits currently buffered anywhere in the network.
     #[must_use]
     pub fn buffered_flits(&self) -> usize {
-        let electrical: usize = self.switches.iter().map(ElectricalRouter::buffered_flits).sum();
-        let photonic: usize = self.photonic.iter().map(PhotonicRouter::buffered_flits).sum();
+        let electrical: usize = self
+            .switches
+            .iter()
+            .map(ElectricalRouter::buffered_flits)
+            .sum();
+        let photonic: usize = self
+            .photonic
+            .iter()
+            .map(PhotonicRouter::buffered_flits)
+            .sum();
         electrical + photonic
     }
 
@@ -566,7 +582,8 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
             // into the destination's ejection buffer.
             self.energy
                 .record_router_traversal(u64::from(delivery.flit.bits));
-            self.energy.record_buffer_write(u64::from(delivery.flit.bits));
+            self.energy
+                .record_buffer_write(u64::from(delivery.flit.bits));
             self.photonic[delivery.dst_cluster].ejection[delivery.dst_local]
                 .vc_mut(delivery.dst_vc)
                 .expect("vc in range")
@@ -778,7 +795,7 @@ mod tests {
 
     impl TrafficModel for FixedOffsetTraffic {
         fn next_packet(&mut self, cycle: u64, src: CoreId) -> Option<PacketDescriptor> {
-            if cycle % self.period != 0 {
+            if !cycle.is_multiple_of(self.period) {
                 return None;
             }
             let dst = CoreId((src.0 + self.offset) % self.num_cores);

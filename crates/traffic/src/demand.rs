@@ -96,8 +96,7 @@ impl DemandMatrix {
     /// d-HetPNoC sizes its wavelength pools in proportion to this quantity.
     #[must_use]
     pub fn relative_bandwidth_requirement(&self, src: ClusterId) -> f64 {
-        let product =
-            |c: ClusterId| self.intensity(c) * self.weighted_class_multiplier(c);
+        let product = |c: ClusterId| self.intensity(c) * self.weighted_class_multiplier(c);
         let mean: f64 = (0..self.num_clusters)
             .map(|c| product(ClusterId(c)))
             .sum::<f64>()
@@ -155,7 +154,10 @@ mod tests {
     #[test]
     fn uniform_matrix_has_equal_shares_and_single_class() {
         let m = DemandMatrix::uniform(16, BandwidthClass::MediumHigh);
-        assert_eq!(m.class(ClusterId(0), ClusterId(5)), BandwidthClass::MediumHigh);
+        assert_eq!(
+            m.class(ClusterId(0), ClusterId(5)),
+            BandwidthClass::MediumHigh
+        );
         assert!((m.share(ClusterId(0), ClusterId(5)) - 1.0 / 15.0).abs() < 1e-12);
         assert_eq!(m.share(ClusterId(3), ClusterId(3)), 0.0);
         assert_eq!(m.max_class_multiplier(ClusterId(0)), 4);
@@ -191,12 +193,8 @@ mod tests {
     #[test]
     fn skewed_traffic_has_higher_weighted_demand_than_uniform() {
         let topo = ClusterTopology::paper_default();
-        let uniform = UniformRandomTraffic::new(
-            topo,
-            PacketShape::new(64, 32),
-            OfferedLoad::new(0.1),
-            5,
-        );
+        let uniform =
+            UniformRandomTraffic::new(topo, PacketShape::new(64, 32), OfferedLoad::new(0.1), 5);
         let skewed = SkewedTraffic::new(
             topo,
             PacketShape::new(64, 32),

@@ -1,0 +1,374 @@
+//! The traffic-pattern registry: the open-ended catalogue of workloads.
+//!
+//! Mirrors the architecture registry of `pnoc-sim`: a traffic pattern
+//! implements [`TrafficFactory`] — a name plus a `build(spec) → model`
+//! constructor — and registers into the process-global [`TrafficRegistry`].
+//! The benchmark harness resolves workloads by name, so adding a pattern
+//! touches only this crate (or whatever crate defines the new pattern).
+//!
+//! The registry ships with every pattern of the paper's evaluation plus the
+//! extended scenarios added by this reproduction:
+//!
+//! | name | generator |
+//! |------|-----------|
+//! | `uniform-random` | [`UniformRandomTraffic`] |
+//! | `skewed-1` / `skewed-2` / `skewed-3` | [`SkewedTraffic`] |
+//! | `hotspot-{10,20}pct-skewed-{2,3}` | [`HotspotSkewedTraffic`] |
+//! | `real-application` | [`RealApplicationTraffic`] |
+//! | `transpose`, `bit-reverse`, `tornado` | [`PermutationTraffic`] |
+//! | `bursty-uniform` | [`BurstyUniformTraffic`] |
+
+use crate::bursty::BurstyUniformTraffic;
+use crate::gpu::RealApplicationTraffic;
+use crate::hotspot::HotspotSkewedTraffic;
+use crate::pattern::{PacketShape, SkewLevel};
+use crate::permutation::{PermutationKind, PermutationTraffic};
+use crate::skewed::SkewedTraffic;
+use crate::uniform::UniformRandomTraffic;
+use pnoc_noc::ids::CoreId;
+use pnoc_noc::topology::ClusterTopology;
+use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything a factory needs to instantiate a traffic model for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficSpec {
+    /// Cluster topology of the simulated chip.
+    pub topology: ClusterTopology,
+    /// Packet geometry (from the bandwidth set under test).
+    pub shape: PacketShape,
+    /// Offered load of the run.
+    pub load: OfferedLoad,
+    /// RNG seed of the run (sweeps derive a fresh seed per point).
+    pub seed: u64,
+}
+
+impl TrafficSpec {
+    /// Creates a spec.
+    #[must_use]
+    pub fn new(
+        topology: ClusterTopology,
+        shape: PacketShape,
+        load: OfferedLoad,
+        seed: u64,
+    ) -> Self {
+        Self {
+            topology,
+            shape,
+            load,
+            seed,
+        }
+    }
+}
+
+/// A factory for one traffic pattern.
+///
+/// Like `ArchitectureBuilder` in `pnoc-sim`, implementations are shared
+/// across sweep worker threads; every call to [`TrafficFactory::build`]
+/// must return a fresh, independent model.
+pub trait TrafficFactory: Send + Sync {
+    /// Stable registry key; by convention equal to the
+    /// [`TrafficModel::name`] of the models it builds.
+    fn name(&self) -> &str;
+
+    /// Builds a fresh traffic model for one run.
+    fn build(&self, spec: &TrafficSpec) -> Box<dyn TrafficModel + Send>;
+}
+
+/// A [`TrafficFactory`] from a name and a plain constructor function.
+struct FnFactory {
+    name: &'static str,
+    construct: fn(&TrafficSpec) -> Box<dyn TrafficModel + Send>,
+}
+
+impl TrafficFactory for FnFactory {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn build(&self, spec: &TrafficSpec) -> Box<dyn TrafficModel + Send> {
+        (self.construct)(spec)
+    }
+}
+
+fn skewed(spec: &TrafficSpec, level: SkewLevel) -> Box<dyn TrafficModel + Send> {
+    Box::new(SkewedTraffic::new(
+        spec.topology,
+        spec.shape,
+        level,
+        spec.load,
+        spec.seed,
+    ))
+}
+
+fn hotspot(spec: &TrafficSpec, fraction: f64, level: SkewLevel) -> Box<dyn TrafficModel + Send> {
+    Box::new(HotspotSkewedTraffic::new(
+        spec.topology,
+        spec.shape,
+        level,
+        CoreId(0),
+        fraction,
+        spec.load,
+        spec.seed,
+    ))
+}
+
+fn permutation(spec: &TrafficSpec, kind: PermutationKind) -> Box<dyn TrafficModel + Send> {
+    Box::new(PermutationTraffic::new(
+        spec.topology,
+        spec.shape,
+        kind,
+        spec.load,
+        spec.seed,
+    ))
+}
+
+/// The built-in factories (see the module docs).
+fn builtin_factories() -> Vec<Arc<dyn TrafficFactory>> {
+    let f = |name: &'static str,
+             construct: fn(&TrafficSpec) -> Box<dyn TrafficModel + Send>|
+     -> Arc<dyn TrafficFactory> { Arc::new(FnFactory { name, construct }) };
+    vec![
+        f("uniform-random", |s| {
+            Box::new(UniformRandomTraffic::new(
+                s.topology, s.shape, s.load, s.seed,
+            ))
+        }),
+        f("skewed-1", |s| skewed(s, SkewLevel::Skewed1)),
+        f("skewed-2", |s| skewed(s, SkewLevel::Skewed2)),
+        f("skewed-3", |s| skewed(s, SkewLevel::Skewed3)),
+        f("hotspot-10pct-skewed-2", |s| {
+            hotspot(s, 0.10, SkewLevel::Skewed2)
+        }),
+        f("hotspot-10pct-skewed-3", |s| {
+            hotspot(s, 0.10, SkewLevel::Skewed3)
+        }),
+        f("hotspot-20pct-skewed-2", |s| {
+            hotspot(s, 0.20, SkewLevel::Skewed2)
+        }),
+        f("hotspot-20pct-skewed-3", |s| {
+            hotspot(s, 0.20, SkewLevel::Skewed3)
+        }),
+        f("real-application", |s| {
+            Box::new(RealApplicationTraffic::paper_mapping(
+                s.topology, s.shape, s.load, s.seed,
+            ))
+        }),
+        f("transpose", |s| permutation(s, PermutationKind::Transpose)),
+        f("bit-reverse", |s| {
+            permutation(s, PermutationKind::BitReverse)
+        }),
+        f("tornado", |s| permutation(s, PermutationKind::Tornado)),
+        f("bursty-uniform", |s| {
+            Box::new(BurstyUniformTraffic::new(
+                s.topology, s.shape, s.load, s.seed,
+            ))
+        }),
+    ]
+}
+
+/// A name-keyed collection of traffic factories.
+#[derive(Default, Clone)]
+pub struct TrafficRegistry {
+    factories: BTreeMap<String, Arc<dyn TrafficFactory>>,
+}
+
+impl std::fmt::Debug for TrafficRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl TrafficRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry pre-populated with every built-in pattern.
+    #[must_use]
+    pub fn with_builtins() -> Self {
+        let mut registry = Self::new();
+        for factory in builtin_factories() {
+            registry.register(factory);
+        }
+        registry
+    }
+
+    /// Registers a factory under its own name, replacing (and returning) any
+    /// previous factory of the same name.
+    pub fn register(
+        &mut self,
+        factory: Arc<dyn TrafficFactory>,
+    ) -> Option<Arc<dyn TrafficFactory>> {
+        self.factories.insert(factory.name().to_string(), factory)
+    }
+
+    /// Looks up a factory by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<dyn TrafficFactory>> {
+        self.factories.get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// Number of registered patterns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+fn global() -> &'static Mutex<TrafficRegistry> {
+    static GLOBAL: OnceLock<Mutex<TrafficRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(TrafficRegistry::with_builtins()))
+}
+
+/// Registers a factory into the process-global registry, replacing (and
+/// returning) any previous factory of the same name.
+pub fn register_traffic_factory(
+    factory: Arc<dyn TrafficFactory>,
+) -> Option<Arc<dyn TrafficFactory>> {
+    global()
+        .lock()
+        .expect("traffic registry poisoned")
+        .register(factory)
+}
+
+/// Looks up a factory in the process-global registry.
+#[must_use]
+pub fn lookup_traffic_factory(name: &str) -> Option<Arc<dyn TrafficFactory>> {
+    global()
+        .lock()
+        .expect("traffic registry poisoned")
+        .get(name)
+}
+
+/// Names registered in the process-global registry, sorted.
+#[must_use]
+pub fn registered_traffic_patterns() -> Vec<String> {
+    global().lock().expect("traffic registry poisoned").names()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TrafficSpec {
+        TrafficSpec::new(
+            ClusterTopology::paper_default(),
+            PacketShape::new(64, 32),
+            OfferedLoad::new(0.01),
+            42,
+        )
+    }
+
+    #[test]
+    fn registry_covers_the_paper_and_extended_scenarios() {
+        let registry = TrafficRegistry::with_builtins();
+        assert!(
+            registry.len() >= 7,
+            "expected at least 7 built-in patterns, found {}",
+            registry.len()
+        );
+        for name in [
+            "uniform-random",
+            "skewed-1",
+            "skewed-2",
+            "skewed-3",
+            "hotspot-10pct-skewed-2",
+            "hotspot-20pct-skewed-3",
+            "real-application",
+            "transpose",
+            "bit-reverse",
+            "tornado",
+            "bursty-uniform",
+        ] {
+            assert!(registry.get(name).is_some(), "pattern '{name}' missing");
+        }
+    }
+
+    #[test]
+    fn factory_names_match_model_names() {
+        let registry = TrafficRegistry::with_builtins();
+        for name in registry.names() {
+            let factory = registry.get(&name).expect("just listed");
+            let model = factory.build(&spec());
+            assert_eq!(
+                model.name(),
+                name,
+                "factory '{name}' builds a model reporting a different name"
+            );
+        }
+    }
+
+    #[test]
+    fn built_models_honour_the_spec() {
+        let registry = TrafficRegistry::with_builtins();
+        for name in registry.names() {
+            let model = registry.get(&name).expect("listed").build(&spec());
+            assert!(
+                (model.offered_load().value() - 0.01).abs() < 1e-12,
+                "pattern '{name}' ignored the spec load"
+            );
+        }
+    }
+
+    #[test]
+    fn builds_are_reproducible_per_seed() {
+        let registry = TrafficRegistry::with_builtins();
+        for name in registry.names() {
+            let factory = registry.get(&name).expect("listed");
+            let mut a = factory.build(&spec());
+            let mut b = factory.build(&spec());
+            for cycle in 0..2_000 {
+                let src = pnoc_noc::ids::CoreId(cycle as usize % 64);
+                assert_eq!(
+                    a.next_packet(cycle, src),
+                    b.next_packet(cycle, src),
+                    "pattern '{name}' is not reproducible for a fixed seed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn global_registry_serves_and_accepts_registrations() {
+        assert!(lookup_traffic_factory("uniform-random").is_some());
+        assert!(registered_traffic_patterns().len() >= 7);
+
+        struct Custom;
+
+        impl TrafficFactory for Custom {
+            fn name(&self) -> &str {
+                "custom-test-pattern"
+            }
+
+            fn build(&self, spec: &TrafficSpec) -> Box<dyn TrafficModel + Send> {
+                Box::new(UniformRandomTraffic::new(
+                    spec.topology,
+                    spec.shape,
+                    spec.load,
+                    spec.seed,
+                ))
+            }
+        }
+
+        register_traffic_factory(Arc::new(Custom));
+        assert!(lookup_traffic_factory("custom-test-pattern").is_some());
+    }
+}

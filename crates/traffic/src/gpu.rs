@@ -95,7 +95,8 @@ impl GpuBenchmark {
     /// (an Amdahl-style model over the memory-bound fraction).
     #[must_use]
     pub fn speedup(&self, flit_bytes: u32) -> f64 {
-        let scaled = 1.0 - self.memory_fraction + self.memory_fraction * self.memory_time_scale(flit_bytes);
+        let scaled =
+            1.0 - self.memory_fraction + self.memory_fraction * self.memory_time_scale(flit_bytes);
         1.0 / scaled
     }
 
@@ -240,7 +241,11 @@ impl RealApplicationTraffic {
         load: OfferedLoad,
         seed: u64,
     ) -> Self {
-        assert_eq!(topology.num_clusters(), 16, "the paper maps onto 16 clusters");
+        assert_eq!(
+            topology.num_clusters(),
+            16,
+            "the paper maps onto 16 clusters"
+        );
         assert_eq!(topology.cores_per_cluster(), 4);
         use BenchmarkSuite::Ispass;
         let catalog = [
@@ -302,7 +307,9 @@ impl RealApplicationTraffic {
     /// Total memory-traffic intensity of one GPU cluster (its application's
     /// intensity, or 0 for memory clusters).
     fn cluster_intensity(&self, cluster: ClusterId) -> f64 {
-        self.app_of_cluster(cluster).map(|a| a.intensity).unwrap_or(0.0)
+        self.app_of_cluster(cluster)
+            .map(|a| a.intensity)
+            .unwrap_or(0.0)
     }
 
     fn random_core_in(&mut self, cluster: ClusterId) -> CoreId {
@@ -398,9 +405,7 @@ impl TrafficModel for RealApplicationTraffic {
             .map(|c| {
                 let cluster = ClusterId(c);
                 if self.is_memory_cluster(cluster) {
-                    let gpu_total: f64 = (0..n)
-                        .map(|g| self.cluster_intensity(ClusterId(g)))
-                        .sum();
+                    let gpu_total: f64 = (0..n).map(|g| self.cluster_intensity(ClusterId(g))).sum();
                     gpu_total / self.memory_clusters.len() as f64
                 } else {
                     self.cluster_intensity(cluster)

@@ -75,10 +75,42 @@ impl HotspotSkewedTraffic {
     ) -> Vec<HotspotSkewedTraffic> {
         let hotspot = CoreId(0);
         vec![
-            Self::new(topology, shape, SkewLevel::Skewed2, hotspot, 0.10, load, seed),
-            Self::new(topology, shape, SkewLevel::Skewed3, hotspot, 0.10, load, seed),
-            Self::new(topology, shape, SkewLevel::Skewed2, hotspot, 0.20, load, seed),
-            Self::new(topology, shape, SkewLevel::Skewed3, hotspot, 0.20, load, seed),
+            Self::new(
+                topology,
+                shape,
+                SkewLevel::Skewed2,
+                hotspot,
+                0.10,
+                load,
+                seed,
+            ),
+            Self::new(
+                topology,
+                shape,
+                SkewLevel::Skewed3,
+                hotspot,
+                0.10,
+                load,
+                seed,
+            ),
+            Self::new(
+                topology,
+                shape,
+                SkewLevel::Skewed2,
+                hotspot,
+                0.20,
+                load,
+                seed,
+            ),
+            Self::new(
+                topology,
+                shape,
+                SkewLevel::Skewed3,
+                hotspot,
+                0.20,
+                load,
+                seed,
+            ),
         ]
     }
 

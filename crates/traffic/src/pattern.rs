@@ -262,7 +262,10 @@ mod tests {
                 seen[m.class(ClusterId(s), ClusterId(d)).index()] = true;
             }
         }
-        assert!(seen.iter().all(|&b| b), "256 random pairs must hit all 4 classes");
+        assert!(
+            seen.iter().all(|&b| b),
+            "256 random pairs must hit all 4 classes"
+        );
     }
 
     #[test]
@@ -272,8 +275,14 @@ mod tests {
             let total: f64 = (0..16)
                 .map(|d| m.volume_share(ClusterId(s), ClusterId(d), SkewLevel::Skewed3))
                 .sum();
-            assert!((total - 1.0).abs() < 1e-9, "source {s} shares sum to {total}");
-            assert_eq!(m.volume_share(ClusterId(s), ClusterId(s), SkewLevel::Skewed3), 0.0);
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "source {s} shares sum to {total}"
+            );
+            assert_eq!(
+                m.volume_share(ClusterId(s), ClusterId(s), SkewLevel::Skewed3),
+                0.0
+            );
         }
     }
 
@@ -283,17 +292,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let src = ClusterId(2);
         let samples = 40_000;
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for _ in 0..samples {
             counts[m.sample_destination(src, SkewLevel::Skewed3, &mut rng).0] += 1;
         }
         assert_eq!(counts[src.0], 0, "never send to self");
-        for d in 0..16 {
+        for (d, &count) in counts.iter().enumerate() {
             if d == src.0 {
                 continue;
             }
             let expected = m.volume_share(src, ClusterId(d), SkewLevel::Skewed3);
-            let measured = counts[d] as f64 / samples as f64;
+            let measured = count as f64 / samples as f64;
             assert!(
                 (measured - expected).abs() < 0.02,
                 "destination {d}: expected {expected:.3}, measured {measured:.3}"

@@ -28,7 +28,12 @@ pub struct UniformRandomTraffic {
 impl UniformRandomTraffic {
     /// Creates the generator.
     #[must_use]
-    pub fn new(topology: ClusterTopology, shape: PacketShape, load: OfferedLoad, seed: u64) -> Self {
+    pub fn new(
+        topology: ClusterTopology,
+        shape: PacketShape,
+        load: OfferedLoad,
+        seed: u64,
+    ) -> Self {
         Self {
             topology,
             shape,
@@ -120,7 +125,7 @@ mod tests {
     #[test]
     fn destinations_cover_the_chip_and_never_self() {
         let mut m = model(1.0);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for cycle in 0..5_000 {
             let p = m.next_packet(cycle, CoreId(10)).unwrap();
             assert_ne!(p.dst, CoreId(10));
@@ -138,7 +143,9 @@ mod tests {
         let share = m.volume_share(ClusterId(0), ClusterId(9));
         assert!((share - 1.0 / 15.0).abs() < 1e-12);
         assert_eq!(m.volume_share(ClusterId(4), ClusterId(4)), 0.0);
-        let total: f64 = (0..16).map(|d| m.volume_share(ClusterId(2), ClusterId(d))).sum();
+        let total: f64 = (0..16)
+            .map(|d| m.volume_share(ClusterId(2), ClusterId(d)))
+            .sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

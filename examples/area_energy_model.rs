@@ -14,7 +14,13 @@ fn main() {
     let model = AreaModel::paper_default();
     let mut area = Table::new(
         "Electro-optic device area vs aggregate bandwidth (equations 5-24)",
-        &["wavelengths", "Firefly rings", "d-HetPNoC rings", "Firefly mm²", "d-HetPNoC mm²"],
+        &[
+            "wavelengths",
+            "Firefly rings",
+            "d-HetPNoC rings",
+            "Firefly mm²",
+            "d-HetPNoC mm²",
+        ],
     );
     for wavelengths in [64usize, 128, 256, 512] {
         let f = model.firefly_report(wavelengths);

@@ -24,9 +24,7 @@ fn main() {
 
     // Initial task mapping: clusters 0-3 run high-bandwidth applications.
     let mut targets = vec![2usize; 16];
-    for c in 0..4 {
-        targets[c] = 8;
-    }
+    targets[0..4].fill(8);
     controller.set_targets(&targets);
 
     println!("cycle-by-cycle acquisition (token visits shown when the allocation changes):");
@@ -43,7 +41,9 @@ fn main() {
             }
         }
     }
-    controller.check_invariants().expect("allocation invariants");
+    controller
+        .check_invariants()
+        .expect("allocation invariants");
     println!(
         "\nconverged allocation: {:?} (total {} of 64 wavelengths)\n",
         controller.allocation_snapshot(),
@@ -53,13 +53,16 @@ fn main() {
     // A task remapping: the high-bandwidth work migrates to clusters 12-15.
     println!("task remapping: high-bandwidth applications move to clusters 12-15");
     let mut targets = vec![2usize; 16];
-    for c in 12..16 {
-        targets[c] = 8;
-    }
+    targets[12..16].fill(8);
     controller.set_targets(&targets);
     controller.converge(64);
-    controller.check_invariants().expect("allocation invariants");
-    println!("re-converged allocation: {:?}", controller.allocation_snapshot());
+    controller
+        .check_invariants()
+        .expect("allocation invariants");
+    println!(
+        "re-converged allocation: {:?}",
+        controller.allocation_snapshot()
+    );
     println!(
         "cluster 0 now holds {} wavelength(s); cluster 15 holds {}",
         controller.pool(ClusterId(0)),

@@ -42,13 +42,23 @@ fn main() {
     let load = OfferedLoad::new(config.estimated_saturation_load() * 1.2);
 
     let make_traffic = || {
-        RealApplicationTraffic::paper_mapping(ClusterTopology::paper_default(), shape, load, config.seed)
+        RealApplicationTraffic::paper_mapping(
+            ClusterTopology::paper_default(),
+            shape,
+            load,
+            config.seed,
+        )
     };
 
     let apps = make_traffic();
     let mut mapping = Table::new(
         "Application mapping (Section 3.4.2)",
-        &["application", "clusters", "bandwidth class", "relative intensity"],
+        &[
+            "application",
+            "clusters",
+            "bandwidth class",
+            "relative intensity",
+        ],
     );
     for app in apps.applications() {
         mapping.add_row(&[

@@ -57,7 +57,12 @@ fn main() {
 
     let mut table = Table::new(
         "Skewed-3 traffic at the estimated saturation load",
-        &["architecture", "accepted bandwidth (Gb/s)", "avg latency (cycles)", "packet energy (pJ)"],
+        &[
+            "architecture",
+            "accepted bandwidth (Gb/s)",
+            "avg latency (cycles)",
+            "packet energy (pJ)",
+        ],
     );
     for stats in [&firefly_stats, &dhet_stats] {
         table.add_row(&[

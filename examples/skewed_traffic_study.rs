@@ -24,8 +24,19 @@ fn sweep(
         let load = OfferedLoad::new(load);
         let topology = ClusterTopology::paper_default();
         let traffic: Box<dyn TrafficModel> = match skew {
-            Some(level) => Box::new(SkewedTraffic::new(topology, shape, level, load, config.seed)),
-            None => Box::new(UniformRandomTraffic::new(topology, shape, load, config.seed)),
+            Some(level) => Box::new(SkewedTraffic::new(
+                topology,
+                shape,
+                level,
+                load,
+                config.seed,
+            )),
+            None => Box::new(UniformRandomTraffic::new(
+                topology,
+                shape,
+                load,
+                config.seed,
+            )),
         };
         if dhet {
             run_to_completion(&mut build_dhetpnoc_system(config, traffic))
@@ -40,7 +51,10 @@ fn main() {
     config.sim_cycles = 3_000;
     config.warmup_cycles = 500;
     let estimated = config.estimated_saturation_load();
-    let loads: Vec<f64> = [0.5, 0.75, 1.0, 1.5, 2.0].iter().map(|f| f * estimated).collect();
+    let loads: Vec<f64> = [0.5, 0.75, 1.0, 1.5, 2.0]
+        .iter()
+        .map(|f| f * estimated)
+        .collect();
 
     let scenarios: [(&str, Option<SkewLevel>); 4] = [
         ("uniform-random", None),

@@ -8,43 +8,97 @@
 //! photonic device/energy/area models and the benchmark harness that
 //! regenerates every table and figure of the paper's evaluation.
 //!
-//! This crate simply re-exports the workspace crates under friendly names and
-//! hosts the runnable examples (`examples/`) and the cross-crate integration
-//! and property tests (`tests/`).
+//! This crate re-exports the workspace crates under friendly names, hosts
+//! the runnable examples (`examples/`) and the cross-crate integration and
+//! property tests (`tests/`), and wires every architecture into the
+//! process-global registry (see [`install_architectures`]).
 //!
-//! ## Quick start
+//! ## Quick start: registries + the parallel sweep engine
+//!
+//! Architectures and workloads are resolved by name. An offered-load
+//! saturation sweep runs each ladder point as an independent deterministic
+//! simulation — in parallel when asked, with results bitwise-identical to a
+//! sequential run:
 //!
 //! ```
 //! use d_hetpnoc_repro::prelude::*;
 //!
-//! // Paper configuration at bandwidth set 1, scaled down for a doc test.
-//! let config = SimConfig::fast(BandwidthSet::Set1);
-//! let traffic = UniformRandomTraffic::new(
-//!     ClusterTopology::paper_default(),
-//!     PacketShape::new(64, 32),
-//!     OfferedLoad::new(config.estimated_saturation_load() * 0.5),
-//!     42,
+//! // Make "firefly", "d-hetpnoc" and "uniform-fabric" resolvable.
+//! d_hetpnoc_repro::install_architectures();
+//! let architecture = lookup_architecture("d-hetpnoc").expect("registered");
+//!
+//! // A reduced-scale run so this doc test stays fast.
+//! let mut config = SimConfig::fast(BandwidthSet::Set1);
+//! config.sim_cycles = 600;
+//! config.warmup_cycles = 150;
+//!
+//! // Workloads come from the traffic registry ("skewed-3", "tornado", ...).
+//! let workload = lookup_traffic_factory("skewed-3").expect("registered");
+//! let shape = PacketShape::new(
+//!     config.bandwidth_set.packet_flits(),
+//!     config.bandwidth_set.flit_bits(),
 //! );
-//! let mut system = build_dhetpnoc_system(config, traffic);
-//! let stats = run_to_completion(&mut system);
-//! assert!(stats.delivered_packets > 0);
+//!
+//! // Two-point ladder around the estimated saturation load; each point gets
+//! // its own derived seed (spec.seed) so points are independent.
+//! let estimate = config.estimated_saturation_load();
+//! let result = run_saturation_sweep(
+//!     architecture.as_ref(),
+//!     &|spec| workload.build(&TrafficSpec::new(spec.config.topology, shape, spec.offered_load, spec.seed)),
+//!     &config,
+//!     &[estimate * 0.5, estimate],
+//!     SweepMode::Parallel,
+//! );
+//! assert_eq!(result.points.len(), 2);
+//! assert!(result.peak_bandwidth_gbps() > 0.0);
 //! ```
+//!
+//! The old per-architecture helpers (`build_firefly_system`,
+//! `build_dhetpnoc_system`) still exist for direct, non-registry use; the
+//! per-architecture sweep helpers are deprecated thin wrappers over the
+//! generic driver.
+//!
+//! ## Per-point seed derivation
+//!
+//! Sweep point `i` simulates with
+//! `seed = splitmix64(config.seed XOR (i + 1) · 0x9E3779B97F4A7C15)`
+//! (see `pnoc_sim::sweep::derive_point_seed`), so a point's result depends
+//! only on the base seed, the point index and the load — never on thread
+//! scheduling. That is what makes the parallel sweep reproducible.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The d-HetPNoC architecture (the paper's contribution).
+pub use pnoc_dhetpnoc as dhetpnoc;
+/// The Firefly baseline architecture.
+pub use pnoc_firefly as firefly;
 /// Electrical NoC substrate (flits, virtual channels, routers, topology).
 pub use pnoc_noc as noc;
 /// Photonic device, energy and area models.
 pub use pnoc_photonics as photonics;
 /// Cycle-accurate simulation engine.
 pub use pnoc_sim as sim;
-/// Traffic generators (uniform, skewed, hotspot, GPU applications).
+/// Traffic generators (uniform, skewed, hotspot, GPU applications,
+/// permutation, bursty) and the traffic registry.
 pub use pnoc_traffic as traffic;
-/// The Firefly baseline architecture.
-pub use pnoc_firefly as firefly;
-/// The d-HetPNoC architecture (the paper's contribution).
-pub use pnoc_dhetpnoc as dhetpnoc;
+
+/// Registers every architecture of this workspace into the process-global
+/// architecture registry: `"firefly"`, `"d-hetpnoc"`, and (built into
+/// `pnoc-sim` itself) the `"uniform-fabric"` test fabric.
+///
+/// Idempotent and cheap; call it before resolving architectures by name.
+/// Crates defining additional architectures register themselves with
+/// `pnoc_sim::registry::register_architecture` — nothing here (or in the
+/// benchmark harness) needs to change for a new architecture to become
+/// sweepable.
+pub fn install_architectures() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        pnoc_firefly::network::register_firefly_architecture();
+        pnoc_dhetpnoc::network::register_dhetpnoc_architecture();
+    });
+}
 
 /// The most commonly used items across the whole workspace.
 pub mod prelude {
@@ -54,4 +108,20 @@ pub mod prelude {
     pub use pnoc_photonics::prelude::*;
     pub use pnoc_sim::prelude::*;
     pub use pnoc_traffic::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn install_architectures_is_idempotent_and_complete() {
+        super::install_architectures();
+        super::install_architectures();
+        let names = pnoc_sim::registry::registered_architectures();
+        for expected in ["d-hetpnoc", "firefly", "uniform-fabric"] {
+            assert!(
+                names.contains(&expected.to_string()),
+                "architecture '{expected}' missing from {names:?}"
+            );
+        }
+    }
 }

@@ -4,7 +4,6 @@
 //! evaluation relies on.
 
 use d_hetpnoc_repro::prelude::*;
-use d_hetpnoc_repro::sim::system::PhotonicFabric as _;
 use pnoc_noc::ids::ClusterId;
 
 /// A reduced-scale configuration so the whole file runs quickly in debug
@@ -32,7 +31,12 @@ fn uniform_traffic_makes_the_architectures_equivalent() {
     let config = test_config();
     let load = OfferedLoad::new(config.estimated_saturation_load() * 0.8);
     let make = || {
-        UniformRandomTraffic::new(ClusterTopology::paper_default(), shape(&config), load, config.seed)
+        UniformRandomTraffic::new(
+            ClusterTopology::paper_default(),
+            shape(&config),
+            load,
+            config.seed,
+        )
     };
     let firefly = run_to_completion(&mut build_firefly_system(config, make()));
     let dhet = run_to_completion(&mut build_dhetpnoc_system(config, make()));
@@ -54,7 +58,11 @@ fn dhetpnoc_allocation_matches_firefly_under_uniform_demand() {
         UniformRandomTraffic::new(ClusterTopology::paper_default(), shape(&config), load, 1);
     let system = build_dhetpnoc_system(config, traffic);
     let allocation = system.fabric().allocation_snapshot();
-    assert_eq!(allocation, vec![4; 16], "uniform demand → 4 wavelengths per cluster");
+    assert_eq!(
+        allocation,
+        vec![4; 16],
+        "uniform demand → 4 wavelengths per cluster"
+    );
 }
 
 #[test]
@@ -114,22 +122,35 @@ fn flit_accounting_is_consistent() {
     // match the flit width; nothing is delivered that was never injected.
     let config = test_config();
     let load = OfferedLoad::new(config.estimated_saturation_load() * 0.5);
-    let traffic = UniformRandomTraffic::new(
-        ClusterTopology::paper_default(),
-        shape(&config),
-        load,
-        3,
-    );
+    let traffic =
+        UniformRandomTraffic::new(ClusterTopology::paper_default(), shape(&config), load, 3);
     let mut system = build_firefly_system(config, traffic);
     let stats = run_to_completion(&mut system);
     let flits_per_packet = u64::from(config.bandwidth_set.packet_flits());
-    assert!(stats.delivered_flits >= stats.delivered_packets * flits_per_packet);
+    // A packet whose delivery straddles the start of the measurement window
+    // contributes its tail (and the packet count) but not its warm-up-era
+    // flits. At most one packet per (core, VC) can be mid-ejection at the
+    // boundary, which bounds the deficit.
+    let straddle_slack =
+        config.topology.num_cores() as u64 * config.vcs_per_port as u64 * flits_per_packet;
+    assert!(
+        stats.delivered_flits + straddle_slack >= stats.delivered_packets * flits_per_packet,
+        "delivered {} flits for {} packets of {} flits",
+        stats.delivered_flits,
+        stats.delivered_packets,
+        flits_per_packet
+    );
     assert_eq!(
         stats.delivered_bits,
         stats.delivered_flits * u64::from(config.bandwidth_set.flit_bits())
     );
     assert!(stats.delivered_packets <= stats.injected_packets + 64);
-    assert!(stats.injected_packets <= stats.generated_packets);
+    // Packets generated during warm-up may still sit in the injection queues
+    // when measurement starts and inject inside the window; the backlog is
+    // bounded by the queue capacity (plus one in-flight packet) per core.
+    let backlog_slack =
+        (config.topology.num_cores() * (config.injection_queue_capacity + 1)) as u64;
+    assert!(stats.injected_packets <= stats.generated_packets + backlog_slack);
 }
 
 #[test]
@@ -138,12 +159,8 @@ fn energy_scales_with_delivered_traffic() {
     let low = OfferedLoad::new(config.estimated_saturation_load() * 0.25);
     let high = OfferedLoad::new(config.estimated_saturation_load() * 0.75);
     let run = |load| {
-        let traffic = UniformRandomTraffic::new(
-            ClusterTopology::paper_default(),
-            shape(&config),
-            load,
-            11,
-        );
+        let traffic =
+            UniformRandomTraffic::new(ClusterTopology::paper_default(), shape(&config), load, 11);
         run_to_completion(&mut build_dhetpnoc_system(config, traffic))
     };
     let a = run(low);
@@ -210,7 +227,10 @@ fn hotspot_and_real_application_traffic_run_end_to_end() {
     );
     let mut system = build_dhetpnoc_system(config, real);
     let stats = run_to_completion(&mut system);
-    assert!(stats.delivered_packets > 0, "real-application traffic must flow");
+    assert!(
+        stats.delivered_packets > 0,
+        "real-application traffic must flow"
+    );
     // Memory clusters (12-15) should hold at least as much bandwidth on
     // average as the compute clusters running mostly low-bandwidth kernels.
     let allocation = system.fabric().allocation_snapshot();

@@ -1,0 +1,182 @@
+//! Offline shim for `rayon`: the `par_iter().map().collect()` pipeline on
+//! slices and `Vec`s, implemented with `std::thread::scope` (see
+//! `vendor/README.md`).
+//!
+//! Semantics guaranteed by this shim (and relied on by `pnoc-sim`'s sweep
+//! engine):
+//!
+//! * **order preservation** — `collect` returns results in the input order,
+//!   regardless of which worker finished first;
+//! * **exactly-once execution** — every item is mapped exactly once;
+//! * **thread-count control** — `RAYON_NUM_THREADS` overrides the default of
+//!   [`std::thread::available_parallelism`], exactly like upstream rayon.
+//!
+//! With one worker the pipeline degenerates to a plain sequential map, so
+//! results are identical whatever the thread count — parallelism here can
+//! change wall-clock time only, never values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The commonly imported traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Process-wide thread-count override (0 = none). Lets tests force real
+/// worker threads without mutating the environment, which would race with
+/// concurrent `getenv` calls in a multi-threaded test harness.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the worker-thread count for subsequent parallel pipelines,
+/// overriding `RAYON_NUM_THREADS` and the detected parallelism. Pass 0 to
+/// restore the default behaviour.
+pub fn set_thread_count(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// Number of worker threads to use for `jobs` items.
+fn thread_count(jobs: usize) -> usize {
+    let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    let configured = if overridden > 0 {
+        overridden
+    } else {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    };
+    configured.min(jobs.max(1))
+}
+
+/// Maps `f` over `items` on a scoped thread pool, returning results in input
+/// order. Falls back to a sequential map when only one worker is available.
+pub fn par_map_slice<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = thread_count(n);
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let gathered: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                gathered
+                    .lock()
+                    .expect("result collector poisoned")
+                    .push((i, r));
+            });
+        }
+    });
+    let mut pairs = gathered.into_inner().expect("result collector poisoned");
+    pairs.sort_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Borrowing conversion into a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: 'data;
+
+    /// Returns a parallel iterator over `&self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter {
+            items: self.as_slice(),
+        }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Attaches a map stage executed on the worker threads.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator; terminate it with [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    /// Runs the pipeline and gathers the results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map_slice(self.items, self.f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order_and_maps_every_item() {
+        let items: Vec<u64> = (0..257).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), items.len());
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros, enough
+//! for `#[derive(Serialize, Deserialize)]` annotations to compile. No actual
+//! serialization framework is provided — the workspace renders JSON by hand
+//! (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`. The shim derive does not
+/// implement it; nothing in the workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derive macros parse nothing and emit
+//! nothing. The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! documentation of intent; JSON output is rendered by hand in `pnoc-bench`
+//! (see `vendor/README.md`).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
