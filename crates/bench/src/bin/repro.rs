@@ -1,4 +1,5 @@
-//! `repro` — regenerates every table and figure of the d-HetPNoC thesis.
+//! `repro` — regenerates every table and figure of the d-HetPNoC thesis and
+//! runs ad-hoc scenario batches.
 //!
 //! Usage:
 //!
@@ -8,6 +9,23 @@
 //! repro fig3_3_3_4 fig3_6    # run selected experiments
 //! repro --list               # list experiment names
 //! repro --json results.json  # additionally dump the reports as JSON
+//!
+//! repro --scenario d-hetpnoc:tornado:set2
+//!                            # run one scenario (ARCH:TRAFFIC[:SET[:EFFORT]],
+//!                            # repeatable; SET defaults to set1, EFFORT to
+//!                            # the --quick/--paper flag)
+//! repro --matrix --quick     # run the default evaluation matrix (all
+//!                            # architectures × {tornado, bursty-uniform} ×
+//!                            # all bandwidth sets) through the flattened
+//!                            # batch engine and write MATRIX_sweep.json
+//! repro --matrix=FILE        # same, custom output path
+//! repro --dump-scenarios FILE  # write the selected scenario specs as JSON
+//!                              # instead of running them (--bench-sweep and
+//!                              # named experiments on the same command line
+//!                              # still run)
+//! repro --from-scenarios FILE  # load scenario specs from a JSON file and
+//!                              # run them as one batch
+//!
 //! repro --bench-sweep        # time sequential vs parallel sweeps for every
 //!                            # registered architecture and write
 //!                            # BENCH_sweep.json (wall-clock + peak bandwidth)
@@ -16,8 +34,11 @@
 
 use pnoc_bench::experiments::{run_by_name, ExperimentReport, ALL_EXPERIMENTS};
 use pnoc_bench::json::{reports_json, Json};
-use pnoc_bench::runner::{saturation_sweep_with_mode, Architecture, EffortLevel, TrafficKind};
+use pnoc_bench::runner::{ensure_registered, Architecture, EffortLevel, TrafficKind};
+use pnoc_bench::scenario_io::{matrix_json, parse_scenarios, render_scenarios};
 use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::report::{fmt_f, Table};
+use pnoc_sim::scenario::{run_specs, MatrixResult, ScenarioMatrix, ScenarioSpec};
 use pnoc_sim::sweep::SweepMode;
 use std::io::Write as _;
 use std::time::Instant;
@@ -31,12 +52,76 @@ fn write_file(path: &str, contents: &str) {
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 }
 
+fn read_file(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// The default evaluation matrix of `repro --matrix`: every registered
+/// architecture × the extended permutation/bursty workloads × all three
+/// bandwidth sets.
+fn default_matrix(effort: EffortLevel) -> ScenarioMatrix {
+    ensure_registered();
+    ScenarioMatrix::new()
+        .all_architectures()
+        .traffics(["tornado", "bursty-uniform"])
+        .all_bandwidth_sets()
+        .effort(effort)
+}
+
+/// Runs a batch of scenario specs through the flattened matrix engine and
+/// prints the per-scenario summary table.
+fn run_scenario_batch(specs: &[ScenarioSpec]) -> MatrixResult {
+    ensure_registered();
+    eprintln!(
+        "[repro] running {} scenario(s) through the batch engine ...",
+        specs.len()
+    );
+    let outcome = run_specs(specs).unwrap_or_else(|error| {
+        eprintln!("{error}");
+        std::process::exit(2);
+    });
+    let mut table = Table::new(
+        "Scenario batch results",
+        &[
+            "scenario",
+            "points",
+            "peak BW (Gb/s)",
+            "sustainable BW (Gb/s)",
+            "EPM@sat (pJ)",
+            "latency@sat (cycles)",
+        ],
+    );
+    for result in &outcome.scenarios {
+        table.add_row(&[
+            result.spec.id(),
+            result.result.points.len().to_string(),
+            fmt_f(result.result.peak_bandwidth_gbps(), 1),
+            fmt_f(result.result.sustainable_bandwidth_gbps(), 1),
+            fmt_f(result.result.packet_energy_at_saturation_pj(), 1),
+            fmt_f(result.result.latency_at_saturation(), 1),
+        ]);
+    }
+    println!("{table}");
+    eprintln!(
+        "[repro] batch: {} scenario(s), {} point(s) ({} unique after dedup) in {:.2}s",
+        outcome.scenarios.len(),
+        outcome.total_points,
+        outcome.unique_points,
+        outcome.wall_clock_seconds
+    );
+    outcome
+}
+
 /// Times sequential vs parallel saturation sweeps for every registered
 /// architecture on the paper-scale load ladder and writes the results as
 /// machine-readable JSON, so future changes can track the performance
 /// trajectory. Also asserts, on every run, that the parallel sweep is
 /// bitwise-identical to the sequential one.
 fn run_bench_sweep(effort: EffortLevel, path: &str) {
+    ensure_registered();
     let kind = TrafficKind::named("skewed-3");
     let set = BandwidthSet::Set1;
     let config = effort.config(set);
@@ -56,25 +141,26 @@ fn run_bench_sweep(effort: EffortLevel, path: &str) {
             architecture.name(),
             loads.len()
         );
-        let started = Instant::now();
-        let sequential =
-            saturation_sweep_with_mode(&architecture, config, &kind, &loads, SweepMode::Sequential);
-        let sequential_seconds = started.elapsed().as_secs_f64();
-        let started = Instant::now();
-        let parallel =
-            saturation_sweep_with_mode(&architecture, config, &kind, &loads, SweepMode::Parallel);
-        let parallel_seconds = started.elapsed().as_secs_f64();
-        assert_eq!(
-            sequential,
-            parallel,
+        let scenario = ScenarioSpec::new(architecture.name(), kind.name())
+            .with_bandwidth_set(set)
+            .with_effort(effort)
+            .with_ladder(loads.clone())
+            .resolve()
+            .unwrap_or_else(|error| panic!("{error}"));
+        let sequential = scenario.run_with_mode(SweepMode::Sequential);
+        let parallel = scenario.run_with_mode(SweepMode::Parallel);
+        assert!(
+            sequential.bitwise_eq(&parallel),
             "parallel sweep diverged from the sequential sweep for '{}'",
             architecture.name()
         );
+        let sequential_seconds = sequential.wall_clock_seconds;
+        let parallel_seconds = parallel.wall_clock_seconds;
         eprintln!(
             "[repro]   sequential {sequential_seconds:.2}s, parallel {parallel_seconds:.2}s \
              (speedup {:.2}x), peak {:.1} Gb/s",
             sequential_seconds / parallel_seconds.max(1e-9),
-            parallel.peak_bandwidth_gbps()
+            parallel.result.peak_bandwidth_gbps()
         );
         entries.push(Json::obj(vec![
             ("architecture", Json::str(architecture.name())),
@@ -87,11 +173,11 @@ fn run_bench_sweep(effort: EffortLevel, path: &str) {
             ),
             (
                 "peak_bandwidth_gbps",
-                Json::Num(parallel.peak_bandwidth_gbps()),
+                Json::Num(parallel.result.peak_bandwidth_gbps()),
             ),
             (
                 "sustainable_bandwidth_gbps",
-                Json::Num(parallel.sustainable_bandwidth_gbps()),
+                Json::Num(parallel.result.sustainable_bandwidth_gbps()),
             ),
             ("sweep_points", Json::Num(loads.len() as f64)),
         ]));
@@ -114,6 +200,10 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut bench_sweep_path: Option<String> = None;
+    let mut matrix_path: Option<String> = None;
+    let mut dump_path: Option<String> = None;
+    let mut scenario_args: Vec<String> = Vec::new();
+    let mut from_paths: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -132,13 +222,43 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--scenario" => match iter.next() {
+                Some(text) => scenario_args.push(text),
+                None => {
+                    eprintln!("--scenario requires ARCH:TRAFFIC[:SET[:EFFORT]]");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--scenario=") => {
+                scenario_args.push(other["--scenario=".len()..].to_string());
+            }
+            "--matrix" => matrix_path = Some("MATRIX_sweep.json".to_string()),
+            other if other.starts_with("--matrix=") => {
+                matrix_path = Some(other["--matrix=".len()..].to_string());
+            }
+            "--dump-scenarios" => match iter.next() {
+                Some(path) => dump_path = Some(path),
+                None => {
+                    eprintln!("--dump-scenarios requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--from-scenarios" => match iter.next() {
+                Some(path) => from_paths.push(path),
+                None => {
+                    eprintln!("--from-scenarios requires a file path");
+                    std::process::exit(2);
+                }
+            },
             "--bench-sweep" => bench_sweep_path = Some("BENCH_sweep.json".to_string()),
             other if other.starts_with("--bench-sweep=") => {
                 bench_sweep_path = Some(other["--bench-sweep=".len()..].to_string());
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick|--paper] [--json FILE] [--bench-sweep[=FILE]] [EXPERIMENT ...]\n\
+                    "usage: repro [--quick|--paper] [--json FILE] [--bench-sweep[=FILE]]\n\
+                     \x20            [--scenario ARCH:TRAFFIC[:SET[:EFFORT]]]... [--matrix[=FILE]]\n\
+                     \x20            [--dump-scenarios FILE] [--from-scenarios FILE] [EXPERIMENT ...]\n\
                      experiments: {}",
                     ALL_EXPERIMENTS.join(", ")
                 );
@@ -152,13 +272,69 @@ fn main() {
         }
     }
 
-    if let Some(path) = &bench_sweep_path {
-        run_bench_sweep(effort, path);
-        // `repro --bench-sweep` on its own only benchmarks; experiments run
-        // too when named explicitly or when a --json report was requested.
-        if names.is_empty() && json_path.is_none() {
+    // Assemble the scenario batch: explicit --scenario shorthands, specs
+    // loaded from files, and (with --matrix) the default evaluation matrix.
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    for text in &scenario_args {
+        let mut spec = ScenarioSpec::parse_shorthand(text).unwrap_or_else(|error| {
+            eprintln!("{error}");
+            std::process::exit(2);
+        });
+        // The shorthand's effort defaults to the CLI-wide flag unless the
+        // 4th `:`-separated part pinned it explicitly.
+        if text.split(':').count() < 4 {
+            spec = spec.with_effort(effort);
+        }
+        specs.push(spec);
+    }
+    for path in &from_paths {
+        let loaded = parse_scenarios(&read_file(path)).unwrap_or_else(|error| {
+            eprintln!("{path}: {error}");
+            std::process::exit(2);
+        });
+        eprintln!("[repro] loaded {} scenario(s) from {path}", loaded.len());
+        specs.extend(loaded);
+    }
+    if matrix_path.is_some() {
+        specs.extend(default_matrix(effort).specs());
+    }
+
+    if let Some(path) = &dump_path {
+        // Dump instead of running: write the selected batch (or the default
+        // matrix when nothing was selected) and skip the scenario runs.
+        // Other explicitly requested work — --bench-sweep, named experiments,
+        // --json reports — still runs below.
+        let dumped = if specs.is_empty() {
+            default_matrix(effort).specs()
+        } else {
+            std::mem::take(&mut specs)
+        };
+        write_file(path, &render_scenarios(&dumped));
+        eprintln!("[repro] wrote {} scenario spec(s) to {path}", dumped.len());
+        if names.is_empty() && json_path.is_none() && bench_sweep_path.is_none() {
             return;
         }
+    }
+
+    let ran_scenarios = if specs.is_empty() {
+        false
+    } else {
+        let outcome = run_scenario_batch(&specs);
+        if let Some(path) = &matrix_path {
+            write_file(path, &(matrix_json(&outcome).render() + "\n"));
+            eprintln!("[repro] wrote {path}");
+        }
+        true
+    };
+
+    if let Some(path) = &bench_sweep_path {
+        run_bench_sweep(effort, path);
+    }
+    // Scenario batches and --bench-sweep on their own only run what they
+    // name; experiments run too when named explicitly or when a --json
+    // report was requested.
+    if (ran_scenarios || bench_sweep_path.is_some()) && names.is_empty() && json_path.is_none() {
+        return;
     }
 
     if names.is_empty() {

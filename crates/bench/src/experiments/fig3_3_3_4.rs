@@ -10,20 +10,22 @@
 //!   ≈ 7 % in the thesis) and its packet energy advantage grows (up to ≈ 5 %).
 
 use crate::experiments::ExperimentReport;
-use crate::runner::{compare_architectures, ComparisonRow, EffortLevel, TrafficKind};
+use crate::runner::{comparison_rows, Architecture, ComparisonRow, EffortLevel, TrafficKind};
 use pnoc_sim::config::BandwidthSet;
 use pnoc_sim::report::{fmt_f, Table};
 
-/// Runs the Figure 3-3 / 3-4 sweeps and returns the raw rows.
+/// Runs the Figure 3-3 / 3-4 sweeps — the full (bandwidth set × traffic)
+/// grid as **one scenario-matrix batch** — and returns the raw rows.
 #[must_use]
 pub fn rows(effort: EffortLevel) -> Vec<ComparisonRow> {
-    let mut rows = Vec::new();
-    for set in BandwidthSet::ALL {
-        for kind in TrafficKind::synthetic() {
-            rows.push(compare_architectures(effort, set, &kind));
-        }
-    }
-    rows
+    let [firefly, dhet] = Architecture::comparison_pair();
+    comparison_rows(
+        &firefly,
+        &dhet,
+        effort,
+        &BandwidthSet::ALL,
+        &TrafficKind::synthetic(),
+    )
 }
 
 /// Builds the report from precomputed rows (shared with the Criterion bench).
@@ -116,12 +118,16 @@ mod tests {
 
     #[test]
     fn quick_run_produces_all_rows() {
-        // A single bandwidth set at quick effort keeps the test fast while
-        // exercising the full pipeline.
-        let rows: Vec<ComparisonRow> = TrafficKind::synthetic()
-            .iter()
-            .map(|kind| compare_architectures(EffortLevel::Quick, BandwidthSet::Set1, kind))
-            .collect();
+        // A single bandwidth set at smoke effort keeps the test fast while
+        // exercising the full matrix-batched pipeline.
+        let [firefly, dhet] = Architecture::comparison_pair();
+        let rows = comparison_rows(
+            &firefly,
+            &dhet,
+            EffortLevel::Smoke,
+            &[BandwidthSet::Set1],
+            &TrafficKind::synthetic(),
+        );
         let report = report_from_rows(&rows);
         assert_eq!(report.tables[0].num_rows(), 4);
         assert_eq!(report.tables[1].num_rows(), 4);

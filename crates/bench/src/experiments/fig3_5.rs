@@ -7,17 +7,22 @@
 //! observed regardless of the actual percentage traffic with the hotspot."
 
 use crate::experiments::ExperimentReport;
-use crate::runner::{compare_architectures, ComparisonRow, EffortLevel, TrafficKind};
+use crate::runner::{comparison_rows, Architecture, ComparisonRow, EffortLevel, TrafficKind};
 use pnoc_sim::config::BandwidthSet;
 use pnoc_sim::report::{fmt_f, Table};
 
-/// Runs the case-study sweeps (all at bandwidth set 1, as in the thesis).
+/// Runs the case-study sweeps (all at bandwidth set 1, as in the thesis) as
+/// one scenario-matrix batch.
 #[must_use]
 pub fn rows(effort: EffortLevel) -> Vec<ComparisonRow> {
-    TrafficKind::case_studies()
-        .iter()
-        .map(|kind| compare_architectures(effort, BandwidthSet::Set1, kind))
-        .collect()
+    let [firefly, dhet] = Architecture::comparison_pair();
+    comparison_rows(
+        &firefly,
+        &dhet,
+        effort,
+        &[BandwidthSet::Set1],
+        &TrafficKind::case_studies(),
+    )
 }
 
 /// Builds the report from precomputed rows.
@@ -72,14 +77,14 @@ pub fn run(effort: EffortLevel) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::TrafficKind;
+    use crate::runner::{compare_architectures, TrafficKind};
 
     #[test]
     fn report_covers_all_case_studies() {
-        // Use a single quick case study to keep the test cheap, then check
-        // the report structure with synthetic rows for the rest.
+        // Use a single smoke-effort case study to keep the test cheap, then
+        // check the report structure with synthetic rows for the rest.
         let one = compare_architectures(
-            EffortLevel::Quick,
+            EffortLevel::Smoke,
             BandwidthSet::Set1,
             &TrafficKind::named("real-application"),
         );

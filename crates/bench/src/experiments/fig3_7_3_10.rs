@@ -8,11 +8,12 @@
 //! ahead of Firefly in bandwidth and below it in energy for skewed traffic.
 
 use crate::experiments::ExperimentReport;
-use crate::runner::{saturation_sweep, Architecture, EffortLevel, TrafficKind};
+use crate::runner::{ensure_registered, Architecture, EffortLevel, TrafficKind};
 use pnoc_photonics::area::AreaModel;
 use pnoc_sim::config::BandwidthSet;
 use pnoc_sim::registry::Provisioning;
 use pnoc_sim::report::{fmt_f, Table};
+use pnoc_sim::scenario::ScenarioMatrix;
 use serde::{Deserialize, Serialize};
 
 /// One scaling-point measurement for one architecture.
@@ -34,15 +35,25 @@ pub struct ScalingRow {
     pub area_mm2: f64,
 }
 
-/// Measures the scaling rows for the given traffic kinds.
+/// Measures the scaling rows for the given traffic kinds. The whole
+/// (architecture × bandwidth set × traffic) grid runs as one scenario-matrix
+/// batch: every sweep point goes into a single flattened rayon work queue.
 #[must_use]
 pub fn rows(effort: EffortLevel, kinds: &[TrafficKind]) -> Vec<ScalingRow> {
+    ensure_registered();
     let area_model = AreaModel::paper_default();
+    let pair = Architecture::comparison_pair();
+    let outcome = ScenarioMatrix::new()
+        .architectures(pair.iter().map(Architecture::name))
+        .traffics(kinds.iter().map(TrafficKind::name))
+        .all_bandwidth_sets()
+        .effort(effort)
+        .run()
+        .unwrap_or_else(|error| panic!("{error}"));
     let mut out = Vec::new();
-    for architecture in Architecture::comparison_pair() {
+    for architecture in &pair {
         for set in BandwidthSet::ALL {
             let config = effort.config(set);
-            let loads = effort.load_ladder(&config);
             let area = match architecture.provisioning() {
                 Provisioning::Static => area_model.firefly_report(set.total_wavelengths()).area_mm2,
                 Provisioning::Dynamic => {
@@ -50,7 +61,17 @@ pub fn rows(effort: EffortLevel, kinds: &[TrafficKind]) -> Vec<ScalingRow> {
                 }
             };
             for kind in kinds {
-                let sweep = saturation_sweep(&architecture, config, kind, &loads);
+                let sweep = &outcome
+                    .find(architecture.name(), kind.name(), set)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "matrix result is missing the ({}, {}, {}) cell",
+                            architecture.name(),
+                            kind.name(),
+                            set.short_name()
+                        )
+                    })
+                    .result;
                 let peak = sweep.sustainable_bandwidth_gbps();
                 out.push(ScalingRow {
                     architecture: architecture.label().to_string(),
@@ -139,7 +160,7 @@ pub fn report_from_rows(rows: &[ScalingRow]) -> ExperimentReport {
 pub fn run(effort: EffortLevel) -> ExperimentReport {
     let kinds = match effort {
         EffortLevel::Paper => TrafficKind::synthetic().to_vec(),
-        EffortLevel::Quick => vec![
+        EffortLevel::Quick | EffortLevel::Smoke => vec![
             TrafficKind::named("uniform-random"),
             TrafficKind::named("skewed-3"),
         ],

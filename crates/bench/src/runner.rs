@@ -1,78 +1,38 @@
 //! Shared machinery for the throughput / energy experiments, built entirely
-//! on the **architecture registry** (`pnoc_sim::registry`) and the **traffic
-//! registry** (`pnoc_traffic::factory`).
+//! on the **scenario API** (`pnoc_sim::scenario`) over the architecture
+//! registry (`pnoc_sim::registry`) and the traffic registry
+//! (`pnoc_traffic::factory`).
 //!
 //! Nothing in this module names a concrete architecture or traffic type:
-//! [`Architecture`] and [`TrafficKind`] are handles resolved by name, and
-//! sweeps go through the generic parallel driver in `pnoc_sim::sweep`.
-//! Adding an architecture (register it with
-//! `pnoc_sim::registry::register_architecture`) or a workload (register it
-//! with `pnoc_traffic::factory::register_traffic_factory`) makes it
-//! available to every experiment without touching this crate.
+//! [`Architecture`] and [`TrafficKind`] are handles resolved by name, sweeps
+//! are [`Scenario`] runs, and whole experiment grids go through the
+//! [`ScenarioMatrix`] batch engine (one flattened, deduplicated, parallel
+//! work queue instead of per-sweep parallelism). Adding an architecture
+//! (register it with `pnoc_sim::registry::register_architecture`) or a
+//! workload (register it with
+//! `pnoc_traffic::factory::register_traffic_factory`) makes it available to
+//! every experiment without touching this crate.
 
 use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
 use pnoc_sim::config::{BandwidthSet, SimConfig};
 use pnoc_sim::engine::run_to_completion;
-use pnoc_sim::registry::{
-    lookup_architecture, registered_architectures, ArchitectureBuilder, Provisioning,
-};
+use pnoc_sim::registry::{lookup_architecture, ArchitectureBuilder, Provisioning};
+use pnoc_sim::scenario::{MatrixResult, Scenario, ScenarioMatrix, ScenarioResult, ScenarioSpec};
 use pnoc_sim::stats::SimStats;
-use pnoc_sim::sweep::{default_load_ladder, run_saturation_sweep, SaturationResult, SweepMode};
-use pnoc_traffic::factory::{lookup_traffic_factory, registered_traffic_patterns, TrafficSpec};
+use pnoc_sim::sweep::SaturationResult;
+use pnoc_traffic::factory::{lookup_traffic_factory, TrafficSpec};
 use pnoc_traffic::pattern::PacketShape;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// The simulation effort level, re-exported from the scenario API
+/// (`Paper` scale, `Quick` smoke runs, `Smoke` test runs).
+pub use pnoc_sim::scenario::Effort as EffortLevel;
 
 /// Makes sure the workspace's architectures are registered. Called by every
 /// resolving entry point, so binaries and tests need no explicit setup.
 pub fn ensure_registered() {
     d_hetpnoc_repro::install_architectures();
-}
-
-/// How much simulation effort to spend (paper scale vs quick smoke runs for
-/// benches and tests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum EffortLevel {
-    /// Full paper methodology: 10 000 measured cycles, 16 VCs, 8-point load
-    /// ladder.
-    Paper,
-    /// Reduced runs for Criterion benches and smoke tests.
-    Quick,
-}
-
-impl EffortLevel {
-    /// The simulation configuration for this effort level.
-    #[must_use]
-    pub fn config(self, set: BandwidthSet) -> SimConfig {
-        match self {
-            EffortLevel::Paper => SimConfig::paper_default(set),
-            EffortLevel::Quick => {
-                let mut c = SimConfig::fast(set);
-                c.sim_cycles = 1_200;
-                c.warmup_cycles = 300;
-                c
-            }
-        }
-    }
-
-    /// The offered-load ladder for this effort level.
-    #[must_use]
-    pub fn load_ladder(self, config: &SimConfig) -> Vec<f64> {
-        let full = default_load_ladder(config.estimated_saturation_load());
-        match self {
-            EffortLevel::Paper => full,
-            EffortLevel::Quick => vec![full[1], full[3], full[5]],
-        }
-    }
-
-    /// Label used in reports and JSON output.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            EffortLevel::Paper => "paper",
-            EffortLevel::Quick => "quick",
-        }
-    }
 }
 
 /// A handle to a registered architecture, resolved by name.
@@ -88,7 +48,7 @@ impl Architecture {
     /// # Panics
     ///
     /// Panics if no architecture of that name is registered; the message
-    /// lists the registered names.
+    /// lists the registered names and suggests the nearest match.
     #[must_use]
     pub fn named(name: &str) -> Self {
         let builder = Self::resolve(name);
@@ -100,12 +60,7 @@ impl Architecture {
 
     fn resolve(name: &str) -> Arc<dyn ArchitectureBuilder> {
         ensure_registered();
-        lookup_architecture(name).unwrap_or_else(|| {
-            panic!(
-                "architecture '{name}' is not registered; registered: {:?}",
-                registered_architectures()
-            )
-        })
+        lookup_architecture(name).unwrap_or_else(|error| panic!("{error}"))
     }
 
     /// The Firefly baseline.
@@ -131,7 +86,7 @@ impl Architecture {
     #[must_use]
     pub fn all() -> Vec<Architecture> {
         ensure_registered();
-        registered_architectures()
+        pnoc_sim::registry::registered_architectures()
             .iter()
             .map(|name| Architecture::named(name))
             .collect()
@@ -175,14 +130,12 @@ impl TrafficKind {
     /// # Panics
     ///
     /// Panics if no pattern of that name is registered; the message lists
-    /// the registered names.
+    /// the registered names and suggests the nearest match.
     #[must_use]
     pub fn named(name: &str) -> Self {
-        assert!(
-            lookup_traffic_factory(name).is_some(),
-            "traffic pattern '{name}' is not registered; registered: {:?}",
-            registered_traffic_patterns()
-        );
+        if let Err(error) = lookup_traffic_factory(name) {
+            panic!("{error}");
+        }
         Self {
             name: name.to_string(),
         }
@@ -221,7 +174,7 @@ impl TrafficKind {
     /// Every registered traffic pattern, sorted by name.
     #[must_use]
     pub fn all() -> Vec<TrafficKind> {
-        registered_traffic_patterns()
+        pnoc_traffic::factory::registered_traffic_patterns()
             .iter()
             .map(|name| TrafficKind::named(name))
             .collect()
@@ -248,18 +201,45 @@ impl TrafficKind {
         load: OfferedLoad,
         seed: u64,
     ) -> Box<dyn TrafficModel + Send> {
-        let factory = lookup_traffic_factory(&self.name).unwrap_or_else(|| {
-            panic!(
-                "traffic pattern '{}' disappeared from the registry",
-                self.name
-            )
-        });
+        let factory = lookup_traffic_factory(&self.name).unwrap_or_else(|error| panic!("{error}"));
         let shape = PacketShape::new(
             config.bandwidth_set.packet_flits(),
             config.bandwidth_set.flit_bits(),
         );
         factory.build(&TrafficSpec::new(config.topology, shape, load, seed))
     }
+}
+
+/// Builds the [`ScenarioSpec`] of one experiment cell.
+#[must_use]
+pub fn spec_for(
+    architecture: &Architecture,
+    kind: &TrafficKind,
+    effort: EffortLevel,
+    set: BandwidthSet,
+) -> ScenarioSpec {
+    ScenarioSpec::new(architecture.name(), kind.name())
+        .with_bandwidth_set(set)
+        .with_effort(effort)
+}
+
+/// Resolves the [`Scenario`] of one experiment cell.
+///
+/// # Panics
+///
+/// Panics when either name is no longer registered (cannot normally happen:
+/// [`Architecture`] and [`TrafficKind`] handles were themselves resolved).
+#[must_use]
+pub fn scenario_for(
+    architecture: &Architecture,
+    kind: &TrafficKind,
+    effort: EffortLevel,
+    set: BandwidthSet,
+) -> Scenario {
+    ensure_registered();
+    spec_for(architecture, kind, effort, set)
+        .resolve()
+        .unwrap_or_else(|error| panic!("{error}"))
 }
 
 /// Runs one simulation of one architecture at one offered load.
@@ -275,36 +255,16 @@ pub fn run_once(
     run_to_completion(&mut *network)
 }
 
-/// Sweeps the offered load for one architecture and traffic scenario,
-/// running the sweep points in parallel through the generic driver.
+/// Sweeps the offered load for one architecture and traffic scenario through
+/// the scenario engine (ladder points in parallel).
 #[must_use]
 pub fn saturation_sweep(
     architecture: &Architecture,
-    config: SimConfig,
     kind: &TrafficKind,
-    loads: &[f64],
+    effort: EffortLevel,
+    set: BandwidthSet,
 ) -> SaturationResult {
-    saturation_sweep_with_mode(architecture, config, kind, loads, SweepMode::Parallel)
-}
-
-/// Like [`saturation_sweep`] but with an explicit execution mode (used by
-/// determinism tests and the `repro --bench-sweep` timing harness).
-#[must_use]
-pub fn saturation_sweep_with_mode(
-    architecture: &Architecture,
-    config: SimConfig,
-    kind: &TrafficKind,
-    loads: &[f64],
-    mode: SweepMode,
-) -> SaturationResult {
-    let builder = architecture.builder();
-    run_saturation_sweep(
-        builder.as_ref(),
-        &|spec| kind.build(&spec.config, spec.offered_load, spec.seed),
-        &config,
-        loads,
-        mode,
-    )
+    scenario_for(architecture, kind, effort, set).run().result
 }
 
 /// The outcome of comparing two architectures on one scenario.
@@ -358,8 +318,7 @@ impl ComparisonRow {
     }
 }
 
-/// Compares two registered architectures on one scenario at one bandwidth
-/// set.
+/// Builds a [`ComparisonRow`] from the two scenario results of one cell.
 ///
 /// Peak bandwidth is each architecture's own sustainable (saturation)
 /// bandwidth. Packet energy and latency are compared at a **common operating
@@ -368,21 +327,17 @@ impl ComparisonRow {
 /// residence under d-HetPNoC, Section 3.4.1.2) rather than how far past
 /// saturation each one happens to be driven.
 #[must_use]
-pub fn compare(
+pub fn comparison_from(
     baseline: &Architecture,
     candidate: &Architecture,
-    effort: EffortLevel,
-    set: BandwidthSet,
-    kind: &TrafficKind,
+    base: &ScenarioResult,
+    cand: &ScenarioResult,
 ) -> ComparisonRow {
-    let config = effort.config(set);
-    let loads = effort.load_ladder(&config);
-    let base = saturation_sweep(baseline, config, kind, &loads);
-    let cand = saturation_sweep(candidate, config, kind, &loads);
     let common_idx = base
+        .result
         .saturation_index()
         .unwrap_or(0)
-        .min(cand.points.len().saturating_sub(1));
+        .min(cand.result.points.len().saturating_sub(1));
     let energy_at = |sweep: &SaturationResult| {
         sweep
             .points
@@ -398,17 +353,85 @@ pub fn compare(
             .unwrap_or(0.0)
     };
     ComparisonRow {
-        bandwidth_set: set.label().to_string(),
-        traffic: kind.label(),
+        bandwidth_set: base.spec.bandwidth_set.label().to_string(),
+        traffic: base.spec.traffic.clone(),
         baseline: baseline.label().to_string(),
         candidate: candidate.label().to_string(),
-        baseline_peak_gbps: base.sustainable_bandwidth_gbps(),
-        candidate_peak_gbps: cand.sustainable_bandwidth_gbps(),
-        baseline_packet_energy_pj: energy_at(&base),
-        candidate_packet_energy_pj: energy_at(&cand),
-        baseline_latency_cycles: latency_at(&base),
-        candidate_latency_cycles: latency_at(&cand),
+        baseline_peak_gbps: base.result.sustainable_bandwidth_gbps(),
+        candidate_peak_gbps: cand.result.sustainable_bandwidth_gbps(),
+        baseline_packet_energy_pj: energy_at(&base.result),
+        candidate_packet_energy_pj: energy_at(&cand.result),
+        baseline_latency_cycles: latency_at(&base.result),
+        candidate_latency_cycles: latency_at(&cand.result),
     }
+}
+
+/// Compares two registered architectures across a whole (bandwidth set ×
+/// traffic) grid in **one matrix run**: every sweep point of every cell goes
+/// into a single flattened rayon work queue, so short sweeps no longer idle
+/// behind long ones. Rows come back in `sets`-major, `kinds`-minor order.
+///
+/// # Panics
+///
+/// Panics if the matrix fails to resolve (cannot normally happen: the
+/// handles were themselves resolved against the registries).
+#[must_use]
+pub fn comparison_rows(
+    baseline: &Architecture,
+    candidate: &Architecture,
+    effort: EffortLevel,
+    sets: &[BandwidthSet],
+    kinds: &[TrafficKind],
+) -> Vec<ComparisonRow> {
+    ensure_registered();
+    let matrix = ScenarioMatrix::new()
+        .architectures([baseline.name(), candidate.name()])
+        .traffics(kinds.iter().map(TrafficKind::name))
+        .bandwidth_sets(sets.iter().copied())
+        .effort(effort);
+    let outcome = matrix.run().unwrap_or_else(|error| panic!("{error}"));
+    let cell = |matrix: &MatrixResult, arch: &Architecture, kind: &TrafficKind, set| {
+        matrix
+            .find(arch.name(), kind.name(), set)
+            .unwrap_or_else(|| {
+                panic!(
+                    "matrix result is missing the ({}, {}) cell",
+                    arch.name(),
+                    kind.name()
+                )
+            })
+            .clone()
+    };
+    let mut rows = Vec::with_capacity(sets.len() * kinds.len());
+    for &set in sets {
+        for kind in kinds {
+            let base = cell(&outcome, baseline, kind, set);
+            let cand = cell(&outcome, candidate, kind, set);
+            rows.push(comparison_from(baseline, candidate, &base, &cand));
+        }
+    }
+    rows
+}
+
+/// Compares two registered architectures on one scenario at one bandwidth
+/// set (a 1×1 [`comparison_rows`] grid).
+#[must_use]
+pub fn compare(
+    baseline: &Architecture,
+    candidate: &Architecture,
+    effort: EffortLevel,
+    set: BandwidthSet,
+    kind: &TrafficKind,
+) -> ComparisonRow {
+    comparison_rows(
+        baseline,
+        candidate,
+        effort,
+        &[set],
+        std::slice::from_ref(kind),
+    )
+    .pop()
+    .expect("a 1x1 grid yields exactly one row")
 }
 
 /// Compares the paper's pair (Firefly baseline vs d-HetPNoC) on one
@@ -444,13 +467,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
+    #[should_panic(expected = "unknown architecture")]
     fn unknown_architecture_panics_with_the_registered_names() {
         let _ = Architecture::named("warp-drive");
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
+    #[should_panic(expected = "did you mean 'd-hetpnoc'")]
+    fn misspelled_architecture_panics_with_a_suggestion() {
+        let _ = Architecture::named("d-hetpnok");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown traffic pattern")]
     fn unknown_traffic_pattern_panics() {
         let _ = TrafficKind::named("smoke-signals");
     }
@@ -473,7 +502,7 @@ mod tests {
     #[test]
     fn quick_comparison_produces_sane_numbers() {
         let row = compare_architectures(
-            EffortLevel::Quick,
+            EffortLevel::Smoke,
             BandwidthSet::Set1,
             &TrafficKind::named("skewed-2"),
         );
@@ -491,6 +520,27 @@ mod tests {
     }
 
     #[test]
+    fn grid_comparison_matches_the_single_cell_path() {
+        let kind = TrafficKind::named("skewed-3");
+        let [firefly, dhet] = Architecture::comparison_pair();
+        let grid = comparison_rows(
+            &firefly,
+            &dhet,
+            EffortLevel::Smoke,
+            &[BandwidthSet::Set1],
+            std::slice::from_ref(&kind),
+        );
+        let single = compare(
+            &firefly,
+            &dhet,
+            EffortLevel::Smoke,
+            BandwidthSet::Set1,
+            &kind,
+        );
+        assert_eq!(grid, vec![single], "batched grid must equal per-cell runs");
+    }
+
+    #[test]
     fn run_once_honours_the_architecture_label() {
         let config = EffortLevel::Quick.config(BandwidthSet::Set1);
         let load = config.estimated_saturation_load() * 0.5;
@@ -503,9 +553,7 @@ mod tests {
 
     #[test]
     fn extended_patterns_flow_through_the_uniform_test_fabric() {
-        let mut config = EffortLevel::Quick.config(BandwidthSet::Set1);
-        config.sim_cycles = 800;
-        config.warmup_cycles = 200;
+        let config = EffortLevel::Smoke.config(BandwidthSet::Set1);
         let load = config.estimated_saturation_load() * 0.8;
         let arch = Architecture::named("uniform-fabric");
         for kind in TrafficKind::extended() {

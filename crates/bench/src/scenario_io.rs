@@ -1,0 +1,294 @@
+//! Serialization of [`ScenarioSpec`]s and matrix results through the
+//! hand-rolled JSON value model in [`crate::json`].
+//!
+//! The workspace's `serde` is a no-op shim (see `vendor/README.md`), so this
+//! module is the real wire format: `repro --dump-scenarios` writes what
+//! [`render_scenarios`] produces, `repro --from-scenarios` reads it back via
+//! [`parse_scenarios`], and the round trip is the identity
+//! (`parse(render(specs)) == specs`, property-tested in
+//! `tests/scenario_roundtrip.rs`). `repro --matrix` writes the deterministic
+//! [`matrix_json`] document that CI diffs across two runs to prove the batch
+//! engine reproducible.
+
+use crate::json::{Json, JsonParseError};
+use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::scenario::{Effort, MatrixResult, ScenarioResult, ScenarioSpec};
+use pnoc_sim::stats::SimStats;
+
+/// JSON representation of one scenario spec.
+///
+/// The seed is rendered as a **decimal string**, not a JSON number: the value
+/// model stores numbers as `f64`, which cannot represent every `u64` exactly,
+/// and seeds must survive the round trip bit-for-bit.
+#[must_use]
+pub fn spec_json(spec: &ScenarioSpec) -> Json {
+    Json::obj(vec![
+        ("architecture", Json::str(&spec.architecture)),
+        ("traffic", Json::str(&spec.traffic)),
+        ("bandwidth_set", Json::str(spec.bandwidth_set.short_name())),
+        ("effort", Json::str(spec.effort.label())),
+        ("seed", Json::str(spec.seed.to_string())),
+        (
+            "ladder",
+            Json::Arr(spec.ladder.iter().map(|&l| Json::Num(l)).collect()),
+        ),
+    ])
+}
+
+fn field<'a>(value: &'a Json, key: &str) -> Result<&'a Json, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("scenario spec is missing the '{key}' field"))
+}
+
+fn string_field(value: &Json, key: &str) -> Result<String, String> {
+    field(value, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("scenario field '{key}' must be a string"))
+}
+
+/// Reads one scenario spec back from its JSON representation.
+///
+/// The seed is accepted either as a decimal string (what [`spec_json`]
+/// writes) or, for hand-written files, as a non-negative integral number.
+///
+/// # Errors
+///
+/// Returns a human-readable message on missing fields, wrong types, unknown
+/// bandwidth-set / effort labels, or an unparsable seed.
+pub fn spec_from_json(value: &Json) -> Result<ScenarioSpec, String> {
+    let architecture = string_field(value, "architecture")?;
+    let traffic = string_field(value, "traffic")?;
+    let set_name = string_field(value, "bandwidth_set")?;
+    let bandwidth_set = BandwidthSet::from_short_name(&set_name)
+        .ok_or_else(|| format!("unknown bandwidth set '{set_name}' (use set1, set2 or set3)"))?;
+    let effort_name = string_field(value, "effort")?;
+    let effort = Effort::parse(&effort_name)
+        .ok_or_else(|| format!("unknown effort '{effort_name}' (use paper, quick or smoke)"))?;
+    let seed = match field(value, "seed")? {
+        Json::Str(text) => text
+            .parse::<u64>()
+            .map_err(|_| format!("seed '{text}' is not a u64"))?,
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => *n as u64,
+        _ => return Err("seed must be a decimal string or a non-negative integer".to_string()),
+    };
+    let ladder = field(value, "ladder")?
+        .as_array()
+        .ok_or_else(|| "scenario field 'ladder' must be an array".to_string())?
+        .iter()
+        .map(|item| {
+            item.as_f64()
+                .ok_or_else(|| "ladder entries must be numbers".to_string())
+        })
+        .collect::<Result<Vec<f64>, String>>()?;
+    Ok(ScenarioSpec {
+        architecture,
+        traffic,
+        bandwidth_set,
+        effort,
+        seed,
+        ladder,
+    })
+}
+
+/// JSON document for a batch of scenario specs (what `repro
+/// --dump-scenarios` writes).
+#[must_use]
+pub fn scenarios_json(specs: &[ScenarioSpec]) -> Json {
+    Json::obj(vec![
+        ("format", Json::str("d-hetpnoc-scenarios/v1")),
+        (
+            "scenarios",
+            Json::Arr(specs.iter().map(spec_json).collect()),
+        ),
+    ])
+}
+
+/// Renders a batch of scenario specs as a JSON document string.
+#[must_use]
+pub fn render_scenarios(specs: &[ScenarioSpec]) -> String {
+    scenarios_json(specs).render() + "\n"
+}
+
+/// Parses a scenario document (the inverse of [`render_scenarios`]; a bare
+/// top-level array of specs is also accepted).
+///
+/// # Errors
+///
+/// Returns a human-readable message on JSON syntax errors or invalid specs.
+pub fn parse_scenarios(text: &str) -> Result<Vec<ScenarioSpec>, String> {
+    let document = Json::parse(text).map_err(|e: JsonParseError| e.to_string())?;
+    let list = match &document {
+        Json::Arr(items) => items.as_slice(),
+        Json::Obj(_) => document
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "scenario document has no 'scenarios' array".to_string())?,
+        _ => return Err("scenario document must be an object or an array".to_string()),
+    };
+    list.iter()
+        .enumerate()
+        .map(|(i, item)| spec_from_json(item).map_err(|e| format!("scenario #{i}: {e}")))
+        .collect()
+}
+
+fn stats_json(stats: &SimStats) -> Json {
+    Json::obj(vec![
+        (
+            "delivered_packets",
+            Json::Num(stats.delivered_packets as f64),
+        ),
+        ("delivered_bits", Json::Num(stats.delivered_bits as f64)),
+        ("dropped_packets", Json::Num(stats.dropped_packets as f64)),
+        (
+            "accepted_bandwidth_gbps",
+            Json::Num(stats.accepted_bandwidth_gbps()),
+        ),
+        ("packet_energy_pj", Json::Num(stats.packet_energy_pj())),
+        (
+            "average_latency_cycles",
+            Json::Num(stats.average_packet_latency()),
+        ),
+        ("drop_rate", Json::Num(stats.drop_rate())),
+    ])
+}
+
+/// JSON representation of one scenario result: the spec, the derived
+/// per-point seeds, a per-point stats digest and the headline metrics.
+/// Deliberately excludes wall-clock time so the document is deterministic.
+#[must_use]
+pub fn scenario_result_json(result: &ScenarioResult) -> Json {
+    Json::obj(vec![
+        ("spec", spec_json(&result.spec)),
+        ("id", Json::str(result.spec.id())),
+        (
+            "point_seeds",
+            Json::Arr(
+                result
+                    .point_seeds
+                    .iter()
+                    .map(|s| Json::str(s.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "points",
+            Json::Arr(
+                result
+                    .result
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("offered_load", Json::Num(p.offered_load)),
+                            ("stats", stats_json(&p.stats)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "peak_bandwidth_gbps",
+            Json::Num(result.result.peak_bandwidth_gbps()),
+        ),
+        (
+            "sustainable_bandwidth_gbps",
+            Json::Num(result.result.sustainable_bandwidth_gbps()),
+        ),
+        (
+            "packet_energy_at_saturation_pj",
+            Json::Num(result.result.packet_energy_at_saturation_pj()),
+        ),
+    ])
+}
+
+/// The deterministic JSON document `repro --matrix` writes: every scenario
+/// result plus the work-queue statistics. Contains **no wall-clock fields**,
+/// so two runs of the same matrix must produce byte-identical documents —
+/// CI asserts exactly that.
+#[must_use]
+pub fn matrix_json(result: &MatrixResult) -> Json {
+    Json::obj(vec![
+        ("generated_by", Json::str("repro --matrix")),
+        ("total_points", Json::Num(result.total_points as f64)),
+        ("unique_points", Json::Num(result.unique_points as f64)),
+        (
+            "scenarios",
+            Json::Arr(result.scenarios.iter().map(scenario_result_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_spec() -> ScenarioSpec {
+        ScenarioSpec::new("d-hetpnoc", "tornado")
+            .with_bandwidth_set(BandwidthSet::Set2)
+            .with_effort(Effort::Smoke)
+            .with_seed(u64::MAX - 7)
+            .with_ladder(vec![0.001, 0.0025, 0.004])
+    }
+
+    #[test]
+    fn spec_round_trips_through_json_including_a_non_f64_seed() {
+        let spec = example_spec();
+        let rendered = spec_json(&spec).render();
+        let parsed = spec_from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(
+            parsed, spec,
+            "u64::MAX-7 does not fit f64; string seed must survive"
+        );
+    }
+
+    #[test]
+    fn scenario_documents_round_trip_and_validate() {
+        let specs = vec![
+            example_spec(),
+            ScenarioSpec::new("firefly", "uniform-random"),
+        ];
+        let text = render_scenarios(&specs);
+        assert_eq!(parse_scenarios(&text).unwrap(), specs);
+
+        // Bare arrays are accepted too.
+        let bare = Json::Arr(specs.iter().map(spec_json).collect()).render();
+        assert_eq!(parse_scenarios(&bare).unwrap(), specs);
+
+        assert!(parse_scenarios("{}").is_err());
+        assert!(parse_scenarios("42").is_err());
+        let mut bad = spec_json(&example_spec());
+        if let Json::Obj(fields) = &mut bad {
+            fields.retain(|(k, _)| k != "traffic");
+        }
+        let error = parse_scenarios(&Json::Arr(vec![bad]).render()).unwrap_err();
+        assert!(error.contains("missing the 'traffic' field"), "{error}");
+    }
+
+    #[test]
+    fn numeric_seeds_are_accepted_for_hand_written_files() {
+        let mut value = spec_json(&ScenarioSpec::new("firefly", "tornado"));
+        if let Json::Obj(fields) = &mut value {
+            for (k, v) in fields.iter_mut() {
+                if k == "seed" {
+                    *v = Json::Num(42.0);
+                }
+            }
+        }
+        assert_eq!(spec_from_json(&value).unwrap().seed, 42);
+    }
+
+    #[test]
+    fn matrix_document_is_free_of_wall_clock_fields() {
+        let result = MatrixResult {
+            scenarios: Vec::new(),
+            total_points: 6,
+            unique_points: 5,
+            wall_clock_seconds: 1.25,
+        };
+        let text = matrix_json(&result).render();
+        assert!(!text.contains("wall_clock"), "{text}");
+        assert!(text.contains("\"unique_points\": 5"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Integration tests of the scenario-matrix batch engine over the real
+//! architectures: the flattened, deduplicated parallel work queue must be
+//! bitwise-identical to running the same scenarios one by one sequentially,
+//! and the `repro --matrix` JSON artifact must be deterministic.
+
+use pnoc_bench::runner::{ensure_registered, EffortLevel};
+use pnoc_bench::scenario_io::matrix_json;
+use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::scenario::ScenarioMatrix;
+
+fn smoke_matrix() -> ScenarioMatrix {
+    ensure_registered();
+    ScenarioMatrix::new()
+        .architectures(["firefly", "d-hetpnoc"])
+        .traffics(["tornado", "bursty-uniform"])
+        .bandwidth_sets([BandwidthSet::Set1])
+        .effort(EffortLevel::Smoke)
+}
+
+#[test]
+fn matrix_run_is_bitwise_identical_to_sequential_per_scenario_runs() {
+    rayon::set_thread_count(4);
+    let matrix = smoke_matrix();
+    let batched = matrix.run().expect("all names registered");
+    let sequential = matrix.run_sequential().expect("all names registered");
+    assert_eq!(batched.scenarios.len(), 4);
+    assert!(
+        batched
+            .scenarios
+            .iter()
+            .flat_map(|s| &s.result.points)
+            .any(|p| p.stats.delivered_packets > 0),
+        "the matrix delivered nothing, the comparison would be vacuous"
+    );
+    assert!(
+        batched.bitwise_eq(&sequential),
+        "flattened matrix run must be bitwise-identical to per-scenario sequential runs"
+    );
+}
+
+#[test]
+fn matrix_json_artifact_is_deterministic_across_runs() {
+    let matrix = smoke_matrix();
+    let first = matrix_json(&matrix.run().expect("registered")).render();
+    let second = matrix_json(&matrix.run().expect("registered")).render();
+    assert_eq!(
+        first, second,
+        "two runs of the same matrix must produce byte-identical JSON"
+    );
+}
+
+#[test]
+fn default_effort_grid_expands_all_bandwidth_sets() {
+    // The repro --matrix default shape: every architecture × 2 traffics ×
+    // 3 sets. Only expansion is checked here (running it is CI's job).
+    ensure_registered();
+    let specs = ScenarioMatrix::new()
+        .all_architectures()
+        .traffics(["tornado", "bursty-uniform"])
+        .all_bandwidth_sets()
+        .effort(EffortLevel::Quick)
+        .specs();
+    let architectures = pnoc_sim::registry::registered_architectures().len();
+    assert_eq!(specs.len(), architectures * 2 * 3);
+}

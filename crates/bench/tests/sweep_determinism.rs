@@ -1,83 +1,76 @@
-//! Integration tests of the parallel sweep engine through the full registry
-//! stack: for every real architecture, a parallel sweep must be
-//! bitwise-identical to the sequential sweep, and every registered workload
+//! Integration tests of the scenario engine through the full registry stack:
+//! for every real architecture, a parallel scenario run must be
+//! bitwise-identical to the sequential run, and every registered workload
 //! must drive the network end to end.
 
-use pnoc_bench::runner::{
-    run_once, saturation_sweep_with_mode, Architecture, EffortLevel, TrafficKind,
-};
+use pnoc_bench::runner::{ensure_registered, run_once, Architecture, EffortLevel, TrafficKind};
 use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::scenario::{Scenario, ScenarioSpec};
 use pnoc_sim::sweep::{derive_point_seed, SweepMode};
 
-fn quick_config() -> pnoc_sim::config::SimConfig {
-    let mut config = EffortLevel::Quick.config(BandwidthSet::Set1);
-    config.sim_cycles = 600;
-    config.warmup_cycles = 150;
-    config
+fn smoke_scenario(architecture: &Architecture, traffic: &str) -> Scenario {
+    ensure_registered();
+    ScenarioSpec::new(architecture.name(), traffic)
+        .with_effort(EffortLevel::Smoke)
+        .resolve()
+        .expect("registered names")
 }
 
 #[test]
-fn parallel_sweeps_are_bitwise_identical_for_both_paper_architectures() {
+fn parallel_scenarios_are_bitwise_identical_for_both_paper_architectures() {
     // Force real worker threads even on single-core hosts so the parallel
     // code path is exercised for real (atomic override, not env mutation).
     rayon::set_thread_count(4);
-    let config = quick_config();
-    let loads = EffortLevel::Quick.load_ladder(&config);
-    let kind = TrafficKind::named("skewed-2");
     for architecture in Architecture::comparison_pair() {
-        let sequential =
-            saturation_sweep_with_mode(&architecture, config, &kind, &loads, SweepMode::Sequential);
-        let parallel =
-            saturation_sweep_with_mode(&architecture, config, &kind, &loads, SweepMode::Parallel);
+        let scenario = smoke_scenario(&architecture, "skewed-2");
+        let sequential = scenario.run_with_mode(SweepMode::Sequential);
+        let parallel = scenario.run_with_mode(SweepMode::Parallel);
         assert!(
             sequential
+                .result
                 .points
                 .iter()
                 .any(|p| p.stats.delivered_packets > 0),
             "{}: the sweep delivered nothing, the comparison would be vacuous",
             architecture.name()
         );
-        assert_eq!(
-            sequential,
-            parallel,
-            "{}: parallel sweep must be bitwise-identical to sequential",
+        assert!(
+            sequential.bitwise_eq(&parallel),
+            "{}: parallel scenario run must be bitwise-identical to sequential",
             architecture.name()
         );
     }
 }
 
 #[test]
-fn sweep_points_use_derived_seeds() {
-    // Two sweeps from different base seeds must differ (the per-point seed
-    // really is derived from the base seed), while the same base seed must
-    // reproduce exactly.
-    let config = quick_config();
-    let loads = EffortLevel::Quick.load_ladder(&config);
-    let kind = TrafficKind::named("uniform-random");
+fn scenario_points_use_derived_seeds() {
+    // Two runs from the same base seed must reproduce exactly; a different
+    // base seed must change the sweep (the per-point seed really is derived
+    // from the base seed).
     let architecture = Architecture::firefly();
-    let a = saturation_sweep_with_mode(&architecture, config, &kind, &loads, SweepMode::Sequential);
-    let b = saturation_sweep_with_mode(&architecture, config, &kind, &loads, SweepMode::Sequential);
-    assert_eq!(a, b, "same base seed must reproduce exactly");
+    let scenario = smoke_scenario(&architecture, "uniform-random");
+    let a = scenario.run_with_mode(SweepMode::Sequential);
+    let b = scenario.run_with_mode(SweepMode::Sequential);
+    assert!(a.bitwise_eq(&b), "same base seed must reproduce exactly");
 
-    let mut reseeded = config;
-    reseeded.seed ^= 0xDEAD_BEEF;
-    let c = saturation_sweep_with_mode(
-        &architecture,
-        reseeded,
-        &kind,
-        &loads,
-        SweepMode::Sequential,
-    );
-    assert_ne!(a, c, "a different base seed must change the sweep");
+    let reseeded = scenario
+        .spec()
+        .clone()
+        .with_seed(scenario.spec().seed ^ 0xDEAD_BEEF)
+        .resolve()
+        .expect("still registered");
+    let c = reseeded.run_with_mode(SweepMode::Sequential);
     assert_ne!(
-        derive_point_seed(config.seed, 0),
-        derive_point_seed(reseeded.seed, 0)
+        a.result, c.result,
+        "a different base seed must change the sweep"
     );
+    assert_ne!(a.point_seeds, c.point_seeds);
+    assert_eq!(a.point_seeds[0], derive_point_seed(scenario.spec().seed, 0));
 }
 
 #[test]
 fn every_registered_workload_drives_every_paper_architecture() {
-    let config = quick_config();
+    let config = EffortLevel::Smoke.config(BandwidthSet::Set1);
     let load = config.estimated_saturation_load() * 0.8;
     for architecture in Architecture::comparison_pair() {
         for kind in TrafficKind::all() {

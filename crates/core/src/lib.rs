@@ -18,7 +18,8 @@
 //!   wavelength identifiers (Section 3.3.1 / 3.4.1.1),
 //! * [`fabric`] — the [`pnoc_sim::system::PhotonicFabric`] implementation
 //!   plugging DBA into the shared cycle-accurate cluster system,
-//! * [`network`] — convenience constructors and saturation-sweep helpers.
+//! * [`network`] — convenience constructors and the `"d-hetpnoc"` registry
+//!   entry used by the scenario-based experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,8 +36,6 @@ pub mod token;
 pub mod prelude {
     pub use crate::dba::{AllocationPolicy, DbaController};
     pub use crate::fabric::DhetFabric;
-    #[allow(deprecated)]
-    pub use crate::network::dhetpnoc_saturation_sweep;
     pub use crate::network::{
         build_dhetpnoc_system, register_dhetpnoc_architecture, DhetPnocArchitecture,
     };

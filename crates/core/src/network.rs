@@ -2,11 +2,10 @@
 //! simulations.
 
 use crate::fabric::DhetFabric;
-use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
+use pnoc_noc::traffic_model::TrafficModel;
 use pnoc_sim::config::SimConfig;
 use pnoc_sim::engine::CycleNetwork;
 use pnoc_sim::registry::{register_architecture, ArchitectureBuilder};
-use pnoc_sim::sweep::{default_load_ladder, run_saturation_sweep_seq, SaturationResult};
 use pnoc_sim::system::PhotonicSystem;
 use pnoc_traffic::demand::DemandMatrix;
 use std::sync::Arc;
@@ -50,34 +49,19 @@ impl ArchitectureBuilder for DhetPnocArchitecture {
 /// Registers d-HetPNoC into the process-global architecture registry.
 /// Idempotent; usually invoked through the umbrella crate's
 /// `install_architectures`.
+///
+/// Once registered, sweeps run through `pnoc_sim::scenario` — e.g.
+/// `ScenarioSpec::new("d-hetpnoc", "skewed-3").resolve()?.run()` — instead
+/// of the per-architecture sweep wrapper this crate used to export.
 pub fn register_dhetpnoc_architecture() {
     register_architecture(Arc::new(DhetPnocArchitecture));
-}
-
-/// Sweeps the offered load and returns the saturation result for d-HetPNoC.
-#[deprecated(
-    since = "0.2.0",
-    note = "use pnoc_sim::sweep::run_saturation_sweep with the \"d-hetpnoc\" registry entry; \
-            this wrapper forwards to the generic sequential driver"
-)]
-pub fn dhetpnoc_saturation_sweep<T, M>(config: SimConfig, mut make_traffic: M) -> SaturationResult
-where
-    T: TrafficModel + Send + 'static,
-    M: FnMut(OfferedLoad) -> T,
-{
-    let loads = default_load_ladder(config.estimated_saturation_load());
-    run_saturation_sweep_seq(
-        &DhetPnocArchitecture,
-        &mut |spec| Box::new(make_traffic(spec.offered_load)),
-        &config,
-        &loads,
-    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pnoc_noc::topology::ClusterTopology;
+    use pnoc_noc::traffic_model::OfferedLoad;
     use pnoc_sim::config::BandwidthSet;
     use pnoc_sim::engine::run_to_completion;
     use pnoc_sim::system::PhotonicFabric;
@@ -147,21 +131,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn saturation_sweep_produces_a_peak() {
-        let mut config = SimConfig::fast(BandwidthSet::Set1);
-        config.sim_cycles = 1_000;
-        config.warmup_cycles = 200;
-        let result = dhetpnoc_saturation_sweep(config, |load| {
-            SkewedTraffic::new(
-                ClusterTopology::paper_default(),
-                shape(BandwidthSet::Set1),
-                SkewLevel::Skewed2,
-                load,
-                config.seed,
-            )
-        });
-        assert!(result.peak_bandwidth_gbps() > 0.0);
-        assert!(result.packet_energy_at_saturation_pj() > 0.0);
+    fn scenario_sweep_produces_a_peak() {
+        register_dhetpnoc_architecture();
+        let outcome = pnoc_sim::scenario::ScenarioSpec::new("d-hetpnoc", "skewed-2")
+            .with_effort(pnoc_sim::scenario::Effort::Smoke)
+            .resolve()
+            .expect("d-hetpnoc was just registered")
+            .run();
+        assert!(outcome.result.peak_bandwidth_gbps() > 0.0);
+        assert!(outcome.result.packet_energy_at_saturation_pj() > 0.0);
     }
 }

@@ -13,8 +13,8 @@
 //!   flits, detector gating),
 //! * [`fabric`] — the [`pnoc_sim::system::PhotonicFabric`] implementation
 //!   with uniform static wavelength allocation,
-//! * [`network`] — convenience constructors and saturation-sweep helpers used
-//!   by the experiments.
+//! * [`network`] — convenience constructors and the `"firefly"` registry
+//!   entry used by the scenario-based experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +27,6 @@ pub mod rswmr;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::fabric::FireflyFabric;
-    #[allow(deprecated)]
-    pub use crate::network::firefly_saturation_sweep;
     pub use crate::network::{
         build_firefly_system, register_firefly_architecture, FireflyArchitecture,
     };

@@ -1,11 +1,10 @@
 //! Convenience constructors and the registry entry for Firefly simulations.
 
 use crate::fabric::FireflyFabric;
-use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
+use pnoc_noc::traffic_model::TrafficModel;
 use pnoc_sim::config::SimConfig;
 use pnoc_sim::engine::CycleNetwork;
 use pnoc_sim::registry::{register_architecture, ArchitectureBuilder, Provisioning};
-use pnoc_sim::sweep::{default_load_ladder, run_saturation_sweep_seq, SaturationResult};
 use pnoc_sim::system::PhotonicSystem;
 use std::sync::Arc;
 
@@ -48,31 +47,12 @@ impl ArchitectureBuilder for FireflyArchitecture {
 /// Registers the Firefly baseline into the process-global architecture
 /// registry. Idempotent; usually invoked through the umbrella crate's
 /// `install_architectures`.
+///
+/// Once registered, sweeps run through `pnoc_sim::scenario` — e.g.
+/// `ScenarioSpec::new("firefly", "skewed-3").resolve()?.run()` — instead of
+/// the per-architecture sweep wrapper this crate used to export.
 pub fn register_firefly_architecture() {
     register_architecture(Arc::new(FireflyArchitecture));
-}
-
-/// Sweeps the offered load and returns the saturation result for Firefly.
-///
-/// `make_traffic` is called once per sweep point with the offered load for
-/// that point, so every run starts from a fresh, reproducible traffic state.
-#[deprecated(
-    since = "0.2.0",
-    note = "use pnoc_sim::sweep::run_saturation_sweep with the \"firefly\" registry entry; \
-            this wrapper forwards to the generic sequential driver"
-)]
-pub fn firefly_saturation_sweep<T, M>(config: SimConfig, mut make_traffic: M) -> SaturationResult
-where
-    T: TrafficModel + Send + 'static,
-    M: FnMut(OfferedLoad) -> T,
-{
-    let loads = default_load_ladder(config.estimated_saturation_load());
-    run_saturation_sweep_seq(
-        &FireflyArchitecture,
-        &mut |spec| Box::new(make_traffic(spec.offered_load)),
-        &config,
-        &loads,
-    )
 }
 
 #[cfg(test)]
@@ -129,26 +109,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn saturation_sweep_finds_a_peak_below_the_aggregate_photonic_limit() {
-        let mut config = SimConfig::fast(BandwidthSet::Set1);
-        config.sim_cycles = 1_000;
-        config.warmup_cycles = 200;
-        let result = firefly_saturation_sweep(config, |load| {
-            UniformRandomTraffic::new(
-                ClusterTopology::paper_default(),
-                shape(BandwidthSet::Set1),
-                load,
-                config.seed,
-            )
-        });
-        let peak = result.peak_bandwidth_gbps();
+    fn scenario_sweep_finds_a_peak_below_the_aggregate_photonic_limit() {
+        register_firefly_architecture();
+        let outcome = pnoc_sim::scenario::ScenarioSpec::new("firefly", "uniform-random")
+            .with_effort(pnoc_sim::scenario::Effort::Smoke)
+            .resolve()
+            .expect("firefly was just registered")
+            .run();
+        let peak = outcome.result.peak_bandwidth_gbps();
         assert!(peak > 0.0, "peak bandwidth must be positive");
         // The photonic crossbar carries 800 Gb/s; including intra-cluster
         // traffic the accepted bandwidth cannot exceed a small multiple of it.
         assert!(peak < 2.0 * 800.0, "peak {peak} Gb/s is implausibly high");
         // Accepted bandwidth must grow between the lightest and the peak load.
-        let first = result.points[0].stats.accepted_bandwidth_gbps();
+        let first = outcome.result.points[0].stats.accepted_bandwidth_gbps();
         assert!(peak >= first);
     }
 }

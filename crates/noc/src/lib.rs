@@ -48,6 +48,7 @@ pub mod link;
 pub mod packet;
 pub mod router;
 pub mod routing;
+pub mod suggest;
 pub mod topology;
 pub mod traffic_model;
 pub mod vc;

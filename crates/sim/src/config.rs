@@ -107,6 +107,29 @@ impl BandwidthSet {
             BandwidthSet::Set3 => "BW Set 3 (512 wavelengths)",
         }
     }
+
+    /// Compact machine-readable name (`"set1"`, `"set2"`, `"set3"`), used in
+    /// scenario identifiers and serialized specs.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            BandwidthSet::Set1 => "set1",
+            BandwidthSet::Set2 => "set2",
+            BandwidthSet::Set3 => "set3",
+        }
+    }
+
+    /// Parses a compact set name (the inverse of [`BandwidthSet::short_name`];
+    /// also accepts the bare digit, e.g. `"2"`).
+    #[must_use]
+    pub fn from_short_name(name: &str) -> Option<Self> {
+        match name {
+            "set1" | "1" => Some(BandwidthSet::Set1),
+            "set2" | "2" => Some(BandwidthSet::Set2),
+            "set3" | "3" => Some(BandwidthSet::Set3),
+            _ => None,
+        }
+    }
 }
 
 /// Full simulation configuration (Table 3-3).

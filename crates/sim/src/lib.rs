@@ -22,6 +22,11 @@
 //! * [`sweep`] — the generic (optionally parallel) saturation-sweep driver
 //!   shared by every architecture, with deterministic per-point seed
 //!   derivation,
+//! * [`scenario`] — the typed, serializable experiment API: a
+//!   [`scenario::ScenarioSpec`] names one (architecture × traffic ×
+//!   bandwidth set × effort × seed × ladder) run, a
+//!   [`scenario::ScenarioMatrix`] batches whole cross-products into one
+//!   flattened, deduplicated, parallel work queue,
 //! * [`report`] — plain-text table rendering used by the experiment harness.
 
 #![forbid(unsafe_code)]
@@ -33,6 +38,7 @@ pub mod config;
 pub mod engine;
 pub mod registry;
 pub mod report;
+pub mod scenario;
 pub mod stats;
 pub mod sweep;
 pub mod system;
@@ -44,13 +50,19 @@ pub mod prelude {
     pub use crate::engine::{run_to_completion, CycleNetwork};
     pub use crate::registry::{
         lookup_architecture, register_architecture, registered_architectures, ArchitectureBuilder,
-        ArchitectureRegistry, Provisioning, UniformFabricArchitecture,
+        ArchitectureRegistry, Provisioning, UniformFabricArchitecture, UnknownArchitectureError,
     };
     pub use crate::report::Table;
+    pub use crate::scenario::{
+        run_specs, Effort, MatrixResult, Scenario, ScenarioError, ScenarioMatrix, ScenarioResult,
+        ScenarioSpec,
+    };
     pub use crate::stats::SimStats;
+    #[allow(deprecated)]
+    pub use crate::sweep::run_saturation_sweep;
     pub use crate::sweep::{
-        derive_point_seed, run_saturation_sweep, run_saturation_sweep_seq, sweep_offered_loads,
-        SaturationResult, SweepMode, SweepPoint, SweepPointSpec,
+        derive_point_seed, sweep_offered_loads, SaturationResult, SweepMode, SweepPoint,
+        SweepPointSpec,
     };
     pub use crate::system::{PhotonicFabric, PhotonicSystem};
 }

@@ -21,9 +21,42 @@
 use crate::config::SimConfig;
 use crate::engine::CycleNetwork;
 use crate::system::{PhotonicSystem, UniformFabric};
+use pnoc_noc::suggest::unknown_name_message;
 use pnoc_noc::traffic_model::TrafficModel;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// The failure of resolving an architecture by name: carries the offending
+/// name, the full sorted catalogue of registered architectures, and (when one
+/// is within typo distance) the nearest registered name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownArchitectureError {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every name registered at the time of the lookup, sorted.
+    pub registered: Vec<String>,
+}
+
+impl UnknownArchitectureError {
+    /// The registered name closest to the unknown one, if any is plausibly a
+    /// typo of it.
+    #[must_use]
+    pub fn suggestion(&self) -> Option<&str> {
+        pnoc_noc::suggest::nearest_name(&self.name, self.registered.iter().map(String::as_str))
+    }
+}
+
+impl std::fmt::Display for UnknownArchitectureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&unknown_name_message(
+            "architecture",
+            &self.name,
+            &self.registered,
+        ))
+    }
+}
+
+impl std::error::Error for UnknownArchitectureError {}
 
 /// How an architecture provisions its photonic resources. Cost models (e.g.
 /// the electro-optic area model) differ between the two styles, so the
@@ -178,12 +211,20 @@ pub fn register_architecture(
 }
 
 /// Looks up a builder in the process-global registry.
-#[must_use]
-pub fn lookup_architecture(name: &str) -> Option<Arc<dyn ArchitectureBuilder>> {
-    global()
-        .lock()
-        .expect("architecture registry poisoned")
-        .get(name)
+///
+/// # Errors
+///
+/// Returns [`UnknownArchitectureError`] — which lists every registered name
+/// and suggests the nearest match — when no builder of that name is
+/// registered.
+pub fn lookup_architecture(
+    name: &str,
+) -> Result<Arc<dyn ArchitectureBuilder>, UnknownArchitectureError> {
+    let registry = global().lock().expect("architecture registry poisoned");
+    registry.get(name).ok_or_else(|| UnknownArchitectureError {
+        name: name.to_string(),
+        registered: registry.names(),
+    })
 }
 
 /// Names registered in the process-global registry, sorted.
@@ -259,6 +300,19 @@ mod tests {
         let builder = lookup_architecture("uniform-fabric").expect("uniform-fabric is built in");
         assert_eq!(builder.name(), "uniform-fabric");
         assert!(registered_architectures().contains(&"uniform-fabric".to_string()));
+    }
+
+    #[test]
+    fn unknown_architecture_error_lists_names_and_suggests_the_nearest() {
+        let Err(error) = lookup_architecture("uniform-fabrik") else {
+            panic!("'uniform-fabrik' must not resolve");
+        };
+        assert_eq!(error.name, "uniform-fabrik");
+        assert!(error.registered.contains(&"uniform-fabric".to_string()));
+        assert_eq!(error.suggestion(), Some("uniform-fabric"));
+        let message = error.to_string();
+        assert!(message.contains("unknown architecture 'uniform-fabrik'"));
+        assert!(message.contains("did you mean 'uniform-fabric'?"));
     }
 
     /// Deterministic one-destination traffic for driving a registry-built

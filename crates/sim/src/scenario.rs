@@ -1,0 +1,924 @@
+#![doc = include_str!("scenario.md")]
+
+use crate::config::{BandwidthSet, SimConfig};
+use crate::registry::{lookup_architecture, ArchitectureBuilder, UnknownArchitectureError};
+use crate::sweep::{
+    default_load_ladder, derive_point_seed, point_spec, run_point, run_sweep, SaturationResult,
+    SweepMode, SweepPoint, SweepPointSpec,
+};
+use pnoc_noc::traffic_model::TrafficModel;
+use pnoc_traffic::factory::{
+    lookup_traffic_factory, registered_traffic_patterns, TrafficFactory, TrafficSpec,
+    UnknownPatternError,
+};
+use pnoc_traffic::pattern::PacketShape;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The base RNG seed every scenario starts from unless overridden
+/// (the same value as [`SimConfig::paper_default`]).
+pub const DEFAULT_SEED: u64 = 0x2014_50CC;
+
+/// How much simulation effort a scenario spends: the paper's full
+/// methodology, a reduced configuration for smoke runs and Criterion
+/// benches, or a minimal configuration for unit tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Effort {
+    /// Full paper methodology: 10 000 measured cycles, 16 VCs, the 8-point
+    /// load ladder.
+    Paper,
+    /// Reduced runs for `repro --quick` and Criterion benches: 1 200 measured
+    /// cycles, a 3-point ladder.
+    Quick,
+    /// Minimal runs for unit and integration tests: 600 measured cycles, a
+    /// 3-point ladder.
+    Smoke,
+}
+
+impl Effort {
+    /// Every effort level, heaviest first.
+    pub const ALL: [Effort; 3] = [Effort::Paper, Effort::Quick, Effort::Smoke];
+
+    /// The simulation configuration for this effort level.
+    #[must_use]
+    pub fn config(self, set: BandwidthSet) -> SimConfig {
+        match self {
+            Effort::Paper => SimConfig::paper_default(set),
+            Effort::Quick => {
+                let mut c = SimConfig::fast(set);
+                c.sim_cycles = 1_200;
+                c.warmup_cycles = 300;
+                c
+            }
+            Effort::Smoke => {
+                let mut c = SimConfig::fast(set);
+                c.sim_cycles = 600;
+                c.warmup_cycles = 150;
+                c
+            }
+        }
+    }
+
+    /// The default offered-load ladder for this effort level.
+    #[must_use]
+    pub fn load_ladder(self, config: &SimConfig) -> Vec<f64> {
+        let full = default_load_ladder(config.estimated_saturation_load());
+        match self {
+            Effort::Paper => full,
+            Effort::Quick | Effort::Smoke => vec![full[1], full[3], full[5]],
+        }
+    }
+
+    /// Label used in reports, JSON output and the `--scenario` shorthand.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Effort::Paper => "paper",
+            Effort::Quick => "quick",
+            Effort::Smoke => "smoke",
+        }
+    }
+
+    /// Parses an effort label (the inverse of [`Effort::label`]).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Effort> {
+        Effort::ALL.into_iter().find(|e| e.label() == name)
+    }
+}
+
+/// A typed, serializable specification of one saturation-sweep experiment:
+/// which architecture, which traffic pattern, which bandwidth set, how much
+/// effort, which base seed, and (optionally) an explicit offered-load
+/// ladder.
+///
+/// Specs are plain data. Resolution against the registries — and therefore
+/// name validation — happens in [`ScenarioSpec::resolve`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Registry name of the architecture (`"firefly"`, `"d-hetpnoc"`, ...).
+    pub architecture: String,
+    /// Registry name of the traffic pattern (`"tornado"`, `"skewed-3"`, ...).
+    pub traffic: String,
+    /// Aggregate-bandwidth design point.
+    pub bandwidth_set: BandwidthSet,
+    /// Simulation effort level (configuration scale + default ladder).
+    pub effort: Effort,
+    /// Base RNG seed; every ladder point derives its own seed from it via
+    /// [`derive_point_seed`].
+    pub seed: u64,
+    /// Explicit offered-load ladder in packets per core per cycle. Empty
+    /// means "use the effort level's default ladder".
+    pub ladder: Vec<f64>,
+}
+
+impl ScenarioSpec {
+    /// Creates a spec with the default bandwidth set ([`BandwidthSet::Set1`]),
+    /// [`Effort::Quick`], the [`DEFAULT_SEED`] and the default ladder.
+    #[must_use]
+    pub fn new(architecture: impl Into<String>, traffic: impl Into<String>) -> Self {
+        Self {
+            architecture: architecture.into(),
+            traffic: traffic.into(),
+            bandwidth_set: BandwidthSet::Set1,
+            effort: Effort::Quick,
+            seed: DEFAULT_SEED,
+            ladder: Vec::new(),
+        }
+    }
+
+    /// Sets the bandwidth set.
+    #[must_use]
+    pub fn with_bandwidth_set(mut self, set: BandwidthSet) -> Self {
+        self.bandwidth_set = set;
+        self
+    }
+
+    /// Sets the effort level.
+    #[must_use]
+    pub fn with_effort(mut self, effort: Effort) -> Self {
+        self.effort = effort;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets an explicit offered-load ladder (pass an empty vector to restore
+    /// the effort level's default ladder).
+    #[must_use]
+    pub fn with_ladder(mut self, ladder: Vec<f64>) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Parses the `ARCH:TRAFFIC[:SET[:EFFORT]]` shorthand used by
+    /// `repro --scenario` (e.g. `d-hetpnoc:tornado:set2`). Omitted parts
+    /// default as in [`ScenarioSpec::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Malformed`] on a wrong number of `:`-separated
+    /// parts or an unknown bandwidth-set / effort label. Registry names are
+    /// *not* validated here — that is [`ScenarioSpec::resolve`]'s job.
+    pub fn parse_shorthand(text: &str) -> Result<Self, ScenarioError> {
+        let malformed = |reason: &str| ScenarioError::Malformed {
+            input: text.to_string(),
+            reason: reason.to_string(),
+        };
+        let parts: Vec<&str> = text.split(':').collect();
+        if !(2..=4).contains(&parts.len()) || parts.iter().any(|p| p.is_empty()) {
+            return Err(malformed(
+                "expected ARCH:TRAFFIC[:SET[:EFFORT]] with non-empty parts",
+            ));
+        }
+        let mut spec = ScenarioSpec::new(parts[0], parts[1]);
+        if let Some(&set) = parts.get(2) {
+            spec.bandwidth_set = BandwidthSet::from_short_name(set)
+                .ok_or_else(|| malformed("bandwidth set must be one of set1, set2, set3"))?;
+        }
+        if let Some(&effort) = parts.get(3) {
+            spec.effort = Effort::parse(effort)
+                .ok_or_else(|| malformed("effort must be one of paper, quick, smoke"))?;
+        }
+        Ok(spec)
+    }
+
+    /// The compact `arch:traffic:set:effort` identifier used in reports and
+    /// log lines (the shorthand accepted by [`ScenarioSpec::parse_shorthand`]).
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!(
+            "{}:{}:{}:{}",
+            self.architecture,
+            self.traffic,
+            self.bandwidth_set.short_name(),
+            self.effort.label()
+        )
+    }
+
+    /// The full simulation configuration of this scenario: the effort level's
+    /// configuration for the bandwidth set, with the spec's base seed.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        let mut config = self.effort.config(self.bandwidth_set);
+        config.seed = self.seed;
+        config
+    }
+
+    /// The offered-load ladder of this scenario: the explicit ladder when one
+    /// was given, the effort level's default ladder otherwise.
+    #[must_use]
+    pub fn loads(&self) -> Vec<f64> {
+        if self.ladder.is_empty() {
+            self.effort.load_ladder(&self.config())
+        } else {
+            self.ladder.clone()
+        }
+    }
+
+    /// Validates the spec against both process-global registries and returns
+    /// the resolved, runnable [`Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ScenarioError::UnknownArchitecture`] / [`ScenarioError::UnknownTraffic`]
+    ///   when a name is not registered — the error lists the registered
+    ///   catalogue and suggests the nearest name,
+    /// * [`ScenarioError::InvalidLoad`] when an explicit ladder entry is not
+    ///   a positive finite load.
+    pub fn resolve(&self) -> Result<Scenario, ScenarioError> {
+        let architecture = lookup_architecture(&self.architecture)?;
+        let traffic = lookup_traffic_factory(&self.traffic)?;
+        if let Some(&load) = self.ladder.iter().find(|l| !l.is_finite() || **l <= 0.0) {
+            return Err(ScenarioError::InvalidLoad {
+                scenario: self.id(),
+                load,
+            });
+        }
+        Ok(Scenario {
+            spec: self.clone(),
+            architecture,
+            traffic,
+        })
+    }
+}
+
+impl std::fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+/// Why a [`ScenarioSpec`] could not be resolved or parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The architecture name is not in the architecture registry.
+    UnknownArchitecture(UnknownArchitectureError),
+    /// The traffic-pattern name is not in the traffic registry.
+    UnknownTraffic(UnknownPatternError),
+    /// An explicit ladder entry is not a positive finite offered load.
+    InvalidLoad {
+        /// Identifier of the offending scenario.
+        scenario: String,
+        /// The offending load value.
+        load: f64,
+    },
+    /// A `--scenario` shorthand or serialized spec could not be parsed.
+    Malformed {
+        /// The input that failed to parse.
+        input: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownArchitecture(e) => e.fmt(f),
+            ScenarioError::UnknownTraffic(e) => e.fmt(f),
+            ScenarioError::InvalidLoad { scenario, load } => write!(
+                f,
+                "scenario '{scenario}' has invalid ladder load {load}; \
+                 loads must be positive and finite"
+            ),
+            ScenarioError::Malformed { input, reason } => {
+                write!(f, "cannot parse scenario '{input}': {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<UnknownArchitectureError> for ScenarioError {
+    fn from(error: UnknownArchitectureError) -> Self {
+        ScenarioError::UnknownArchitecture(error)
+    }
+}
+
+impl From<UnknownPatternError> for ScenarioError {
+    fn from(error: UnknownPatternError) -> Self {
+        ScenarioError::UnknownTraffic(error)
+    }
+}
+
+/// A validated scenario: the spec plus the registry entries it resolved to.
+#[derive(Clone)]
+pub struct Scenario {
+    spec: ScenarioSpec,
+    architecture: Arc<dyn ArchitectureBuilder>,
+    traffic: Arc<dyn TrafficFactory>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// The spec this scenario was resolved from.
+    #[must_use]
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The resolved architecture builder.
+    #[must_use]
+    pub fn architecture(&self) -> &Arc<dyn ArchitectureBuilder> {
+        &self.architecture
+    }
+
+    /// Runs the scenario's saturation sweep with the ladder points in
+    /// parallel (bitwise-identical to a sequential run).
+    #[must_use]
+    pub fn run(&self) -> ScenarioResult {
+        self.run_with_mode(SweepMode::Parallel)
+    }
+
+    /// Runs the scenario's saturation sweep with an explicit execution mode
+    /// (used by determinism tests and the `repro --bench-sweep` harness).
+    #[must_use]
+    pub fn run_with_mode(&self, mode: SweepMode) -> ScenarioResult {
+        let config = self.spec.config();
+        let loads = self.spec.loads();
+        let started = Instant::now();
+        let factory = Arc::clone(&self.traffic);
+        let make = move |point: &SweepPointSpec| build_traffic(factory.as_ref(), point);
+        let result = run_sweep(self.architecture.as_ref(), &make, &config, &loads, mode);
+        ScenarioResult {
+            spec: self.spec.clone(),
+            point_seeds: (0..loads.len())
+                .map(|i| derive_point_seed(config.seed, i))
+                .collect(),
+            result,
+            wall_clock_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Builds the traffic model of one sweep point from the point's
+/// configuration (geometry, topology, derived seed, offered load).
+fn build_traffic(
+    factory: &dyn TrafficFactory,
+    point: &SweepPointSpec,
+) -> Box<dyn TrafficModel + Send> {
+    let shape = PacketShape::new(
+        point.config.bandwidth_set.packet_flits(),
+        point.config.bandwidth_set.flit_bits(),
+    );
+    factory.build(&TrafficSpec::new(
+        point.config.topology,
+        shape,
+        point.offered_load,
+        point.seed,
+    ))
+}
+
+/// The outcome of running one scenario: the spec it came from, the measured
+/// saturation sweep, the derived per-point seeds, and how long it took.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The spec that produced this result.
+    pub spec: ScenarioSpec,
+    /// The measured sweep, one point per ladder entry (in ladder order).
+    pub result: SaturationResult,
+    /// The seed each ladder point simulated with
+    /// (`derive_point_seed(spec.seed, index)`).
+    pub point_seeds: Vec<u64>,
+    /// Wall-clock seconds of the run that produced this result. For matrix
+    /// runs this is the elapsed time of the whole batch, since the flattened
+    /// work queue shares workers across scenarios.
+    pub wall_clock_seconds: f64,
+}
+
+impl ScenarioResult {
+    /// Whether two results are bitwise-identical in everything the
+    /// simulation determines — spec, per-point seeds and the full sweep —
+    /// ignoring only the wall-clock measurement.
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &ScenarioResult) -> bool {
+        self.spec == other.spec
+            && self.point_seeds == other.point_seeds
+            && self.result == other.result
+    }
+}
+
+/// A batch of scenarios expanded from a cross-product of architectures ×
+/// traffic patterns × bandwidth sets, all at one effort level and base seed.
+///
+/// [`ScenarioMatrix::run`] flattens every *(scenario, ladder point)* pair
+/// into one rayon work queue — better load balance than per-sweep
+/// parallelism — deduplicates identical points, and reassembles per-scenario
+/// results that are bitwise-identical to running each scenario alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMatrix {
+    architectures: Vec<String>,
+    traffics: Vec<String>,
+    bandwidth_sets: Vec<BandwidthSet>,
+    effort: Effort,
+    seed: u64,
+    ladder: Vec<f64>,
+}
+
+impl Default for ScenarioMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioMatrix {
+    /// Creates an empty matrix: no architectures or traffic patterns yet,
+    /// [`BandwidthSet::Set1`], [`Effort::Quick`], the [`DEFAULT_SEED`] and
+    /// the default ladder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            architectures: Vec::new(),
+            traffics: Vec::new(),
+            bandwidth_sets: vec![BandwidthSet::Set1],
+            effort: Effort::Quick,
+            seed: DEFAULT_SEED,
+            ladder: Vec::new(),
+        }
+    }
+
+    /// Sets the architecture axis by name.
+    #[must_use]
+    pub fn architectures<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.architectures = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the architecture axis to every registered architecture.
+    #[must_use]
+    pub fn all_architectures(mut self) -> Self {
+        self.architectures = crate::registry::registered_architectures();
+        self
+    }
+
+    /// Sets the traffic-pattern axis by name.
+    #[must_use]
+    pub fn traffics<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.traffics = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the traffic axis to every registered traffic pattern.
+    #[must_use]
+    pub fn all_traffics(mut self) -> Self {
+        self.traffics = registered_traffic_patterns();
+        self
+    }
+
+    /// Sets the bandwidth-set axis.
+    #[must_use]
+    pub fn bandwidth_sets<I>(mut self, sets: I) -> Self
+    where
+        I: IntoIterator<Item = BandwidthSet>,
+    {
+        self.bandwidth_sets = sets.into_iter().collect();
+        self
+    }
+
+    /// Sets the bandwidth-set axis to all three design points.
+    #[must_use]
+    pub fn all_bandwidth_sets(self) -> Self {
+        self.bandwidth_sets(BandwidthSet::ALL)
+    }
+
+    /// Sets the effort level of every expanded scenario.
+    #[must_use]
+    pub fn effort(mut self, effort: Effort) -> Self {
+        self.effort = effort;
+        self
+    }
+
+    /// Sets the base seed of every expanded scenario.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets an explicit offered-load ladder for every expanded scenario.
+    #[must_use]
+    pub fn ladder(mut self, ladder: Vec<f64>) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Expands the cross-product into scenario specs (architecture-major,
+    /// then traffic, then bandwidth set), dropping exact duplicates.
+    #[must_use]
+    pub fn specs(&self) -> Vec<ScenarioSpec> {
+        let mut out: Vec<ScenarioSpec> = Vec::new();
+        for architecture in &self.architectures {
+            for traffic in &self.traffics {
+                for &set in &self.bandwidth_sets {
+                    let spec = ScenarioSpec {
+                        architecture: architecture.clone(),
+                        traffic: traffic.clone(),
+                        bandwidth_set: set,
+                        effort: self.effort,
+                        seed: self.seed,
+                        ladder: self.ladder.clone(),
+                    };
+                    if !out.contains(&spec) {
+                        out.push(spec);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the whole matrix through one flattened, deduplicated, parallel
+    /// work queue of *(scenario, ladder point)* jobs.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast — before simulating anything — if any expanded spec does
+    /// not resolve (see [`ScenarioSpec::resolve`]).
+    pub fn run(&self) -> Result<MatrixResult, ScenarioError> {
+        run_specs(&self.specs())
+    }
+
+    /// Reference implementation for determinism checks: runs every scenario
+    /// one after another, each with a sequential sweep and no point sharing.
+    /// [`ScenarioMatrix::run`] must be bitwise-identical to this.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast if any expanded spec does not resolve.
+    pub fn run_sequential(&self) -> Result<MatrixResult, ScenarioError> {
+        let scenarios = resolve_all(&self.specs())?;
+        let started = Instant::now();
+        let results: Vec<ScenarioResult> = scenarios
+            .iter()
+            .map(|s| s.run_with_mode(SweepMode::Sequential))
+            .collect();
+        let total_points: usize = results.iter().map(|r| r.result.points.len()).sum();
+        Ok(MatrixResult {
+            scenarios: results,
+            total_points,
+            unique_points: total_points,
+            wall_clock_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+fn resolve_all(specs: &[ScenarioSpec]) -> Result<Vec<Scenario>, ScenarioError> {
+    specs.iter().map(ScenarioSpec::resolve).collect()
+}
+
+/// One flattened unit of matrix work: a single sweep point of a single
+/// scenario.
+struct PointJob {
+    architecture: Arc<dyn ArchitectureBuilder>,
+    traffic: Arc<dyn TrafficFactory>,
+    point: SweepPointSpec,
+}
+
+/// Runs a batch of already-expanded specs through the flattened work queue
+/// (the engine behind [`ScenarioMatrix::run`], also used for replaying specs
+/// loaded from a file).
+pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> {
+    let scenarios = resolve_all(specs)?;
+    let started = Instant::now();
+
+    // Flatten every (scenario, ladder point) pair into one job list,
+    // deduplicating jobs that would simulate the exact same network: same
+    // architecture, same traffic pattern, same per-point configuration
+    // (which includes the derived seed) and same offered load.
+    let mut jobs: Vec<PointJob> = Vec::new();
+    let mut index_of: BTreeMap<(String, String, String, u64), usize> = BTreeMap::new();
+    let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        let config = scenario.spec.config();
+        let loads = scenario.spec.loads();
+        let mut point_jobs = Vec::with_capacity(loads.len());
+        for (index, &load) in loads.iter().enumerate() {
+            let point = point_spec(&config, index, load);
+            let key = (
+                scenario.spec.architecture.clone(),
+                scenario.spec.traffic.clone(),
+                format!("{:?}", point.config),
+                load.to_bits(),
+            );
+            let next = jobs.len();
+            let job_index = *index_of.entry(key).or_insert(next);
+            if job_index == next {
+                jobs.push(PointJob {
+                    architecture: Arc::clone(&scenario.architecture),
+                    traffic: Arc::clone(&scenario.traffic),
+                    point,
+                });
+            }
+            point_jobs.push(job_index);
+        }
+        assignments.push(point_jobs);
+    }
+    let total_points: usize = assignments.iter().map(Vec::len).sum();
+    let unique_points = jobs.len();
+
+    // One flat rayon queue across every scenario: workers stay busy across
+    // scenario boundaries instead of idling at each per-sweep barrier.
+    let points: Vec<SweepPoint> = jobs
+        .par_iter()
+        .map(|job| {
+            run_point(
+                job.architecture.as_ref(),
+                &job.point,
+                build_traffic(job.traffic.as_ref(), &job.point),
+            )
+        })
+        .collect();
+
+    let wall_clock_seconds = started.elapsed().as_secs_f64();
+    let results: Vec<ScenarioResult> = scenarios
+        .iter()
+        .zip(&assignments)
+        .map(|(scenario, point_jobs)| {
+            let config = scenario.spec.config();
+            ScenarioResult {
+                spec: scenario.spec.clone(),
+                result: SaturationResult {
+                    points: point_jobs.iter().map(|&i| points[i].clone()).collect(),
+                },
+                point_seeds: (0..point_jobs.len())
+                    .map(|i| derive_point_seed(config.seed, i))
+                    .collect(),
+                wall_clock_seconds,
+            }
+        })
+        .collect();
+    Ok(MatrixResult {
+        scenarios: results,
+        total_points,
+        unique_points,
+        wall_clock_seconds,
+    })
+}
+
+/// The outcome of a matrix run: one [`ScenarioResult`] per expanded spec (in
+/// expansion order) plus work-queue statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixResult {
+    /// Per-scenario results, in [`ScenarioMatrix::specs`] order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Number of (scenario, ladder point) pairs before deduplication.
+    pub total_points: usize,
+    /// Number of simulations actually run after deduplication.
+    pub unique_points: usize,
+    /// Wall-clock seconds of the whole batch.
+    pub wall_clock_seconds: f64,
+}
+
+impl MatrixResult {
+    /// Finds the result of one scenario by architecture name, traffic name
+    /// and bandwidth set.
+    ///
+    /// Matches on those three axes only and returns the **first** hit: in a
+    /// [`ScenarioMatrix`] outcome they identify a cell uniquely (the matrix
+    /// fixes one effort, seed and ladder), but a hand-assembled
+    /// [`run_specs`] batch may contain several specs that differ only in
+    /// effort, seed or ladder — iterate [`MatrixResult::scenarios`] and
+    /// match on the full [`ScenarioSpec`] in that case.
+    #[must_use]
+    pub fn find(
+        &self,
+        architecture: &str,
+        traffic: &str,
+        set: BandwidthSet,
+    ) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|r| {
+            r.spec.architecture == architecture
+                && r.spec.traffic == traffic
+                && r.spec.bandwidth_set == set
+        })
+    }
+
+    /// Whether two matrix outcomes are bitwise-identical in everything the
+    /// simulations determine (specs, seeds and sweeps, scenario by
+    /// scenario), ignoring wall-clock and work-queue bookkeeping.
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &MatrixResult) -> bool {
+        self.scenarios.len() == other.scenarios.len()
+            && self
+                .scenarios
+                .iter()
+                .zip(&other.scenarios)
+                .all(|(a, b)| a.bitwise_eq(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_spec() -> ScenarioSpec {
+        ScenarioSpec::new("uniform-fabric", "uniform-random").with_effort(Effort::Smoke)
+    }
+
+    #[test]
+    fn spec_builder_and_identifier() {
+        let spec = smoke_spec()
+            .with_bandwidth_set(BandwidthSet::Set2)
+            .with_seed(99)
+            .with_ladder(vec![0.001, 0.002]);
+        assert_eq!(spec.id(), "uniform-fabric:uniform-random:set2:smoke");
+        assert_eq!(spec.to_string(), spec.id());
+        assert_eq!(spec.config().seed, 99);
+        assert_eq!(spec.config().bandwidth_set, BandwidthSet::Set2);
+        assert_eq!(spec.loads(), vec![0.001, 0.002]);
+        // Clearing the ladder restores the effort default.
+        let defaulted = spec.with_ladder(Vec::new());
+        assert_eq!(defaulted.loads().len(), 3);
+    }
+
+    #[test]
+    fn shorthand_round_trips_and_rejects_garbage() {
+        let spec = ScenarioSpec::parse_shorthand("uniform-fabric:tornado:set2:smoke").unwrap();
+        assert_eq!(spec.architecture, "uniform-fabric");
+        assert_eq!(spec.traffic, "tornado");
+        assert_eq!(spec.bandwidth_set, BandwidthSet::Set2);
+        assert_eq!(spec.effort, Effort::Smoke);
+        assert_eq!(ScenarioSpec::parse_shorthand(&spec.id()).unwrap(), spec);
+
+        let minimal = ScenarioSpec::parse_shorthand("firefly:skewed-3").unwrap();
+        assert_eq!(minimal.bandwidth_set, BandwidthSet::Set1);
+        assert_eq!(minimal.effort, Effort::Quick);
+
+        for bad in ["firefly", "a:b:set9", "a:b:set1:warp", "a::set1", ""] {
+            assert!(
+                matches!(
+                    ScenarioSpec::parse_shorthand(bad),
+                    Err(ScenarioError::Malformed { .. })
+                ),
+                "'{bad}' should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_validates_both_registries_with_suggestions() {
+        let unknown_arch = ScenarioSpec::new("uniform-fabrik", "uniform-random")
+            .resolve()
+            .expect_err("architecture is misspelled");
+        match &unknown_arch {
+            ScenarioError::UnknownArchitecture(e) => {
+                assert_eq!(e.suggestion(), Some("uniform-fabric"));
+            }
+            other => panic!("expected UnknownArchitecture, got {other:?}"),
+        }
+        assert!(unknown_arch.to_string().contains("did you mean"));
+
+        let unknown_traffic = ScenarioSpec::new("uniform-fabric", "tornadoo")
+            .resolve()
+            .expect_err("traffic is misspelled");
+        assert!(matches!(
+            unknown_traffic,
+            ScenarioError::UnknownTraffic(ref e) if e.suggestion() == Some("tornado")
+        ));
+
+        let bad_load = smoke_spec()
+            .with_ladder(vec![0.001, -1.0])
+            .resolve()
+            .expect_err("negative load");
+        assert!(matches!(bad_load, ScenarioError::InvalidLoad { load, .. } if load == -1.0));
+    }
+
+    #[test]
+    fn scenario_run_produces_one_point_per_ladder_entry_with_derived_seeds() {
+        let spec = smoke_spec();
+        let scenario = spec.resolve().expect("registered");
+        let outcome = scenario.run();
+        let loads = spec.loads();
+        assert_eq!(outcome.spec, spec);
+        assert_eq!(outcome.result.points.len(), loads.len());
+        assert_eq!(outcome.point_seeds.len(), loads.len());
+        for (i, &seed) in outcome.point_seeds.iter().enumerate() {
+            assert_eq!(seed, derive_point_seed(spec.seed, i));
+        }
+        assert!(outcome
+            .result
+            .points
+            .iter()
+            .any(|p| p.stats.delivered_packets > 0));
+        assert!(outcome.wall_clock_seconds >= 0.0);
+    }
+
+    #[test]
+    fn scenario_parallel_run_is_bitwise_identical_to_sequential() {
+        rayon::set_thread_count(4);
+        let scenario = smoke_spec().resolve().expect("registered");
+        let parallel = scenario.run_with_mode(SweepMode::Parallel);
+        let sequential = scenario.run_with_mode(SweepMode::Sequential);
+        assert!(parallel.bitwise_eq(&sequential));
+    }
+
+    #[test]
+    fn matrix_expands_the_cross_product_and_dedups_duplicate_specs() {
+        let matrix = ScenarioMatrix::new()
+            .architectures(["uniform-fabric", "uniform-fabric"])
+            .traffics(["tornado", "bursty-uniform"])
+            .all_bandwidth_sets()
+            .effort(Effort::Smoke);
+        let specs = matrix.specs();
+        // 1 distinct architecture × 2 traffics × 3 sets.
+        assert_eq!(specs.len(), 6);
+        assert!(specs.iter().all(|s| s.effort == Effort::Smoke));
+    }
+
+    #[test]
+    fn matrix_run_is_bitwise_identical_to_sequential_per_scenario_runs() {
+        rayon::set_thread_count(4);
+        let matrix = ScenarioMatrix::new()
+            .architectures(["uniform-fabric"])
+            .traffics(["tornado", "uniform-random"])
+            .effort(Effort::Smoke);
+        let batched = matrix.run().expect("all names registered");
+        let sequential = matrix.run_sequential().expect("all names registered");
+        assert_eq!(batched.scenarios.len(), 2);
+        assert_eq!(batched.total_points, sequential.total_points);
+        assert!(
+            batched.bitwise_eq(&sequential),
+            "flattened matrix run must be bitwise-identical to per-scenario sequential runs"
+        );
+    }
+
+    #[test]
+    fn matrix_dedups_identical_points_across_duplicate_axes() {
+        // The same scenario listed via two identical axis entries collapses
+        // to one spec; overlapping explicit ladders across bandwidth sets do
+        // not collapse because the configurations differ.
+        let matrix = ScenarioMatrix::new()
+            .architectures(["uniform-fabric"])
+            .traffics(["tornado"])
+            .bandwidth_sets([BandwidthSet::Set1, BandwidthSet::Set1])
+            .effort(Effort::Smoke);
+        let outcome = matrix.run().expect("registered");
+        assert_eq!(outcome.scenarios.len(), 1);
+        assert_eq!(outcome.total_points, outcome.unique_points);
+    }
+
+    #[test]
+    fn matrix_fails_fast_on_an_unknown_name() {
+        let error = ScenarioMatrix::new()
+            .architectures(["uniform-fabric", "warp-drive"])
+            .traffics(["tornado"])
+            .effort(Effort::Smoke)
+            .run()
+            .expect_err("warp-drive is not registered");
+        assert!(matches!(error, ScenarioError::UnknownArchitecture(_)));
+    }
+
+    #[test]
+    fn matrix_find_locates_scenarios_by_axes() {
+        let matrix = ScenarioMatrix::new()
+            .architectures(["uniform-fabric"])
+            .traffics(["tornado"])
+            .effort(Effort::Smoke);
+        let outcome = matrix.run().expect("registered");
+        assert!(outcome
+            .find("uniform-fabric", "tornado", BandwidthSet::Set1)
+            .is_some());
+        assert!(outcome
+            .find("uniform-fabric", "tornado", BandwidthSet::Set2)
+            .is_none());
+    }
+
+    #[test]
+    fn effort_levels_scale_down_and_parse() {
+        let paper = Effort::Paper.config(BandwidthSet::Set1);
+        let quick = Effort::Quick.config(BandwidthSet::Set1);
+        let smoke = Effort::Smoke.config(BandwidthSet::Set1);
+        assert!(paper.sim_cycles > quick.sim_cycles);
+        assert!(quick.sim_cycles > smoke.sim_cycles);
+        assert_eq!(Effort::Paper.load_ladder(&paper).len(), 8);
+        assert_eq!(Effort::Quick.load_ladder(&quick).len(), 3);
+        for effort in Effort::ALL {
+            assert_eq!(Effort::parse(effort.label()), Some(effort));
+        }
+        assert_eq!(Effort::parse("warp"), None);
+    }
+}

@@ -9,13 +9,21 @@
 //!
 //! # The generic driver
 //!
-//! [`run_saturation_sweep`] takes an [`ArchitectureBuilder`] (usually
-//! resolved from the [registry](crate::registry)), a traffic factory
-//! closure, a base configuration and a load ladder, and simulates one
-//! independent network per ladder point. With [`SweepMode::Parallel`] the
-//! points run on a rayon thread pool; because each point is a fully
-//! independent deterministic simulation, the parallel result is
-//! **bitwise-identical** to the sequential one.
+//! The sweep driver takes an [`ArchitectureBuilder`] (usually resolved from
+//! the [registry](crate::registry)), a traffic factory closure, a base
+//! configuration and a load ladder, and simulates one independent network per
+//! ladder point. With [`SweepMode::Parallel`] the points run on a rayon
+//! thread pool; because each point is a fully independent deterministic
+//! simulation, the parallel result is **bitwise-identical** to the
+//! sequential one.
+//!
+//! The supported entry point is the typed scenario API in
+//! [`crate::scenario`]: a [`Scenario`](crate::scenario::Scenario) resolves
+//! the architecture and traffic registries by name and drives this module
+//! internally, and a [`ScenarioMatrix`](crate::scenario::ScenarioMatrix)
+//! batches whole cross-products of scenarios into one flattened work queue.
+//! The raw closure-based [`run_saturation_sweep`] remains as a deprecated
+//! shim for one release.
 //!
 //! # Per-point seed derivation
 //!
@@ -224,7 +232,7 @@ pub fn derive_point_seed(base_seed: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-fn point_spec(config: &SimConfig, index: usize, load: f64) -> SweepPointSpec {
+pub(crate) fn point_spec(config: &SimConfig, index: usize, load: f64) -> SweepPointSpec {
     let seed = derive_point_seed(config.seed, index);
     let mut point_config = *config;
     point_config.seed = seed;
@@ -237,7 +245,7 @@ fn point_spec(config: &SimConfig, index: usize, load: f64) -> SweepPointSpec {
 }
 
 /// Builds and runs the network of one sweep point.
-fn run_point(
+pub(crate) fn run_point(
     architecture: &dyn ArchitectureBuilder,
     spec: &SweepPointSpec,
     traffic: Box<dyn TrafficModel + Send>,
@@ -249,19 +257,10 @@ fn run_point(
     }
 }
 
-/// The generic saturation-sweep driver: one simulation per ladder point, all
-/// points through the same architecture builder.
-///
-/// `make_traffic` is called exactly once per point and should construct the
-/// traffic model from the point's [`SweepPointSpec`] — in particular from
-/// `spec.offered_load` and `spec.seed`, so that every point is reproducible
-/// in isolation.
-///
-/// With [`SweepMode::Parallel`] the points run concurrently (thread count =
-/// `RAYON_NUM_THREADS` or the machine's available parallelism); the returned
-/// [`SaturationResult`] is bitwise-identical to the sequential result.
-#[must_use]
-pub fn run_saturation_sweep(
+/// The sweep driver shared by [`run_saturation_sweep`] and the scenario
+/// engine in [`crate::scenario`]: one simulation per ladder point, all points
+/// through the same architecture builder.
+pub(crate) fn run_sweep(
     architecture: &dyn ArchitectureBuilder,
     make_traffic: &(dyn Fn(&SweepPointSpec) -> Box<dyn TrafficModel + Send> + Sync),
     config: &SimConfig,
@@ -286,27 +285,31 @@ pub fn run_saturation_sweep(
     SaturationResult { points }
 }
 
-/// Sequential-only variant of [`run_saturation_sweep`] accepting a stateful
-/// (`FnMut`) traffic factory. This exists so that the deprecated per-crate
-/// sweep wrappers (`firefly_saturation_sweep`, `dhetpnoc_saturation_sweep`)
-/// can forward to the generic driver without imposing `Sync` on their
-/// callers' closures.
+/// The generic closure-based saturation-sweep driver: one simulation per
+/// ladder point, all points through the same architecture builder.
+///
+/// `make_traffic` is called exactly once per point and should construct the
+/// traffic model from the point's [`SweepPointSpec`] — in particular from
+/// `spec.offered_load` and `spec.seed`, so that every point is reproducible
+/// in isolation.
+///
+/// With [`SweepMode::Parallel`] the points run concurrently (thread count =
+/// `RAYON_NUM_THREADS` or the machine's available parallelism); the returned
+/// [`SaturationResult`] is bitwise-identical to the sequential result.
+#[deprecated(
+    since = "0.3.0",
+    note = "build a pnoc_sim::scenario::Scenario (or a ScenarioMatrix for batches) instead of \
+            assembling the architecture/traffic/config/ladder tuple by hand"
+)]
 #[must_use]
-pub fn run_saturation_sweep_seq(
+pub fn run_saturation_sweep(
     architecture: &dyn ArchitectureBuilder,
-    make_traffic: &mut dyn FnMut(&SweepPointSpec) -> Box<dyn TrafficModel + Send>,
+    make_traffic: &(dyn Fn(&SweepPointSpec) -> Box<dyn TrafficModel + Send> + Sync),
     config: &SimConfig,
     loads: &[f64],
+    mode: SweepMode,
 ) -> SaturationResult {
-    let points = loads
-        .iter()
-        .enumerate()
-        .map(|(index, &load)| {
-            let spec = point_spec(config, index, load);
-            run_point(architecture, &spec, make_traffic(&spec))
-        })
-        .collect();
-    SaturationResult { points }
+    run_sweep(architecture, make_traffic, config, loads, mode)
 }
 
 #[cfg(test)]
@@ -471,14 +474,14 @@ mod tests {
         let config = sweep_config();
         let loads = [1.0 / 400.0, 1.0 / 200.0, 1.0 / 100.0, 1.0 / 50.0];
         let architecture = UniformFabricArchitecture;
-        let sequential = run_saturation_sweep(
+        let sequential = run_sweep(
             &architecture,
             &make_seeded,
             &config,
             &loads,
             SweepMode::Sequential,
         );
-        let parallel = run_saturation_sweep(
+        let parallel = run_sweep(
             &architecture,
             &make_seeded,
             &config,
@@ -496,18 +499,25 @@ mod tests {
     }
 
     #[test]
-    fn seq_mut_driver_matches_the_generic_sequential_driver() {
+    #[allow(deprecated)]
+    fn deprecated_shim_forwards_to_the_generic_driver() {
         let config = sweep_config();
         let loads = [1.0 / 300.0, 1.0 / 150.0];
         let architecture = UniformFabricArchitecture;
-        let generic = run_saturation_sweep(
+        let generic = run_sweep(
             &architecture,
             &make_seeded,
             &config,
             &loads,
             SweepMode::Sequential,
         );
-        let seq = run_saturation_sweep_seq(&architecture, &mut make_seeded, &config, &loads);
-        assert_eq!(generic, seq);
+        let shim = run_saturation_sweep(
+            &architecture,
+            &make_seeded,
+            &config,
+            &loads,
+            SweepMode::Sequential,
+        );
+        assert_eq!(generic, shim);
     }
 }

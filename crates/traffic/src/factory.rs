@@ -26,10 +26,43 @@ use crate::permutation::{PermutationKind, PermutationTraffic};
 use crate::skewed::SkewedTraffic;
 use crate::uniform::UniformRandomTraffic;
 use pnoc_noc::ids::CoreId;
+use pnoc_noc::suggest::unknown_name_message;
 use pnoc_noc::topology::ClusterTopology;
 use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// The failure of resolving a traffic pattern by name: carries the offending
+/// name, the full sorted catalogue of registered patterns, and (when one is
+/// within typo distance) the nearest registered name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPatternError {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every name registered at the time of the lookup, sorted.
+    pub registered: Vec<String>,
+}
+
+impl UnknownPatternError {
+    /// The registered name closest to the unknown one, if any is plausibly a
+    /// typo of it.
+    #[must_use]
+    pub fn suggestion(&self) -> Option<&str> {
+        pnoc_noc::suggest::nearest_name(&self.name, self.registered.iter().map(String::as_str))
+    }
+}
+
+impl std::fmt::Display for UnknownPatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&unknown_name_message(
+            "traffic pattern",
+            &self.name,
+            &self.registered,
+        ))
+    }
+}
+
+impl std::error::Error for UnknownPatternError {}
 
 /// Everything a factory needs to instantiate a traffic model for one run.
 #[derive(Debug, Clone, Copy)]
@@ -250,12 +283,17 @@ pub fn register_traffic_factory(
 }
 
 /// Looks up a factory in the process-global registry.
-#[must_use]
-pub fn lookup_traffic_factory(name: &str) -> Option<Arc<dyn TrafficFactory>> {
-    global()
-        .lock()
-        .expect("traffic registry poisoned")
-        .get(name)
+///
+/// # Errors
+///
+/// Returns [`UnknownPatternError`] — which lists every registered name and
+/// suggests the nearest match — when no factory of that name is registered.
+pub fn lookup_traffic_factory(name: &str) -> Result<Arc<dyn TrafficFactory>, UnknownPatternError> {
+    let registry = global().lock().expect("traffic registry poisoned");
+    registry.get(name).ok_or_else(|| UnknownPatternError {
+        name: name.to_string(),
+        registered: registry.names(),
+    })
 }
 
 /// Names registered in the process-global registry, sorted.
@@ -347,8 +385,22 @@ mod tests {
     }
 
     #[test]
+    fn unknown_pattern_error_lists_names_and_suggests_the_nearest() {
+        let Err(error) = lookup_traffic_factory("tornadoo") else {
+            panic!("'tornadoo' must not resolve");
+        };
+        assert_eq!(error.name, "tornadoo");
+        assert!(error.registered.contains(&"tornado".to_string()));
+        assert_eq!(error.suggestion(), Some("tornado"));
+        let message = error.to_string();
+        assert!(message.contains("unknown traffic pattern 'tornadoo'"));
+        assert!(message.contains("uniform-random"));
+        assert!(message.contains("did you mean 'tornado'?"));
+    }
+
+    #[test]
     fn global_registry_serves_and_accepts_registrations() {
-        assert!(lookup_traffic_factory("uniform-random").is_some());
+        assert!(lookup_traffic_factory("uniform-random").is_ok());
         assert!(registered_traffic_patterns().len() >= 7);
 
         struct Custom;
@@ -369,6 +421,6 @@ mod tests {
         }
 
         register_traffic_factory(Arc::new(Custom));
-        assert!(lookup_traffic_factory("custom-test-pattern").is_some());
+        assert!(lookup_traffic_factory("custom-test-pattern").is_ok());
     }
 }

@@ -49,7 +49,7 @@ pub mod prelude {
     pub use crate::demand::DemandMatrix;
     pub use crate::factory::{
         lookup_traffic_factory, register_traffic_factory, registered_traffic_patterns,
-        TrafficFactory, TrafficRegistry, TrafficSpec,
+        TrafficFactory, TrafficRegistry, TrafficSpec, UnknownPatternError,
     };
     pub use crate::gpu::{GpuBenchmark, GpuSpeedupModel, RealApplicationTraffic};
     pub use crate::hotspot::HotspotSkewedTraffic;

@@ -1,5 +1,6 @@
-//! Quick start: simulate both architectures on skewed traffic and print the
-//! headline comparison (peak bandwidth and packet energy).
+//! Quick start: describe both architectures as scenarios, run them as one
+//! batch, and print the headline comparison (peak bandwidth and packet
+//! energy at saturation).
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -8,77 +9,72 @@
 use d_hetpnoc_repro::prelude::*;
 
 fn main() {
-    // The paper's system (64 cores, 16 clusters, bandwidth set 1), scaled to
-    // a shorter run so the example finishes in a couple of seconds.
-    let mut config = SimConfig::fast(BandwidthSet::Set1);
-    config.sim_cycles = 4_000;
-    config.warmup_cycles = 500;
-    let shape = PacketShape::new(
-        config.bandwidth_set.packet_flits(),
-        config.bandwidth_set.flit_bits(),
-    );
-    let load = OfferedLoad::new(config.estimated_saturation_load());
+    // Make "firefly" and "d-hetpnoc" resolvable by name.
+    d_hetpnoc_repro::install_architectures();
 
+    let config = Effort::Quick.config(BandwidthSet::Set1);
     println!("d-HetPNoC reproduction — quick start");
     println!(
-        "  {} cores in {} clusters, {} total wavelengths, offered load {:.5} packets/core/cycle\n",
+        "  {} cores in {} clusters, {} total wavelengths, skewed-3 traffic\n",
         config.topology.num_cores(),
         config.topology.num_clusters(),
         config.bandwidth_set.total_wavelengths(),
-        load.value()
     );
 
-    // Firefly baseline: uniform static wavelength allocation.
+    // One typed scenario per architecture; the matrix engine flattens every
+    // (scenario, ladder point) pair into a single parallel work queue.
+    let batch = ScenarioMatrix::new()
+        .architectures(["firefly", "d-hetpnoc"])
+        .traffics(["skewed-3"])
+        .bandwidth_sets([BandwidthSet::Set1])
+        .effort(Effort::Quick)
+        .run()
+        .expect("architectures and workload are registered");
+
+    // The d-HetPNoC wavelength allocation adapts to the skewed demand; show
+    // the per-cluster snapshot from a directly built system.
     let traffic = SkewedTraffic::new(
         ClusterTopology::paper_default(),
-        shape,
+        PacketShape::new(
+            config.bandwidth_set.packet_flits(),
+            config.bandwidth_set.flit_bits(),
+        ),
         SkewLevel::Skewed3,
-        load,
+        OfferedLoad::new(config.estimated_saturation_load()),
         config.seed,
     );
-    let mut firefly = build_firefly_system(config, traffic);
-    let firefly_stats = run_to_completion(&mut firefly);
-
-    // d-HetPNoC: the same traffic, but wavelengths allocated on demand.
-    let traffic = SkewedTraffic::new(
-        ClusterTopology::paper_default(),
-        shape,
-        SkewLevel::Skewed3,
-        load,
-        config.seed,
+    let dhet_system = build_dhetpnoc_system(config, traffic);
+    println!(
+        "  d-HetPNoC wavelength allocation per cluster: {:?}\n",
+        dhet_system.fabric().allocation_snapshot()
     );
-    let mut dhet = build_dhetpnoc_system(config, traffic);
-    let dhet_stats = run_to_completion(&mut dhet);
-
-    println!("  d-HetPNoC wavelength allocation per cluster: {:?}\n", {
-        use d_hetpnoc_repro::sim::system::PhotonicFabric;
-        dhet.fabric().allocation_snapshot()
-    });
 
     let mut table = Table::new(
-        "Skewed-3 traffic at the estimated saturation load",
+        "Skewed-3 traffic, saturation sweep (reduced scale)",
         &[
-            "architecture",
-            "accepted bandwidth (Gb/s)",
-            "avg latency (cycles)",
+            "scenario",
+            "sustainable BW (Gb/s)",
+            "latency@sat (cycles)",
             "packet energy (pJ)",
         ],
     );
-    for stats in [&firefly_stats, &dhet_stats] {
+    for outcome in &batch.scenarios {
         table.add_row(&[
-            stats.architecture.clone(),
-            format!("{:.1}", stats.accepted_bandwidth_gbps()),
-            format!("{:.1}", stats.average_packet_latency()),
-            format!("{:.1}", stats.packet_energy_pj()),
+            outcome.spec.id(),
+            format!("{:.1}", outcome.result.sustainable_bandwidth_gbps()),
+            format!("{:.1}", outcome.result.latency_at_saturation()),
+            format!("{:.1}", outcome.result.packet_energy_at_saturation_pj()),
         ]);
     }
     println!("{table}");
 
-    let gain = (dhet_stats.accepted_bandwidth_gbps() - firefly_stats.accepted_bandwidth_gbps())
-        / firefly_stats.accepted_bandwidth_gbps()
+    let firefly = &batch.scenarios[0].result;
+    let dhet = &batch.scenarios[1].result;
+    let gain = (dhet.sustainable_bandwidth_gbps() - firefly.sustainable_bandwidth_gbps())
+        / firefly.sustainable_bandwidth_gbps().max(1e-9)
         * 100.0;
     println!(
-        "d-HetPNoC accepted bandwidth vs Firefly at this load: {gain:+.2}% \
+        "d-HetPNoC sustainable bandwidth vs Firefly: {gain:+.2}% \
          (the paper reports gains of up to ~7% at saturation for skewed traffic)"
     );
 }

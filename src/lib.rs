@@ -13,50 +13,45 @@
 //! property tests (`tests/`), and wires every architecture into the
 //! process-global registry (see [`install_architectures`]).
 //!
-//! ## Quick start: registries + the parallel sweep engine
+//! ## Quick start: the scenario API
 //!
-//! Architectures and workloads are resolved by name. An offered-load
-//! saturation sweep runs each ladder point as an independent deterministic
-//! simulation — in parallel when asked, with results bitwise-identical to a
-//! sequential run:
+//! One experiment is one [`ScenarioSpec`](sim::scenario::ScenarioSpec): the
+//! architecture and workload by registry name, the bandwidth set, the effort
+//! level and the base seed — typed, validated against the registries (with
+//! "did you mean" suggestions on typos) and serializable. Running it sweeps
+//! the offered-load ladder in parallel, each point an independent
+//! deterministic simulation, bitwise-identical to a sequential run:
 //!
 //! ```
 //! use d_hetpnoc_repro::prelude::*;
 //!
 //! // Make "firefly", "d-hetpnoc" and "uniform-fabric" resolvable.
 //! d_hetpnoc_repro::install_architectures();
-//! let architecture = lookup_architecture("d-hetpnoc").expect("registered");
 //!
-//! // A reduced-scale run so this doc test stays fast.
-//! let mut config = SimConfig::fast(BandwidthSet::Set1);
-//! config.sim_cycles = 600;
-//! config.warmup_cycles = 150;
+//! // A reduced-effort scenario so this doc test stays fast.
+//! let outcome = ScenarioSpec::new("d-hetpnoc", "skewed-3")
+//!     .with_bandwidth_set(BandwidthSet::Set1)
+//!     .with_effort(Effort::Smoke)
+//!     .resolve()
+//!     .expect("both names are registered")
+//!     .run();
+//! assert_eq!(outcome.result.points.len(), outcome.point_seeds.len());
+//! assert!(outcome.result.peak_bandwidth_gbps() > 0.0);
 //!
-//! // Workloads come from the traffic registry ("skewed-3", "tornado", ...).
-//! let workload = lookup_traffic_factory("skewed-3").expect("registered");
-//! let shape = PacketShape::new(
-//!     config.bandwidth_set.packet_flits(),
-//!     config.bandwidth_set.flit_bits(),
-//! );
-//!
-//! // Two-point ladder around the estimated saturation load; each point gets
-//! // its own derived seed (spec.seed) so points are independent.
-//! let estimate = config.estimated_saturation_load();
-//! let result = run_saturation_sweep(
-//!     architecture.as_ref(),
-//!     &|spec| workload.build(&TrafficSpec::new(spec.config.topology, shape, spec.offered_load, spec.seed)),
-//!     &config,
-//!     &[estimate * 0.5, estimate],
-//!     SweepMode::Parallel,
-//! );
-//! assert_eq!(result.points.len(), 2);
-//! assert!(result.peak_bandwidth_gbps() > 0.0);
+//! // Whole evaluation grids are one batch: every (scenario, ladder point)
+//! // pair goes into a single flattened, deduplicated rayon work queue.
+//! let matrix = ScenarioMatrix::new()
+//!     .architectures(["firefly", "d-hetpnoc"])
+//!     .traffics(["tornado"])
+//!     .effort(Effort::Smoke);
+//! let batch = matrix.run().expect("all names registered");
+//! assert_eq!(batch.scenarios.len(), 2);
 //! ```
 //!
 //! The old per-architecture helpers (`build_firefly_system`,
 //! `build_dhetpnoc_system`) still exist for direct, non-registry use; the
-//! per-architecture sweep helpers are deprecated thin wrappers over the
-//! generic driver.
+//! closure-based `run_saturation_sweep` is a deprecated shim over the same
+//! driver the scenario engine uses.
 //!
 //! ## Per-point seed derivation
 //!
