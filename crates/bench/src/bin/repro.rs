@@ -14,6 +14,12 @@
 //!                            # run one scenario (ARCH:TRAFFIC[:SET[:EFFORT]],
 //!                            # repeatable; SET defaults to set1, EFFORT to
 //!                            # the --quick/--paper flag)
+//! repro --scenario firefly:uniform --metrics out.jsonl --percentiles
+//!                            # stream one metric row per ladder point
+//!                            # (latency quantile sketch, per-node delivered
+//!                            # bits, windowed throughput, ...) to a JSONL
+//!                            # file and print p50/p95/p99 latency columns;
+//!                            # --metrics-format csv switches the sink
 //! repro --matrix --quick     # run the default evaluation matrix (all
 //!                            # architectures × {tornado, bursty-uniform} ×
 //!                            # all bandwidth sets) through the flattened
@@ -34,14 +40,54 @@
 
 use pnoc_bench::experiments::{run_by_name, ExperimentReport, ALL_EXPERIMENTS};
 use pnoc_bench::json::{reports_json, Json};
-use pnoc_bench::runner::{ensure_registered, Architecture, EffortLevel, TrafficKind};
+use pnoc_bench::runner::{
+    ensure_registered, latency_percentiles_at_saturation, Architecture, EffortLevel, TrafficKind,
+};
 use pnoc_bench::scenario_io::{matrix_json, parse_scenarios, render_scenarios};
 use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::metrics::{CsvSink, JsonlSink};
 use pnoc_sim::report::{fmt_f, Table};
 use pnoc_sim::scenario::{run_specs, MatrixResult, ScenarioMatrix, ScenarioSpec};
 use pnoc_sim::sweep::SweepMode;
 use std::io::Write as _;
 use std::time::Instant;
+
+/// Output format of `--metrics FILE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Jsonl,
+    Csv,
+}
+
+impl MetricsFormat {
+    fn parse(text: &str) -> Option<Self> {
+        match text {
+            "jsonl" => Some(MetricsFormat::Jsonl),
+            "csv" => Some(MetricsFormat::Csv),
+            _ => None,
+        }
+    }
+}
+
+/// Streams every per-point metric report of the batch to `path` in the
+/// chosen format (deterministic order, so two identical runs produce
+/// byte-identical files — CI asserts this).
+fn write_metrics_file(outcome: &MatrixResult, path: &str, format: MetricsFormat) {
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    });
+    let writer = std::io::BufWriter::new(file);
+    let result = match format {
+        MetricsFormat::Jsonl => outcome.write_metrics(&mut JsonlSink::new(writer)),
+        MetricsFormat::Csv => outcome.write_metrics(&mut CsvSink::new(writer)),
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("[repro] wrote {path}");
+}
 
 fn write_file(path: &str, contents: &str) {
     let mut file = std::fs::File::create(path).unwrap_or_else(|e| {
@@ -72,8 +118,10 @@ fn default_matrix(effort: EffortLevel) -> ScenarioMatrix {
 }
 
 /// Runs a batch of scenario specs through the flattened matrix engine and
-/// prints the per-scenario summary table.
-fn run_scenario_batch(specs: &[ScenarioSpec]) -> MatrixResult {
+/// prints the per-scenario summary table. With `percentiles`, the table
+/// gains p50/p95/p99 latency columns read from the streamed per-point
+/// metric reports (at each scenario's saturation point).
+fn run_scenario_batch(specs: &[ScenarioSpec], percentiles: bool) -> MatrixResult {
     ensure_registered();
     eprintln!(
         "[repro] running {} scenario(s) through the batch engine ...",
@@ -83,26 +131,36 @@ fn run_scenario_batch(specs: &[ScenarioSpec]) -> MatrixResult {
         eprintln!("{error}");
         std::process::exit(2);
     });
-    let mut table = Table::new(
-        "Scenario batch results",
-        &[
-            "scenario",
-            "points",
-            "peak BW (Gb/s)",
-            "sustainable BW (Gb/s)",
-            "EPM@sat (pJ)",
-            "latency@sat (cycles)",
-        ],
-    );
+    let mut header = vec![
+        "scenario",
+        "points",
+        "peak BW (Gb/s)",
+        "sustainable BW (Gb/s)",
+        "EPM@sat (pJ)",
+        "latency@sat (cycles)",
+    ];
+    if percentiles {
+        header.extend(["p50 (cyc)", "p95 (cyc)", "p99 (cyc)"]);
+    }
+    let mut table = Table::new("Scenario batch results", &header);
     for result in &outcome.scenarios {
-        table.add_row(&[
+        let mut row = vec![
             result.spec.id(),
             result.result.points.len().to_string(),
             fmt_f(result.result.peak_bandwidth_gbps(), 1),
             fmt_f(result.result.sustainable_bandwidth_gbps(), 1),
             fmt_f(result.result.packet_energy_at_saturation_pj(), 1),
             fmt_f(result.result.latency_at_saturation(), 1),
-        ]);
+        ];
+        if percentiles {
+            match latency_percentiles_at_saturation(result) {
+                Some(ps) => row.extend(ps.iter().map(u64::to_string)),
+                None => row.extend(["-".to_string(), "-".to_string(), "-".to_string()]),
+            }
+        }
+        table
+            .try_add_row(&row)
+            .expect("row built from the header above");
     }
     println!("{table}");
     eprintln!(
@@ -204,6 +262,9 @@ fn main() {
     let mut dump_path: Option<String> = None;
     let mut scenario_args: Vec<String> = Vec::new();
     let mut from_paths: Vec<String> = Vec::new();
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_format = MetricsFormat::Jsonl;
+    let mut percentiles = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -250,6 +311,36 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--metrics" => match iter.next() {
+                Some(path) => metrics_path = Some(path),
+                None => {
+                    eprintln!("--metrics requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--metrics=") => {
+                metrics_path = Some(other["--metrics=".len()..].to_string());
+            }
+            "--metrics-format" => {
+                let format = iter.next().and_then(|f| MetricsFormat::parse(&f));
+                match format {
+                    Some(f) => metrics_format = f,
+                    None => {
+                        eprintln!("--metrics-format requires 'jsonl' or 'csv'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if other.starts_with("--metrics-format=") => {
+                match MetricsFormat::parse(&other["--metrics-format=".len()..]) {
+                    Some(f) => metrics_format = f,
+                    None => {
+                        eprintln!("--metrics-format requires 'jsonl' or 'csv'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--percentiles" => percentiles = true,
             "--bench-sweep" => bench_sweep_path = Some("BENCH_sweep.json".to_string()),
             other if other.starts_with("--bench-sweep=") => {
                 bench_sweep_path = Some(other["--bench-sweep=".len()..].to_string());
@@ -258,6 +349,7 @@ fn main() {
                 println!(
                     "usage: repro [--quick|--paper] [--json FILE] [--bench-sweep[=FILE]]\n\
                      \x20            [--scenario ARCH:TRAFFIC[:SET[:EFFORT]]]... [--matrix[=FILE]]\n\
+                     \x20            [--metrics FILE] [--metrics-format jsonl|csv] [--percentiles]\n\
                      \x20            [--dump-scenarios FILE] [--from-scenarios FILE] [EXPERIMENT ...]\n\
                      experiments: {}",
                     ALL_EXPERIMENTS.join(", ")
@@ -299,6 +391,10 @@ fn main() {
         specs.extend(default_matrix(effort).specs());
     }
 
+    if dump_path.is_some() && metrics_path.is_some() {
+        eprintln!("--metrics cannot be combined with --dump-scenarios (dumping runs nothing)");
+        std::process::exit(2);
+    }
     if let Some(path) = &dump_path {
         // Dump instead of running: write the selected batch (or the default
         // matrix when nothing was selected) and skip the scenario runs.
@@ -316,13 +412,20 @@ fn main() {
         }
     }
 
+    if metrics_path.is_some() && specs.is_empty() {
+        eprintln!("--metrics needs a scenario batch (--scenario, --matrix or --from-scenarios)");
+        std::process::exit(2);
+    }
     let ran_scenarios = if specs.is_empty() {
         false
     } else {
-        let outcome = run_scenario_batch(&specs);
+        let outcome = run_scenario_batch(&specs, percentiles);
         if let Some(path) = &matrix_path {
             write_file(path, &(matrix_json(&outcome).render() + "\n"));
             eprintln!("[repro] wrote {path}");
+        }
+        if let Some(path) = &metrics_path {
+            write_metrics_file(&outcome, path, metrics_format);
         }
         true
     };

@@ -267,6 +267,23 @@ pub fn saturation_sweep(
     scenario_for(architecture, kind, effort, set).run().result
 }
 
+/// The streamed latency percentiles (p50/p95/p99, in cycles) of one
+/// scenario at its saturation point, read from the per-point
+/// [`MetricReport`](pnoc_sim::metrics::MetricReport) the sweep engine
+/// attaches. `None` when the sweep is empty or the point delivered nothing.
+#[must_use]
+pub fn latency_percentiles_at_saturation(result: &ScenarioResult) -> Option<[u64; 3]> {
+    let index = result.result.saturation_index()?;
+    let sketch = result.result.points[index]
+        .metrics
+        .histogram("latency_cycles")?;
+    Some([
+        sketch.percentile(50.0)?,
+        sketch.percentile(95.0)?,
+        sketch.percentile(99.0)?,
+    ])
+}
+
 /// The outcome of comparing two architectures on one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComparisonRow {
@@ -538,6 +555,28 @@ mod tests {
             &kind,
         );
         assert_eq!(grid, vec![single], "batched grid must equal per-cell runs");
+    }
+
+    #[test]
+    fn saturation_latency_percentiles_are_present_and_ordered() {
+        let outcome = scenario_for(
+            &Architecture::named("uniform-fabric"),
+            &TrafficKind::named("uniform-random"),
+            EffortLevel::Smoke,
+            BandwidthSet::Set1,
+        )
+        .run();
+        let [p50, p95, p99] =
+            latency_percentiles_at_saturation(&outcome).expect("smoke sweep delivers packets");
+        assert!(p50 > 0);
+        assert!(p50 <= p95 && p95 <= p99, "percentiles must be monotone");
+        let max = outcome
+            .result
+            .saturation_point()
+            .and_then(|p| p.metrics.histogram("latency_cycles"))
+            .and_then(|h| h.max())
+            .expect("sketch recorded");
+        assert!(p99 <= max);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::json::{Json, JsonParseError};
 use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::metrics::MetricReport;
 use pnoc_sim::scenario::{Effort, MatrixResult, ScenarioResult, ScenarioSpec};
 use pnoc_sim::stats::SimStats;
 
@@ -154,9 +155,35 @@ fn stats_json(stats: &SimStats) -> Json {
     ])
 }
 
+/// JSON digest of a point's streamed latency metrics: the
+/// p50/p95/p99/max summary of the `latency_cycles` quantile sketch, or
+/// `null` when the point carries no metrics.
+#[must_use]
+pub fn latency_percentiles_json(metrics: &MetricReport) -> Json {
+    let Some(sketch) = metrics.histogram("latency_cycles") else {
+        return Json::Null;
+    };
+    let quantile = |p: f64| {
+        sketch
+            .percentile(p)
+            .map_or(Json::Null, |v| Json::Num(v as f64))
+    };
+    Json::obj(vec![
+        ("p50", quantile(50.0)),
+        ("p95", quantile(95.0)),
+        ("p99", quantile(99.0)),
+        (
+            "max",
+            sketch.max().map_or(Json::Null, |v| Json::Num(v as f64)),
+        ),
+        ("samples", Json::Num(sketch.count() as f64)),
+    ])
+}
+
 /// JSON representation of one scenario result: the spec, the derived
-/// per-point seeds, a per-point stats digest and the headline metrics.
-/// Deliberately excludes wall-clock time so the document is deterministic.
+/// per-point seeds, a per-point stats digest (including the streamed
+/// latency percentiles) and the headline metrics. Deliberately excludes
+/// wall-clock time so the document is deterministic.
 #[must_use]
 pub fn scenario_result_json(result: &ScenarioResult) -> Json {
     Json::obj(vec![
@@ -183,6 +210,7 @@ pub fn scenario_result_json(result: &ScenarioResult) -> Json {
                         Json::obj(vec![
                             ("offered_load", Json::Num(p.offered_load)),
                             ("stats", stats_json(&p.stats)),
+                            ("latency_percentiles", latency_percentiles_json(&p.metrics)),
                         ])
                     })
                     .collect(),

@@ -107,6 +107,47 @@ mod tests {
     }
 
     #[test]
+    fn dhetpnoc_emits_probe_events_through_the_metrics_pipeline() {
+        use pnoc_sim::engine::run_to_completion_with;
+        use pnoc_sim::metrics::{MetricValue, MetricsProbe, Probe};
+        let config = SimConfig::fast(BandwidthSet::Set1);
+        let traffic = SkewedTraffic::new(
+            ClusterTopology::paper_default(),
+            shape(BandwidthSet::Set1),
+            SkewLevel::Skewed3,
+            OfferedLoad::new(config.estimated_saturation_load() * 0.6),
+            config.seed,
+        );
+        let mut system = build_dhetpnoc_system(config, traffic);
+        let mut probe = MetricsProbe::for_config(&config);
+        let stats = run_to_completion_with(&mut system, &mut [&mut probe]);
+        assert!(stats.delivered_packets > 0);
+        let report = probe.report();
+        assert_eq!(
+            report.counter("delivered_photonic_bits"),
+            Some(stats.delivered_photonic_bits),
+            "probe event stream must agree with the legacy snapshot"
+        );
+        // Skewed traffic concentrates on a few cluster pairs; the streamed
+        // per-pair photonic breakdown must partition the aggregate.
+        let by_pair = report
+            .family("photonic_bits_by_cluster_pair")
+            .expect("present");
+        let pair_sum: u64 = by_pair
+            .values()
+            .map(|v| match v {
+                MetricValue::Counter(c) => *c,
+                other => panic!("family member must be a counter, got {other:?}"),
+            })
+            .sum();
+        assert_eq!(pair_sum, stats.delivered_photonic_bits);
+        assert!(report
+            .histogram("latency_cycles")
+            .and_then(|h| h.percentile(99.0))
+            .is_some());
+    }
+
+    #[test]
     fn registry_builder_matches_the_direct_constructor() {
         let mut config = SimConfig::fast(BandwidthSet::Set1);
         config.sim_cycles = 900;

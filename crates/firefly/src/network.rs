@@ -85,6 +85,37 @@ mod tests {
     }
 
     #[test]
+    fn firefly_emits_probe_events_through_the_metrics_pipeline() {
+        use pnoc_sim::engine::run_to_completion_with;
+        use pnoc_sim::metrics::{MetricsProbe, Probe};
+        let config = SimConfig::fast(BandwidthSet::Set1);
+        let traffic = UniformRandomTraffic::new(
+            ClusterTopology::paper_default(),
+            shape(BandwidthSet::Set1),
+            pnoc_noc::traffic_model::OfferedLoad::new(config.estimated_saturation_load() * 0.5),
+            config.seed,
+        );
+        let mut system = build_firefly_system(config, traffic);
+        let mut probe = MetricsProbe::for_config(&config);
+        let stats = run_to_completion_with(&mut system, &mut [&mut probe]);
+        assert!(stats.delivered_packets > 0);
+        let report = probe.report();
+        assert_eq!(
+            report.counter("delivered_packets"),
+            Some(stats.delivered_packets),
+            "probe event stream must agree with the legacy snapshot"
+        );
+        assert_eq!(report.counter("delivered_bits"), Some(stats.delivered_bits));
+        let latency = report.histogram("latency_cycles").expect("recorded");
+        let p95 = latency.percentile(95.0).expect("non-empty");
+        assert!(p95 >= latency.percentile(50.0).expect("non-empty"));
+        assert!(
+            !report.family("delivered_bits_by_node").unwrap().is_empty(),
+            "per-node delivery breakdown must be populated"
+        );
+    }
+
+    #[test]
     fn registry_builder_matches_the_direct_constructor() {
         let mut config = SimConfig::fast(BandwidthSet::Set1);
         config.sim_cycles = 900;

@@ -6,8 +6,16 @@
 //! reset at the end of the warm-up window so that only steady-state behaviour
 //! is measured, matching the paper's "10000 [cycles] with 1000 reset cycle"
 //! methodology (Table 3-3).
+//!
+//! Observability is push-based: [`run_to_completion_with`] drives any number
+//! of [`Probe`]s, forwarding the [`SimEvent`]s the network emits through
+//! [`CycleNetwork::step_observed`] during the measurement window. The legacy
+//! pull-only [`CycleNetwork::stats`] snapshot remains the compatibility
+//! currency (every probe run still returns it), but new metrics belong in
+//! [`crate::metrics`] probes — see [`crate::metrics::MetricsProbe`].
 
 use crate::config::SimConfig;
+use crate::metrics::{EventSink, NullSink, Probe, SimEvent};
 use crate::stats::SimStats;
 
 /// A network that can be advanced cycle by cycle.
@@ -15,11 +23,27 @@ pub trait CycleNetwork {
     /// Advances the network by one cycle.
     fn step(&mut self, cycle: u64);
 
+    /// Advances the network by one cycle, reporting observable events
+    /// ([`SimEvent`]) to `sink` as they happen.
+    ///
+    /// The default implementation ignores the sink and calls
+    /// [`CycleNetwork::step`]; instrumented networks override this and make
+    /// `step` the [`NullSink`] special case.
+    fn step_observed(&mut self, cycle: u64, sink: &mut dyn EventSink) {
+        let _ = sink;
+        self.step(cycle);
+    }
+
     /// Marks the beginning of the measurement window: statistics and energy
     /// accumulated so far (the warm-up) are discarded.
     fn begin_measurement(&mut self, cycle: u64);
 
     /// Snapshot of the statistics collected since measurement began.
+    ///
+    /// This is the legacy pull-only surface; it stays because [`SimStats`]
+    /// remains the workspace's compatibility currency, but new metrics
+    /// should be observed through [`Probe`]s instead of growing this
+    /// snapshot.
     fn stats(&self) -> SimStats;
 
     /// The configuration the network was built with.
@@ -29,25 +53,76 @@ pub trait CycleNetwork {
     fn architecture(&self) -> &str;
 }
 
-/// Runs a network for its configured warm-up + measurement window and returns
-/// the measured statistics.
-pub fn run_to_completion<N: CycleNetwork + ?Sized>(network: &mut N) -> SimStats {
+/// Fans one event stream out to a probe slice, gated on the measurement
+/// window.
+struct ProbeFanout<'a, 'b> {
+    probes: &'a mut [&'b mut dyn Probe],
+    measuring: bool,
+}
+
+impl EventSink for ProbeFanout<'_, '_> {
+    fn emit(&mut self, cycle: u64, event: SimEvent) {
+        if self.measuring {
+            for probe in self.probes.iter_mut() {
+                probe.on_event(cycle, &event);
+            }
+        }
+    }
+}
+
+/// Runs a network for its configured warm-up + measurement window while
+/// driving `probes`, and returns the measured legacy statistics.
+///
+/// The warm-up runs unobserved. At the measurement boundary every probe
+/// gets [`Probe::on_measurement_begin`]; during the window every
+/// [`SimEvent`] is forwarded to every probe and each cycle ends with
+/// [`Probe::on_cycle_end`]; after the last cycle every probe is finished
+/// with the network's final [`SimStats`]. Collect the probes' reports with
+/// [`Probe::report`].
+pub fn run_to_completion_with<N: CycleNetwork + ?Sized>(
+    network: &mut N,
+    probes: &mut [&mut dyn Probe],
+) -> SimStats {
     let warmup = network.config().warmup_cycles;
     let total = network.config().total_cycles();
+    let mut fanout = ProbeFanout {
+        probes,
+        measuring: false,
+    };
     for cycle in 0..total {
         if cycle == warmup {
             network.begin_measurement(cycle);
+            fanout.measuring = true;
+            for probe in fanout.probes.iter_mut() {
+                probe.on_measurement_begin(cycle);
+            }
         }
-        network.step(cycle);
+        network.step_observed(cycle, &mut fanout);
+        if fanout.measuring {
+            for probe in fanout.probes.iter_mut() {
+                probe.on_cycle_end(cycle);
+            }
+        }
     }
-    network.stats()
+    let stats = network.stats();
+    for probe in probes.iter_mut() {
+        probe.finish(&stats);
+    }
+    stats
+}
+
+/// Runs a network for its configured warm-up + measurement window and returns
+/// the measured statistics (no probes attached).
+pub fn run_to_completion<N: CycleNetwork + ?Sized>(network: &mut N) -> SimStats {
+    run_to_completion_with(network, &mut [])
 }
 
 /// Runs a network for an explicit number of cycles (no warm-up handling).
 /// Useful for fine-grained tests that want to observe transient behaviour.
 pub fn run_cycles<N: CycleNetwork + ?Sized>(network: &mut N, start: u64, cycles: u64) -> SimStats {
+    let mut sink = NullSink;
     for cycle in start..start + cycles {
-        network.step(cycle);
+        network.step_observed(cycle, &mut sink);
     }
     network.stats()
 }
@@ -57,8 +132,11 @@ mod tests {
     use super::*;
     use crate::clock::Clock;
     use crate::config::BandwidthSet;
+    use crate::metrics::{MetricReport, MetricValue};
+    use pnoc_noc::ids::CoreId;
 
-    /// A fake network that counts steps and records when measurement began.
+    /// A fake network that counts steps, records when measurement began, and
+    /// emits one synthetic delivery event per step.
     struct Counter {
         config: SimConfig,
         steps: u64,
@@ -66,8 +144,20 @@ mod tests {
     }
 
     impl CycleNetwork for Counter {
-        fn step(&mut self, _cycle: u64) {
+        fn step(&mut self, cycle: u64) {
+            self.step_observed(cycle, &mut NullSink);
+        }
+
+        fn step_observed(&mut self, cycle: u64, sink: &mut dyn EventSink) {
             self.steps += 1;
+            sink.emit(
+                cycle,
+                SimEvent::PacketDelivered {
+                    src: CoreId(0),
+                    dst: CoreId(1),
+                    latency: cycle,
+                },
+            );
         }
 
         fn begin_measurement(&mut self, cycle: u64) {
@@ -90,16 +180,20 @@ mod tests {
         }
     }
 
-    #[test]
-    fn run_to_completion_honours_warmup() {
+    fn counter_net(warmup: u64, sim: u64) -> Counter {
         let mut config = SimConfig::fast(BandwidthSet::Set1);
-        config.warmup_cycles = 100;
-        config.sim_cycles = 400;
-        let mut net = Counter {
+        config.warmup_cycles = warmup;
+        config.sim_cycles = sim;
+        Counter {
             config,
             steps: 0,
             measured_from: None,
-        };
+        }
+    }
+
+    #[test]
+    fn run_to_completion_honours_warmup() {
+        let mut net = counter_net(100, 400);
         let stats = run_to_completion(&mut net);
         assert_eq!(net.measured_from, Some(100));
         assert_eq!(stats.measured_cycles, 400);
@@ -107,13 +201,68 @@ mod tests {
 
     #[test]
     fn run_cycles_steps_exactly() {
-        let config = SimConfig::fast(BandwidthSet::Set1);
-        let mut net = Counter {
-            config,
-            steps: 0,
-            measured_from: None,
-        };
+        let mut net = counter_net(1_000, 5_000);
         let stats = run_cycles(&mut net, 0, 37);
         assert_eq!(stats.measured_cycles, 37);
+    }
+
+    /// A probe that records the engine-driven lifecycle.
+    #[derive(Default)]
+    struct LifecycleProbe {
+        measurement_begun_at: Option<u64>,
+        events: u64,
+        first_event_cycle: Option<u64>,
+        cycle_ends: u64,
+        finished: bool,
+    }
+
+    impl Probe for LifecycleProbe {
+        fn on_measurement_begin(&mut self, cycle: u64) {
+            self.measurement_begun_at = Some(cycle);
+        }
+
+        fn on_event(&mut self, cycle: u64, _event: &SimEvent) {
+            self.events += 1;
+            self.first_event_cycle.get_or_insert(cycle);
+        }
+
+        fn on_cycle_end(&mut self, _cycle: u64) {
+            self.cycle_ends += 1;
+        }
+
+        fn finish(&mut self, _stats: &SimStats) {
+            self.finished = true;
+        }
+
+        fn report(&self) -> MetricReport {
+            let mut report = MetricReport::new();
+            report.insert("events", MetricValue::Counter(self.events));
+            report
+        }
+    }
+
+    #[test]
+    fn probes_only_observe_the_measurement_window() {
+        let mut net = counter_net(100, 400);
+        let mut probe = LifecycleProbe::default();
+        let stats = run_to_completion_with(&mut net, &mut [&mut probe]);
+        assert_eq!(stats.measured_cycles, 400);
+        assert_eq!(probe.measurement_begun_at, Some(100));
+        // One event per measured cycle; warm-up events were suppressed.
+        assert_eq!(probe.events, 400);
+        assert_eq!(probe.first_event_cycle, Some(100));
+        assert_eq!(probe.cycle_ends, 400);
+        assert!(probe.finished);
+        assert_eq!(probe.report().counter("events"), Some(400));
+    }
+
+    #[test]
+    fn multiple_probes_see_the_same_stream() {
+        let mut net = counter_net(10, 50);
+        let mut a = LifecycleProbe::default();
+        let mut b = LifecycleProbe::default();
+        let _ = run_to_completion_with(&mut net, &mut [&mut a, &mut b]);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.events, 50);
     }
 }

@@ -11,6 +11,10 @@
 //!   sets of Table 3-1,
 //! * [`stats`] — throughput, latency, drop and energy accounting, from which
 //!   *peak bandwidth* and *packet energy* are derived,
+//! * [`metrics`] — the typed observability surface: counters, gauges,
+//!   mergeable streaming quantile sketches and labelled families, collected
+//!   by engine-driven [`metrics::Probe`]s and streamed through pluggable
+//!   [`metrics::MetricSink`]s (JSONL, CSV, in-memory),
 //! * [`system`] — the full cluster system (cores, electrical core switches,
 //!   photonic routers, reservation-assisted photonic transfers) parameterised
 //!   by a [`system::PhotonicFabric`] implementation; Firefly and d-HetPNoC
@@ -36,6 +40,7 @@
 pub mod clock;
 pub mod config;
 pub mod engine;
+pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod scenario;
@@ -47,7 +52,11 @@ pub mod system;
 pub mod prelude {
     pub use crate::clock::Clock;
     pub use crate::config::{BandwidthSet, SimConfig};
-    pub use crate::engine::{run_to_completion, CycleNetwork};
+    pub use crate::engine::{run_to_completion, run_to_completion_with, CycleNetwork};
+    pub use crate::metrics::{
+        Counter, CsvSink, EventSink, Family, Gauge, JsonlSink, MemorySink, MetricReport, MetricRow,
+        MetricSink, MetricValue, MetricsProbe, Probe, QuantileSketch, SimEvent, SimStatsProbe,
+    };
     pub use crate::registry::{
         lookup_architecture, register_architecture, registered_architectures, ArchitectureBuilder,
         ArchitectureRegistry, Provisioning, UniformFabricArchitecture, UnknownArchitectureError,
@@ -58,8 +67,6 @@ pub mod prelude {
         ScenarioSpec,
     };
     pub use crate::stats::SimStats;
-    #[allow(deprecated)]
-    pub use crate::sweep::run_saturation_sweep;
     pub use crate::sweep::{
         derive_point_seed, sweep_offered_loads, SaturationResult, SweepMode, SweepPoint,
         SweepPointSpec,

@@ -1,0 +1,1560 @@
+#![doc = include_str!("metrics.md")]
+
+use crate::stats::SimStats;
+use pnoc_noc::ids::{ClusterId, CoreId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+
+// ---------------------------------------------------------------------------
+// Typed metric primitives
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `delta` to the counter.
+    pub fn add(&mut self, delta: u64) {
+        self.0 += delta;
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Merges another counter into this one (counts add).
+    pub fn merge(&mut self, other: &Counter) {
+        self.0 += other.0;
+    }
+}
+
+/// A last-written scalar observation. Merging keeps the **maximum**, so a
+/// merged gauge reports the peak observation across the merged runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Gauge(f64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&mut self, value: f64) {
+        self.0 = value;
+    }
+
+    /// Raises the gauge to `value` if it is larger than the current reading.
+    pub fn observe_max(&mut self, value: f64) {
+        if value > self.0 {
+            self.0 = value;
+        }
+    }
+
+    /// Current reading.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Merges another gauge into this one (keeps the maximum).
+    pub fn merge(&mut self, other: &Gauge) {
+        self.observe_max(other.0);
+    }
+}
+
+/// Sub-bucket resolution of the [`QuantileSketch`]: `2^SUB_BITS` log-linear
+/// buckets per power of two, i.e. a worst-case relative value error of
+/// `2^-SUB_BITS` (≈ 3 %) on every reported quantile.
+pub const SUB_BITS: u32 = 5;
+
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// A mergeable streaming quantile sketch over `u64` samples (an HDR-style
+/// log-linear histogram).
+///
+/// Values below `2^SUB_BITS` get exact unit-width buckets; larger values
+/// share `2^SUB_BITS` buckets per power of two, so the bucket containing a
+/// value `v` is at most `v / 2^SUB_BITS` wide. [`QuantileSketch::quantile`]
+/// therefore returns an estimate within that relative error of an exact
+/// rank-based quantile, using O(log₂(max) · 2^SUB_BITS) memory regardless of
+/// the sample count.
+///
+/// Two sketches merge by bin-wise addition ([`QuantileSketch::merge`]), which
+/// is associative, commutative and **deterministic**: merging per-thread
+/// sketches gives bitwise the same result in any merge order. This is what
+/// lets the parallel matrix engine produce metric reports identical to a
+/// sequential run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    /// Bucket counts, indexed by [`bucket_index`]. Never has trailing zero
+    /// entries, so structural equality equals logical equality.
+    bins: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// The bucket index a value falls into (log-linear, `2^SUB_BITS` sub-buckets
+/// per octave).
+#[must_use]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - u64::from(value.leading_zeros());
+    let shift = msb - u64::from(SUB_BITS);
+    let sub = (value >> shift) - SUB_BUCKETS;
+    ((shift + 1) * SUB_BUCKETS + sub) as usize
+}
+
+/// The largest value mapping to bucket `index` (the bucket's upper edge).
+#[must_use]
+fn bucket_upper_edge(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let shift = (index / SUB_BUCKETS - 1) as u32;
+    let sub = index % SUB_BUCKETS;
+    // First value of the *next* bucket, minus one; the topmost bucket's
+    // upper edge saturates at u64::MAX.
+    match (SUB_BUCKETS + sub + 1).checked_shl(shift) {
+        Some(next) if next != 0 => next - 1,
+        _ => u64::MAX,
+    }
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_index(value);
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum sample, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum sample, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded samples, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The quantile estimate for `q` in `0.0..=1.0`: the upper edge of the
+    /// bucket containing the sample of rank `ceil(q · count)`.
+    ///
+    /// Guarantees (the "rank error bound" property-tested in
+    /// `tests/prop_metrics.rs`): at least `ceil(q · count)` samples are ≤ the
+    /// returned value, and the returned value is at most one bucket width
+    /// (relative error `2^-SUB_BITS`) above the exact rank-`ceil(q · count)`
+    /// sample. Returns `None` when the sketch is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (idx, &bin) in self.bins.iter().enumerate() {
+            acc += bin;
+            if acc >= target {
+                // The exact extrema are tracked, so never report past them.
+                return Some(bucket_upper_edge(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The percentile estimate for `p` in `0.0..=100.0`
+    /// (`percentile(95.0) == quantile(0.95)`).
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        self.quantile(p / 100.0)
+    }
+
+    /// Merges another sketch into this one by bin-wise addition. Every sketch
+    /// shares the same bucketing, so the merge is total (no error case),
+    /// associative and deterministic.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.bins.len() < other.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (bin, &extra) in self.bins.iter_mut().zip(&other.bins) {
+            *bin += extra;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs, in index
+    /// order (the wire representation used by the JSONL sink).
+    #[must_use]
+    pub fn nonzero_bins(&self) -> Vec<(usize, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(idx, &count)| (idx, count))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Labelled families and the report
+// ---------------------------------------------------------------------------
+
+/// A labelled family of metrics: one metric instance per label, stored in
+/// label order (deterministic iteration and serialization).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Family<M> {
+    members: BTreeMap<String, M>,
+}
+
+impl<M> Default for Family<M> {
+    fn default() -> Self {
+        Self {
+            members: BTreeMap::new(),
+        }
+    }
+}
+
+impl<M: Default> Family<M> {
+    /// Creates an empty family.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The member for `label`, created (default) on first use.
+    pub fn with_label(&mut self, label: impl Into<String>) -> &mut M {
+        self.members.entry(label.into()).or_default()
+    }
+
+    /// The member for `label`, if it exists.
+    #[must_use]
+    pub fn get(&self, label: &str) -> Option<&M> {
+        self.members.get(label)
+    }
+
+    /// Number of labels in the family.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the family has no labels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates `(label, member)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &M)> {
+        self.members.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl Family<Counter> {
+    /// Snapshots a counter family as a [`MetricValue::Family`] — how probes
+    /// materialise their labelled breakdowns into a [`MetricReport`].
+    #[must_use]
+    pub fn to_value(&self) -> MetricValue {
+        MetricValue::Family(
+            self.iter()
+                .map(|(label, counter)| (label.to_string(), MetricValue::Counter(counter.get())))
+                .collect(),
+        )
+    }
+}
+
+/// The label used for per-node (per-core) family members: zero-padded so the
+/// lexicographic label order equals the numeric node order for up to 1000
+/// cores (beyond that, family order stays deterministic but is no longer
+/// numeric — the paper topology has 64 cores). The padding is fixed rather
+/// than derived from the topology so that labels, and therefore report
+/// merges, are stable across differently sized runs.
+#[must_use]
+pub fn node_label(core: CoreId) -> String {
+    format!("n{:03}", core.0)
+}
+
+/// The label used for per-(source cluster, destination cluster) family
+/// members. Zero-padded for numeric label order up to 100 clusters (the
+/// paper topology has 16); fixed-width for the same merge-stability reason
+/// as [`node_label`].
+#[must_use]
+pub fn cluster_pair_label(src: ClusterId, dst: ClusterId) -> String {
+    format!("c{:02}->c{:02}", src.0, dst.0)
+}
+
+/// The label of time window `index`: zero-padded for numeric label order up
+/// to 10 000 windows per run (a [`MetricsProbe`] windows a measurement into
+/// at most a few dozen).
+#[must_use]
+pub fn window_label(index: usize) -> String {
+    format!("w{index:04}")
+}
+
+/// One metric in a [`MetricReport`]: the snapshot counterpart of the typed
+/// primitives, closed under [`MetricValue::merge`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A summed event count.
+    Counter(u64),
+    /// A scalar observation (merge keeps the maximum).
+    Gauge(f64),
+    /// A mergeable quantile sketch.
+    Histogram(QuantileSketch),
+    /// A labelled family of nested values, in label order.
+    Family(BTreeMap<String, MetricValue>),
+}
+
+impl MetricValue {
+    /// The metric kind name used in error messages and the CSV `kind`
+    /// column.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+            MetricValue::Family(_) => "family",
+        }
+    }
+
+    fn merge(&mut self, other: &MetricValue, path: &str) -> Result<(), MetricMergeError> {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                *a += b;
+                Ok(())
+            }
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => {
+                if *b > *a {
+                    *a = *b;
+                }
+                Ok(())
+            }
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (MetricValue::Family(a), MetricValue::Family(b)) => {
+                for (label, value) in b {
+                    match a.get_mut(label) {
+                        Some(existing) => {
+                            existing.merge(value, &format!("{path}/{label}"))?;
+                        }
+                        None => {
+                            a.insert(label.clone(), value.clone());
+                        }
+                    }
+                }
+                Ok(())
+            }
+            (a, b) => Err(MetricMergeError {
+                metric: path.to_string(),
+                left_kind: a.kind(),
+                right_kind: b.kind(),
+            }),
+        }
+    }
+}
+
+/// Why two [`MetricReport`]s could not be merged: the same name holds
+/// different metric kinds on the two sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricMergeError {
+    /// Path of the conflicting metric (`name` or `name/label`).
+    pub metric: String,
+    /// Kind on the receiving side.
+    pub left_kind: &'static str,
+    /// Kind on the incoming side.
+    pub right_kind: &'static str,
+}
+
+impl std::fmt::Display for MetricMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot merge metric '{}': left side is a {}, right side is a {}",
+            self.metric, self.left_kind, self.right_kind
+        )
+    }
+}
+
+impl std::error::Error for MetricMergeError {}
+
+/// A named, ordered snapshot of metrics — what a [`Probe`] produces and what
+/// [`MetricSink`]s consume.
+///
+/// Entries are kept in name order, so serialization (and therefore the JSONL
+/// / CSV sink output) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricReport {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a metric.
+    pub fn insert(&mut self, name: impl Into<String>, value: MetricValue) {
+        self.entries.insert(name.into(), value);
+    }
+
+    /// The metric stored under `name`.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// The counter stored under `name`, if it is one.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge stored under `name`, if it is one.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram stored under `name`, if it is one.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&QuantileSketch> {
+        match self.entries.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The family stored under `name`, if it is one.
+    #[must_use]
+    pub fn family(&self, name: &str) -> Option<&BTreeMap<String, MetricValue>> {
+        match self.entries.get(name) {
+            Some(MetricValue::Family(f)) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics in the report.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the report is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges another report into this one: counters add, gauges keep the
+    /// maximum, histograms merge bin-wise, families merge label-wise. The
+    /// operation is associative and deterministic, so merging per-point
+    /// reports in ladder order gives bitwise the same result regardless of
+    /// which threads produced the points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricMergeError`] when the same name holds different metric
+    /// kinds on the two sides; `self` may be partially updated in that case.
+    pub fn merge(&mut self, other: &MetricReport) -> Result<(), MetricMergeError> {
+        for (name, value) in &other.entries {
+            match self.entries.get_mut(name) {
+                Some(existing) => existing.merge(value, name)?,
+                None => {
+                    self.entries.insert(name.clone(), value.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the report as one compact, deterministic JSON object (the
+    /// payload format of the [`JsonlSink`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_report_json(&mut out, self);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact deterministic JSON rendering (no serde_json offline)
+// ---------------------------------------------------------------------------
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders an `f64` deterministically: Rust's shortest-round-trip `Display`,
+/// with non-finite values mapped to `null`.
+fn write_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_sketch_json(out: &mut String, sketch: &QuantileSketch) {
+    let _ = write!(out, "{{\"count\":{}", sketch.count());
+    let _ = write!(out, ",\"sum\":{}", sketch.sum());
+    for (key, value) in [("min", sketch.min()), ("max", sketch.max())] {
+        match value {
+            Some(v) => {
+                let _ = write!(out, ",\"{key}\":{v}");
+            }
+            None => {
+                let _ = write!(out, ",\"{key}\":null");
+            }
+        }
+    }
+    for (key, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
+        match sketch.percentile(p) {
+            Some(v) => {
+                let _ = write!(out, ",\"{key}\":{v}");
+            }
+            None => {
+                let _ = write!(out, ",\"{key}\":null");
+            }
+        }
+    }
+    out.push_str(",\"bins\":[");
+    for (i, (idx, count)) in sketch.nonzero_bins().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{idx},{count}]");
+    }
+    out.push_str("]}");
+}
+
+fn write_value_json(out: &mut String, value: &MetricValue) {
+    match value {
+        MetricValue::Counter(v) => {
+            let _ = write!(out, "{v}");
+        }
+        MetricValue::Gauge(v) => write_json_f64(out, *v),
+        MetricValue::Histogram(h) => write_sketch_json(out, h),
+        MetricValue::Family(members) => {
+            out.push('{');
+            for (i, (label, member)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, label);
+                out.push(':');
+                write_value_json(out, member);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_report_json(out: &mut String, report: &MetricReport) {
+    out.push('{');
+    for (i, (name, value)) in report.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, name);
+        out.push(':');
+        write_value_json(out, value);
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------------
+// Events and probes
+// ---------------------------------------------------------------------------
+
+/// One observable simulation event, emitted by a network while it steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A traffic generator created a packet at `src`.
+    PacketGenerated {
+        /// Generating core.
+        src: CoreId,
+    },
+    /// A packet was dropped at `src`'s full injection queue.
+    PacketDropped {
+        /// Dropping core.
+        src: CoreId,
+    },
+    /// A packet started injecting at `src`.
+    PacketInjected {
+        /// Injecting core.
+        src: CoreId,
+    },
+    /// A flit entered the network at `src`.
+    FlitInjected {
+        /// Injecting core.
+        src: CoreId,
+        /// Payload bits of the flit.
+        bits: u32,
+    },
+    /// A flit was delivered to its destination core.
+    FlitDelivered {
+        /// Source core of the flit.
+        src: CoreId,
+        /// Destination core (where it was ejected).
+        dst: CoreId,
+        /// Payload bits of the flit.
+        bits: u32,
+        /// Whether the flit crossed the photonic fabric (inter-cluster).
+        photonic: bool,
+    },
+    /// A packet's tail flit arrived: the whole packet is delivered.
+    PacketDelivered {
+        /// Source core.
+        src: CoreId,
+        /// Destination core.
+        dst: CoreId,
+        /// Creation → tail-delivery latency in cycles.
+        latency: u64,
+    },
+}
+
+/// Where a stepping network reports its [`SimEvent`]s.
+///
+/// The engine passes a sink into
+/// [`CycleNetwork::step_observed`](crate::engine::CycleNetwork::step_observed);
+/// networks call [`EventSink::emit`] as things happen. The [`NullSink`] makes
+/// observation free when nobody is listening.
+pub trait EventSink {
+    /// Reports one event at `cycle`.
+    fn emit(&mut self, cycle: u64, event: SimEvent);
+}
+
+/// An [`EventSink`] that discards everything (the unobserved fast path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _cycle: u64, _event: SimEvent) {}
+}
+
+/// An engine-driven observer of one simulation run.
+///
+/// [`crate::engine::run_to_completion_with`] warms the network up
+/// unobserved, calls [`Probe::on_measurement_begin`] at the warm-up /
+/// measurement boundary, forwards every [`SimEvent`] of the measurement
+/// window to [`Probe::on_event`], marks each cycle boundary with
+/// [`Probe::on_cycle_end`], and finishes with [`Probe::finish`] (handing the
+/// probe the network's final [`SimStats`] so compatibility probes can wrap
+/// the legacy snapshot). [`Probe::report`] then yields the collected
+/// [`MetricReport`].
+pub trait Probe {
+    /// The measurement window starts at `cycle` (warm-up state has been
+    /// discarded).
+    fn on_measurement_begin(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// One simulation event inside the measurement window.
+    fn on_event(&mut self, cycle: u64, event: &SimEvent);
+
+    /// A measured cycle finished (window bookkeeping hook).
+    fn on_cycle_end(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// The run is over; `stats` is the network's final legacy snapshot.
+    fn finish(&mut self, stats: &SimStats) {
+        let _ = stats;
+    }
+
+    /// The metrics collected so far.
+    fn report(&self) -> MetricReport;
+}
+
+/// The standard probe: latency quantiles, per-node and per-cluster-pair
+/// delivery breakdowns, time-windowed throughput, and the headline event
+/// counters. This is what the sweep engine attaches to every ladder point.
+///
+/// The hot path (one [`Probe::on_event`] call per flit) touches only
+/// integer-indexed accumulators; the labelled [`Family`] representation is
+/// materialised once, in [`Probe::report`].
+///
+/// The per-cluster-pair photonic breakdown needs the
+/// [`ClusterTopology`](pnoc_noc::topology::ClusterTopology) to map cores to
+/// clusters: build the probe with [`MetricsProbe::for_config`] (what the
+/// sweep engine does) or chain [`MetricsProbe::with_topology`]. Without a
+/// topology, `photonic_bits_by_cluster_pair` stays empty while the
+/// `delivered_photonic_bits` counter still accumulates.
+#[derive(Debug, Clone)]
+pub struct MetricsProbe {
+    window_cycles: u64,
+    measured_cycles: u64,
+    window_bits: u64,
+    generated_packets: Counter,
+    dropped_packets: Counter,
+    injected_packets: Counter,
+    injected_flits: Counter,
+    delivered_packets: Counter,
+    delivered_flits: Counter,
+    delivered_bits: Counter,
+    delivered_photonic_bits: Counter,
+    latency: QuantileSketch,
+    /// Delivered bits per destination core, indexed by core id.
+    bits_by_node: Vec<u64>,
+    /// Dropped packets per source core, indexed by core id.
+    drops_by_node: Vec<u64>,
+    /// Photonic bits per (src cluster, dst cluster) pair.
+    photonic_bits_by_pair: BTreeMap<(usize, usize), u64>,
+    /// Delivered bits of every closed window, in window order.
+    window_series: Vec<u64>,
+    max_window_bits: Gauge,
+    topology: Option<pnoc_noc::topology::ClusterTopology>,
+}
+
+impl MetricsProbe {
+    /// Creates a probe that closes a throughput window every `window_cycles`
+    /// measured cycles. The probe has no topology yet — chain
+    /// [`MetricsProbe::with_topology`] (or use [`MetricsProbe::for_config`])
+    /// to enable the per-cluster-pair photonic breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is zero.
+    #[must_use]
+    pub fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "window must span at least one cycle");
+        Self {
+            window_cycles,
+            measured_cycles: 0,
+            window_bits: 0,
+            generated_packets: Counter::new(),
+            dropped_packets: Counter::new(),
+            injected_packets: Counter::new(),
+            injected_flits: Counter::new(),
+            delivered_packets: Counter::new(),
+            delivered_flits: Counter::new(),
+            delivered_bits: Counter::new(),
+            delivered_photonic_bits: Counter::new(),
+            latency: QuantileSketch::new(),
+            bits_by_node: Vec::new(),
+            drops_by_node: Vec::new(),
+            photonic_bits_by_pair: BTreeMap::new(),
+            window_series: Vec::new(),
+            max_window_bits: Gauge::new(),
+            topology: None,
+        }
+    }
+
+    /// Sets the topology used to attribute photonic bits to cluster pairs.
+    #[must_use]
+    pub fn with_topology(mut self, topology: pnoc_noc::topology::ClusterTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// A probe windowed for one sweep point: an eighth of the measurement
+    /// window (at least one cycle), so every run yields a small time series,
+    /// with the configuration's topology for per-cluster-pair attribution.
+    #[must_use]
+    pub fn for_config(config: &crate::config::SimConfig) -> Self {
+        Self::new((config.sim_cycles / 8).max(1)).with_topology(config.topology)
+    }
+
+    fn close_window(&mut self) {
+        self.window_series.push(self.window_bits);
+        self.max_window_bits.observe_max(self.window_bits as f64);
+        self.window_bits = 0;
+    }
+}
+
+fn bump(slots: &mut Vec<u64>, index: usize, delta: u64) {
+    if index >= slots.len() {
+        slots.resize(index + 1, 0);
+    }
+    slots[index] += delta;
+}
+
+impl Probe for MetricsProbe {
+    fn on_event(&mut self, _cycle: u64, event: &SimEvent) {
+        match *event {
+            SimEvent::PacketGenerated { .. } => self.generated_packets.inc(),
+            SimEvent::PacketDropped { src } => {
+                self.dropped_packets.inc();
+                bump(&mut self.drops_by_node, src.0, 1);
+            }
+            SimEvent::PacketInjected { .. } => self.injected_packets.inc(),
+            SimEvent::FlitInjected { .. } => self.injected_flits.inc(),
+            SimEvent::FlitDelivered {
+                src,
+                dst,
+                bits,
+                photonic,
+            } => {
+                self.delivered_flits.inc();
+                self.delivered_bits.add(u64::from(bits));
+                self.window_bits += u64::from(bits);
+                bump(&mut self.bits_by_node, dst.0, u64::from(bits));
+                if photonic {
+                    self.delivered_photonic_bits.add(u64::from(bits));
+                    if let Some(topology) = &self.topology {
+                        let pair = (topology.cluster_of(src).0, topology.cluster_of(dst).0);
+                        *self.photonic_bits_by_pair.entry(pair).or_insert(0) += u64::from(bits);
+                    }
+                }
+            }
+            SimEvent::PacketDelivered { latency, .. } => {
+                self.delivered_packets.inc();
+                self.latency.record(latency);
+            }
+        }
+    }
+
+    fn on_cycle_end(&mut self, _cycle: u64) {
+        self.measured_cycles += 1;
+        if self.measured_cycles.is_multiple_of(self.window_cycles) {
+            self.close_window();
+        }
+    }
+
+    fn finish(&mut self, _stats: &SimStats) {
+        // Close the trailing partial window, if any cycles fell into it.
+        if !self.measured_cycles.is_multiple_of(self.window_cycles) {
+            self.close_window();
+        }
+    }
+
+    fn report(&self) -> MetricReport {
+        let mut report = MetricReport::new();
+        let counters = [
+            ("generated_packets", self.generated_packets.get()),
+            ("dropped_packets", self.dropped_packets.get()),
+            ("injected_packets", self.injected_packets.get()),
+            ("injected_flits", self.injected_flits.get()),
+            ("delivered_packets", self.delivered_packets.get()),
+            ("delivered_flits", self.delivered_flits.get()),
+            ("delivered_bits", self.delivered_bits.get()),
+            (
+                "delivered_photonic_bits",
+                self.delivered_photonic_bits.get(),
+            ),
+            ("measured_cycles", self.measured_cycles),
+        ];
+        for (name, count) in counters {
+            report.insert(name, MetricValue::Counter(count));
+        }
+        report.insert(
+            "latency_cycles",
+            MetricValue::Histogram(self.latency.clone()),
+        );
+        report.insert(
+            "max_window_delivered_bits",
+            MetricValue::Gauge(self.max_window_bits.get()),
+        );
+        // Materialise the labelled families (touched members only — the
+        // integer accumulators keep the per-event path allocation-free).
+        let node_family = |slots: &[u64]| {
+            let mut family: Family<Counter> = Family::new();
+            for (core, &count) in slots.iter().enumerate().filter(|(_, &count)| count > 0) {
+                family.with_label(node_label(CoreId(core))).add(count);
+            }
+            family.to_value()
+        };
+        report.insert("delivered_bits_by_node", node_family(&self.bits_by_node));
+        report.insert("dropped_packets_by_node", node_family(&self.drops_by_node));
+        let mut pairs: Family<Counter> = Family::new();
+        for (&(src, dst), &count) in &self.photonic_bits_by_pair {
+            pairs
+                .with_label(cluster_pair_label(ClusterId(src), ClusterId(dst)))
+                .add(count);
+        }
+        report.insert("photonic_bits_by_cluster_pair", pairs.to_value());
+        let mut windows: Family<Counter> = Family::new();
+        for (index, &count) in self.window_series.iter().enumerate() {
+            windows.with_label(window_label(index)).add(count);
+        }
+        report.insert("delivered_bits_by_window", windows.to_value());
+        report
+    }
+}
+
+/// The compatibility probe: ignores the event stream and reproduces the
+/// headline numbers of the legacy pull-only [`SimStats`] snapshot as a
+/// [`MetricReport`]. Exists so callers migrating from
+/// `run_to_completion(...).stats` to the probe pipeline can do it one metric
+/// at a time; new code should use [`MetricsProbe`] (richer, streaming,
+/// mergeable) instead.
+#[derive(Debug, Clone, Default)]
+pub struct SimStatsProbe {
+    snapshot: Option<SimStats>,
+}
+
+impl SimStatsProbe {
+    /// Creates the probe.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The final snapshot, once the run has finished.
+    #[must_use]
+    pub fn stats(&self) -> Option<&SimStats> {
+        self.snapshot.as_ref()
+    }
+}
+
+impl Probe for SimStatsProbe {
+    fn on_event(&mut self, _cycle: u64, _event: &SimEvent) {}
+
+    fn finish(&mut self, stats: &SimStats) {
+        self.snapshot = Some(stats.clone());
+    }
+
+    fn report(&self) -> MetricReport {
+        let mut report = MetricReport::new();
+        let Some(stats) = &self.snapshot else {
+            return report;
+        };
+        for (name, value) in [
+            ("generated_packets", stats.generated_packets),
+            ("dropped_packets", stats.dropped_packets),
+            ("injected_packets", stats.injected_packets),
+            ("delivered_packets", stats.delivered_packets),
+            ("delivered_bits", stats.delivered_bits),
+            ("measured_cycles", stats.measured_cycles),
+        ] {
+            report.insert(name, MetricValue::Counter(value));
+        }
+        report.insert(
+            "accepted_bandwidth_gbps",
+            MetricValue::Gauge(stats.accepted_bandwidth_gbps()),
+        );
+        report.insert(
+            "packet_energy_pj",
+            MetricValue::Gauge(stats.packet_energy_pj()),
+        );
+        report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// One exported record: the metrics of one sweep point of one scenario, plus
+/// enough context to identify it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Scenario identifier (`arch:traffic:set:effort`).
+    pub scenario: String,
+    /// Ladder index of the point within its scenario.
+    pub point_index: usize,
+    /// Offered load of the point.
+    pub offered_load: f64,
+    /// Derived RNG seed the point simulated with.
+    pub seed: u64,
+    /// The point's metrics.
+    pub report: MetricReport,
+}
+
+/// A streaming consumer of [`MetricRow`]s.
+///
+/// Sinks receive rows in deterministic order (scenarios in batch order,
+/// points in ladder order) and must not reorder them; the JSONL and CSV
+/// implementations write each row as it arrives, so exporting a large matrix
+/// never holds more than one row's rendering in memory.
+pub trait MetricSink {
+    /// Consumes one row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the underlying writer.
+    fn write_row(&mut self, row: &MetricRow) -> io::Result<()>;
+
+    /// Flushes any buffered output (called once after the last row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the underlying writer.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Renders one row as its JSONL line (without the trailing newline).
+#[must_use]
+pub fn render_jsonl_row(row: &MetricRow) -> String {
+    let mut line = String::new();
+    line.push_str("{\"scenario\":");
+    write_json_string(&mut line, &row.scenario);
+    let _ = write!(line, ",\"point\":{}", row.point_index);
+    line.push_str(",\"offered_load\":");
+    write_json_f64(&mut line, row.offered_load);
+    // Seeds are u64; JSON numbers are f64 — write them as strings, exactly.
+    let _ = write!(line, ",\"seed\":\"{}\"", row.seed);
+    line.push_str(",\"metrics\":");
+    line.push_str(&row.report.to_json());
+    line.push('}');
+    line
+}
+
+/// A [`MetricSink`] writing one compact JSON object per line.
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    out: W,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: io::Write> MetricSink for JsonlSink<W> {
+    fn write_row(&mut self, row: &MetricRow) -> io::Result<()> {
+        self.out.write_all(render_jsonl_row(row).as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// The CSV column header written by [`CsvSink`].
+pub const CSV_HEADER: &str = "scenario,point,offered_load,seed,metric,label,kind,value";
+
+fn csv_field(text: &str) -> String {
+    if text.contains([',', '"', '\n']) {
+        format!("\"{}\"", text.replace('"', "\"\""))
+    } else {
+        text.to_string()
+    }
+}
+
+/// A [`MetricSink`] writing long-format CSV: one line per scalar metric, and
+/// per histogram summary statistic (`count`/`sum`/`min`/`max`/`mean`/
+/// `p50`/`p95`/`p99`). Raw histogram bins are JSONL-only — spreadsheets want
+/// the summary, not the sketch.
+#[derive(Debug)]
+pub struct CsvSink<W: io::Write> {
+    out: W,
+    wrote_header: bool,
+}
+
+impl<W: io::Write> CsvSink<W> {
+    /// Wraps a writer; the header line is written before the first row.
+    pub fn new(out: W) -> Self {
+        Self {
+            out,
+            wrote_header: false,
+        }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn write_line(
+        &mut self,
+        row: &MetricRow,
+        metric: &str,
+        label: &str,
+        kind: &str,
+        value: &str,
+    ) -> io::Result<()> {
+        writeln!(
+            self.out,
+            "{},{},{},{},{},{},{},{}",
+            csv_field(&row.scenario),
+            row.point_index,
+            row.offered_load,
+            row.seed,
+            csv_field(metric),
+            csv_field(label),
+            kind,
+            value
+        )
+    }
+
+    fn write_value(
+        &mut self,
+        row: &MetricRow,
+        metric: &str,
+        label: &str,
+        value: &MetricValue,
+    ) -> io::Result<()> {
+        match value {
+            MetricValue::Counter(v) => {
+                self.write_line(row, metric, label, "counter", &v.to_string())
+            }
+            MetricValue::Gauge(v) => self.write_line(row, metric, label, "gauge", &v.to_string()),
+            MetricValue::Histogram(h) => {
+                let stats: [(&str, Option<u64>); 5] = [
+                    ("count", Some(h.count())),
+                    ("sum", Some(h.sum())),
+                    ("min", h.min()),
+                    ("max", h.max()),
+                    ("p50", h.percentile(50.0)),
+                ];
+                for (stat, value) in stats {
+                    let rendered = value.map_or_else(String::new, |v| v.to_string());
+                    self.write_line(row, metric, stat, "histogram", &rendered)?;
+                }
+                for (stat, p) in [("p95", 95.0), ("p99", 99.0)] {
+                    let rendered = h.percentile(p).map_or_else(String::new, |v| v.to_string());
+                    self.write_line(row, metric, stat, "histogram", &rendered)?;
+                }
+                let mean = h.mean().map_or_else(String::new, |m| m.to_string());
+                self.write_line(row, metric, "mean", "histogram", &mean)
+            }
+            MetricValue::Family(members) => {
+                for (member_label, member) in members {
+                    let nested = if label.is_empty() {
+                        member_label.clone()
+                    } else {
+                        format!("{label}/{member_label}")
+                    };
+                    self.write_value(row, metric, &nested, member)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<W: io::Write> MetricSink for CsvSink<W> {
+    fn write_row(&mut self, row: &MetricRow) -> io::Result<()> {
+        if !self.wrote_header {
+            writeln!(self.out, "{CSV_HEADER}")?;
+            self.wrote_header = true;
+        }
+        for (name, value) in row.report.iter() {
+            self.write_value(row, name, "", value)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// A [`MetricSink`] that keeps every row in memory — for tests and
+/// in-process consumers that post-process a metric stream (e.g. via
+/// [`MemorySink::merged`]) without touching the filesystem. (The sweep
+/// engine itself attaches a [`MetricsProbe`] per point and stores the
+/// reports on the [`SweepPoint`](crate::sweep::SweepPoint)s directly.)
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySink {
+    /// The rows received so far, in arrival order.
+    pub rows: Vec<MetricRow>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges the reports of every collected row into one (e.g. all ladder
+    /// points of one scenario).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricMergeError`] if two rows disagree on a metric's kind.
+    pub fn merged(&self) -> Result<MetricReport, MetricMergeError> {
+        let mut merged = MetricReport::new();
+        for row in &self.rows {
+            merged.merge(&row.report)?;
+        }
+        Ok(merged)
+    }
+}
+
+impl MetricSink for MemorySink {
+    fn write_row(&mut self, row: &MetricRow) -> io::Result<()> {
+        self.rows.push(row.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_merge_semantics() {
+        let mut a = Counter::new();
+        a.inc();
+        a.add(4);
+        let mut b = Counter::new();
+        b.add(10);
+        a.merge(&b);
+        assert_eq!(a.get(), 15);
+
+        let mut g = Gauge::new();
+        g.set(3.0);
+        g.observe_max(2.0);
+        assert_eq!(g.get(), 3.0);
+        let mut h = Gauge::new();
+        h.set(7.5);
+        g.merge(&h);
+        assert_eq!(g.get(), 7.5);
+    }
+
+    #[test]
+    fn bucket_index_and_edges_are_consistent() {
+        for v in (0..2000u64).chain([1 << 20, (1 << 40) + 12345, u64::MAX]) {
+            let idx = bucket_index(v);
+            let upper = bucket_upper_edge(idx);
+            assert!(upper >= v, "upper edge of {v}'s bucket is {upper}");
+            if idx > 0 {
+                let below = bucket_upper_edge(idx - 1);
+                assert!(below < v, "lower edge {below} must be below {v}");
+            }
+            // Relative width bound: upper/v ≤ 1 + 2^-SUB_BITS.
+            if v >= SUB_BUCKETS {
+                assert!((upper - v) as f64 <= v as f64 / SUB_BUCKETS as f64 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_tracks_exact_extrema_and_bounded_quantiles() {
+        let mut s = QuantileSketch::new();
+        assert_eq!(s.quantile(0.5), None);
+        let samples: Vec<u64> = (1..=1000).collect();
+        for &v in &samples {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(1000));
+        assert_eq!(s.sum(), 500_500);
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((485..=516).contains(&p50), "p50 was {p50}");
+        let p99 = s.percentile(99.0).unwrap();
+        assert!((990..=1000).contains(&p99), "p99 was {p99}");
+        // Quantiles never exceed the tracked maximum.
+        assert!(s.quantile(1.0).unwrap() <= 1000);
+    }
+
+    #[test]
+    fn sketch_merge_equals_recording_the_union() {
+        let mut left = QuantileSketch::new();
+        let mut right = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for v in [3u64, 99, 1500, 7] {
+            left.record(v);
+            all.record(v);
+        }
+        for v in [250u64, 4, 1_000_000] {
+            right.record(v);
+            all.record(v);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, all, "merge must equal recording the union");
+        // Merge order does not matter.
+        let mut reversed = right.clone();
+        reversed.merge(&left);
+        assert_eq!(reversed, all);
+        // Merging an empty sketch is the identity.
+        merged.merge(&QuantileSketch::new());
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn families_keep_label_order_and_merge() {
+        let mut f: Family<Counter> = Family::new();
+        f.with_label("n002").add(5);
+        f.with_label("n000").inc();
+        let labels: Vec<&str> = f.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["n000", "n002"]);
+        assert_eq!(f.get("n002").unwrap().get(), 5);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn report_merge_combines_and_rejects_kind_mismatches() {
+        let mut a = MetricReport::new();
+        a.insert("packets", MetricValue::Counter(3));
+        a.insert("peak", MetricValue::Gauge(1.5));
+        let mut sketch = QuantileSketch::new();
+        sketch.record(10);
+        a.insert("latency", MetricValue::Histogram(sketch.clone()));
+        a.insert(
+            "by_node",
+            MetricValue::Family(BTreeMap::from([(
+                "n000".to_string(),
+                MetricValue::Counter(7),
+            )])),
+        );
+
+        let mut b = MetricReport::new();
+        b.insert("packets", MetricValue::Counter(4));
+        b.insert("peak", MetricValue::Gauge(0.5));
+        let mut sketch_b = QuantileSketch::new();
+        sketch_b.record(20);
+        b.insert("latency", MetricValue::Histogram(sketch_b));
+        b.insert(
+            "by_node",
+            MetricValue::Family(BTreeMap::from([
+                ("n000".to_string(), MetricValue::Counter(1)),
+                ("n001".to_string(), MetricValue::Counter(2)),
+            ])),
+        );
+
+        a.merge(&b).expect("kinds line up");
+        assert_eq!(a.counter("packets"), Some(7));
+        assert_eq!(a.gauge("peak"), Some(1.5));
+        assert_eq!(a.histogram("latency").unwrap().count(), 2);
+        let family = a.family("by_node").unwrap();
+        assert_eq!(family.get("n000"), Some(&MetricValue::Counter(8)));
+        assert_eq!(family.get("n001"), Some(&MetricValue::Counter(2)));
+
+        let mut clash = MetricReport::new();
+        clash.insert("packets", MetricValue::Gauge(1.0));
+        let error = a.merge(&clash).expect_err("counter vs gauge");
+        assert_eq!(error.metric, "packets");
+        assert!(error.to_string().contains("counter"));
+        assert!(error.to_string().contains("gauge"));
+    }
+
+    #[test]
+    fn jsonl_rendering_is_compact_and_deterministic() {
+        let mut report = MetricReport::new();
+        report.insert("delivered_bits", MetricValue::Counter(4096));
+        report.insert("load", MetricValue::Gauge(0.25));
+        let mut sketch = QuantileSketch::new();
+        for v in [5u64, 5, 9] {
+            sketch.record(v);
+        }
+        report.insert("latency_cycles", MetricValue::Histogram(sketch));
+        let row = MetricRow {
+            scenario: "firefly:uniform-random:set1:smoke".to_string(),
+            point_index: 2,
+            offered_load: 0.0125,
+            seed: u64::MAX,
+            report,
+        };
+        let line = render_jsonl_row(&row);
+        assert!(line.starts_with("{\"scenario\":\"firefly:uniform-random:set1:smoke\""));
+        assert!(line.contains("\"point\":2"));
+        assert!(line.contains("\"seed\":\"18446744073709551615\""));
+        assert!(line.contains("\"delivered_bits\":4096"));
+        assert!(line.contains("\"p50\":5"));
+        assert!(line.contains("\"bins\":[[5,2],[9,1]]"));
+        assert!(!line.contains('\n'));
+        assert_eq!(line, render_jsonl_row(&row), "rendering is a pure function");
+    }
+
+    #[test]
+    fn sinks_write_jsonl_csv_and_memory() {
+        let mut report = MetricReport::new();
+        report.insert("delivered_bits", MetricValue::Counter(64));
+        report.insert(
+            "by_node",
+            MetricValue::Family(BTreeMap::from([
+                ("n000".to_string(), MetricValue::Counter(32)),
+                ("n001".to_string(), MetricValue::Counter(32)),
+            ])),
+        );
+        let mut sketch = QuantileSketch::new();
+        sketch.record(11);
+        report.insert("latency_cycles", MetricValue::Histogram(sketch));
+        let row = MetricRow {
+            scenario: "a:b:set1:smoke".to_string(),
+            point_index: 0,
+            offered_load: 0.5,
+            seed: 9,
+            report,
+        };
+
+        let mut jsonl = JsonlSink::new(Vec::new());
+        jsonl.write_row(&row).unwrap();
+        jsonl.finish().unwrap();
+        let text = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert!(text.ends_with('}') || text.ends_with('\n'));
+        assert_eq!(text.lines().count(), 1);
+
+        let mut csv = CsvSink::new(Vec::new());
+        csv.write_row(&row).unwrap();
+        csv.finish().unwrap();
+        let csv_text = String::from_utf8(csv.into_inner()).unwrap();
+        let mut lines = csv_text.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        assert!(csv_text.contains("a:b:set1:smoke,0,0.5,9,by_node,n001,counter,32"));
+        assert!(csv_text.contains("latency_cycles,p95,histogram,11"));
+
+        let mut memory = MemorySink::new();
+        memory.write_row(&row).unwrap();
+        memory.write_row(&row).unwrap();
+        let merged = memory.merged().expect("same kinds");
+        assert_eq!(merged.counter("delivered_bits"), Some(128));
+    }
+
+    #[test]
+    fn metrics_probe_aggregates_events_into_a_report() {
+        let mut probe = MetricsProbe::new(10);
+        probe.on_measurement_begin(0);
+        let src = CoreId(3);
+        let dst = CoreId(17);
+        for cycle in 0..25u64 {
+            probe.on_event(cycle, &SimEvent::PacketGenerated { src });
+            probe.on_event(
+                cycle,
+                &SimEvent::FlitDelivered {
+                    src,
+                    dst,
+                    bits: 32,
+                    photonic: false,
+                },
+            );
+            if cycle % 5 == 0 {
+                probe.on_event(
+                    cycle,
+                    &SimEvent::PacketDelivered {
+                        src,
+                        dst,
+                        latency: cycle + 1,
+                    },
+                );
+            }
+            probe.on_cycle_end(cycle);
+        }
+        probe.on_event(24, &SimEvent::PacketDropped { src });
+        probe.finish(&SimStats::new(
+            "t",
+            "t",
+            0.0,
+            crate::clock::Clock::paper_default(),
+        ));
+        let report = probe.report();
+        assert_eq!(report.counter("generated_packets"), Some(25));
+        assert_eq!(report.counter("delivered_packets"), Some(5));
+        assert_eq!(report.counter("delivered_bits"), Some(25 * 32));
+        assert_eq!(report.counter("dropped_packets"), Some(1));
+        assert_eq!(report.counter("measured_cycles"), Some(25));
+        let by_node = report.family("delivered_bits_by_node").unwrap();
+        assert_eq!(by_node.get("n017"), Some(&MetricValue::Counter(25 * 32)));
+        let windows = report.family("delivered_bits_by_window").unwrap();
+        // 25 cycles / window 10 → windows w0000, w0001 and the partial w0002.
+        assert_eq!(windows.len(), 3);
+        assert_eq!(report.histogram("latency_cycles").unwrap().count(), 5);
+        assert!(report.gauge("max_window_delivered_bits").unwrap() >= 320.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_is_rejected() {
+        let _ = MetricsProbe::new(0);
+    }
+}

@@ -26,14 +26,37 @@ impl Table {
         }
     }
 
-    /// Adds a row. Rows shorter than the header are padded with empty cells;
-    /// longer rows are truncated.
-    pub fn add_row(&mut self, cells: &[String]) {
-        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
-        while row.len() < self.header.len() {
-            row.push(String::new());
+    /// Adds a row, padding rows shorter than the header with empty cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowLengthError`] — without mutating the table — when the
+    /// row has more cells than the header: a too-long row is a bug in the
+    /// caller (a column was added to the data but not the header), and
+    /// silently dropping the extra cells would hide it.
+    pub fn try_add_row(&mut self, cells: &[String]) -> Result<(), RowLengthError> {
+        if cells.len() > self.header.len() {
+            return Err(RowLengthError {
+                table: self.title.clone(),
+                expected: self.header.len(),
+                got: cells.len(),
+            });
         }
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
         self.rows.push(row);
+        Ok(())
+    }
+
+    /// Adds a row. Rows shorter than the header are padded with empty cells.
+    /// Over-long rows are kept **in full** — every cell is rendered under an
+    /// unnamed column — and the mismatch is logged to stderr; use
+    /// [`Table::try_add_row`] to handle the mismatch instead.
+    pub fn add_row(&mut self, cells: &[String]) {
+        if let Err(error) = self.try_add_row(cells) {
+            eprintln!("[table] warning: {error}; keeping all cells");
+            self.rows.push(cells.to_vec());
+        }
     }
 
     /// Convenience helper adding a row of displayable values.
@@ -66,11 +89,22 @@ impl Table {
         &self.rows
     }
 
-    /// Renders the table as column-aligned text.
+    /// Renders the table as column-aligned text. Rows wider than the header
+    /// (kept by [`Table::add_row`] after a logged length mismatch) render
+    /// their extra cells under empty-named columns.
     #[must_use]
     pub fn render(&self) -> String {
-        let ncols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths: Vec<usize> = vec![0; ncols];
+        for (i, head) in self.header.iter().enumerate() {
+            widths[i] = head.len();
+        }
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -99,6 +133,30 @@ impl Table {
         out
     }
 }
+
+/// A row handed to [`Table::try_add_row`] had more cells than the header has
+/// columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowLengthError {
+    /// Title of the table the row was destined for.
+    pub table: String,
+    /// Number of header columns.
+    pub expected: usize,
+    /// Number of cells in the offending row.
+    pub got: usize,
+}
+
+impl std::fmt::Display for RowLengthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "row with {} cells does not fit table '{}' with {} columns",
+            self.got, self.table, self.expected
+        )
+    }
+}
+
+impl std::error::Error for RowLengthError {}
 
 impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -140,9 +198,10 @@ mod tests {
     }
 
     #[test]
-    fn short_rows_are_padded_and_long_rows_truncated() {
-        let mut t = Table::new("", &["a", "b", "c"]);
+    fn short_rows_are_padded_and_long_rows_keep_every_cell() {
+        let mut t = Table::new("demo", &["a", "b", "c"]);
         t.add_row(&["1".to_string()]);
+        // An over-long row is a caller bug: logged, but no cell is dropped.
         t.add_row(&[
             "1".to_string(),
             "2".to_string(),
@@ -150,7 +209,22 @@ mod tests {
             "4".to_string(),
         ]);
         assert_eq!(t.rows()[0].len(), 3);
-        assert_eq!(t.rows()[1].len(), 3);
+        assert_eq!(t.rows()[1].len(), 4, "no cells may be dropped");
+        assert!(t.render().contains('4'), "extra cells must render");
+    }
+
+    #[test]
+    fn try_add_row_rejects_over_long_rows_without_mutating() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.try_add_row(&["1".to_string()]).expect("short rows pad");
+        let error = t
+            .try_add_row(&["1".to_string(), "2".to_string(), "3".to_string()])
+            .expect_err("three cells into two columns");
+        assert_eq!(error.expected, 2);
+        assert_eq!(error.got, 3);
+        assert_eq!(error.table, "demo");
+        assert!(error.to_string().contains("does not fit"));
+        assert_eq!(t.num_rows(), 1, "failed insert must not add a row");
     }
 
     #[test]

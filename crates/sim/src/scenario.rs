@@ -1,6 +1,7 @@
 #![doc = include_str!("scenario.md")]
 
 use crate::config::{BandwidthSet, SimConfig};
+use crate::metrics::{MetricMergeError, MetricReport, MetricRow, MetricSink};
 use crate::registry::{lookup_architecture, ArchitectureBuilder, UnknownArchitectureError};
 use crate::sweep::{
     default_load_ladder, derive_point_seed, point_spec, run_point, run_sweep, SaturationResult,
@@ -404,13 +405,54 @@ pub struct ScenarioResult {
 
 impl ScenarioResult {
     /// Whether two results are bitwise-identical in everything the
-    /// simulation determines — spec, per-point seeds and the full sweep —
-    /// ignoring only the wall-clock measurement.
+    /// simulation determines — spec, per-point seeds, the full sweep and
+    /// every per-point metric report — ignoring only the wall-clock
+    /// measurement.
     #[must_use]
     pub fn bitwise_eq(&self, other: &ScenarioResult) -> bool {
         self.spec == other.spec
             && self.point_seeds == other.point_seeds
             && self.result == other.result
+    }
+
+    /// The exportable [`MetricRow`] of ladder point `index` (`id` is the
+    /// precomputed [`ScenarioSpec::id`], passed in so batch exporters
+    /// compute it once per scenario).
+    fn metric_row(&self, id: &str, index: usize) -> MetricRow {
+        let point = &self.result.points[index];
+        MetricRow {
+            scenario: id.to_string(),
+            point_index: index,
+            offered_load: point.offered_load,
+            seed: self.point_seeds.get(index).copied().unwrap_or(0),
+            report: point.metrics.clone(),
+        }
+    }
+
+    /// The per-point metrics as exportable [`MetricRow`]s, in ladder order.
+    #[must_use]
+    pub fn metric_rows(&self) -> Vec<MetricRow> {
+        let id = self.spec.id();
+        (0..self.result.points.len())
+            .map(|index| self.metric_row(&id, index))
+            .collect()
+    }
+
+    /// Merges the metric reports of every ladder point into one
+    /// scenario-level report (counters add, gauges keep the peak, latency
+    /// sketches merge bin-wise). Deterministic: the merge runs in ladder
+    /// order regardless of which threads simulated the points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricMergeError`] if two points disagree on a metric's
+    /// kind (cannot happen for reports produced by the sweep engine).
+    pub fn merged_metrics(&self) -> Result<MetricReport, MetricMergeError> {
+        let mut merged = MetricReport::new();
+        for point in &self.result.points {
+            merged.merge(&point.metrics)?;
+        }
+        Ok(merged)
     }
 }
 
@@ -618,9 +660,12 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
         let mut point_jobs = Vec::with_capacity(loads.len());
         for (index, &load) in loads.iter().enumerate() {
             let point = point_spec(&config, index, load);
+            // Key on the *resolved* registry names, not the spec spellings:
+            // alias spellings (e.g. "uniform" vs "uniform-random") resolve
+            // to the same factory and must share one simulation.
             let key = (
-                scenario.spec.architecture.clone(),
-                scenario.spec.traffic.clone(),
+                scenario.architecture.name().to_string(),
+                scenario.traffic.name().to_string(),
                 format!("{:?}", point.config),
                 load.to_bits(),
             );
@@ -718,8 +763,9 @@ impl MatrixResult {
     }
 
     /// Whether two matrix outcomes are bitwise-identical in everything the
-    /// simulations determine (specs, seeds and sweeps, scenario by
-    /// scenario), ignoring wall-clock and work-queue bookkeeping.
+    /// simulations determine (specs, seeds, sweeps and per-point metric
+    /// reports, scenario by scenario), ignoring wall-clock and work-queue
+    /// bookkeeping.
     #[must_use]
     pub fn bitwise_eq(&self, other: &MatrixResult) -> bool {
         self.scenarios.len() == other.scenarios.len()
@@ -728,6 +774,26 @@ impl MatrixResult {
                 .iter()
                 .zip(&other.scenarios)
                 .all(|(a, b)| a.bitwise_eq(b))
+    }
+
+    /// Streams every per-point metric report of the batch into `sink`, in
+    /// deterministic order: scenarios in batch order, points in ladder
+    /// order. Two identical batches therefore produce byte-identical sink
+    /// output, regardless of worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O errors.
+    pub fn write_metrics(&self, sink: &mut dyn MetricSink) -> std::io::Result<()> {
+        for scenario in &self.scenarios {
+            let id = scenario.spec.id();
+            // One row at a time instead of materialising a per-scenario Vec:
+            // exports of large matrices never hold more than one row.
+            for index in 0..scenario.result.points.len() {
+                sink.write_row(&scenario.metric_row(&id, index))?;
+            }
+        }
+        sink.finish()
     }
 }
 
@@ -879,6 +945,27 @@ mod tests {
         let outcome = matrix.run().expect("registered");
         assert_eq!(outcome.scenarios.len(), 1);
         assert_eq!(outcome.total_points, outcome.unique_points);
+    }
+
+    #[test]
+    fn alias_spellings_share_one_simulation_in_a_batch() {
+        // "uniform" is a lookup shorthand for "uniform-random": both specs
+        // resolve to the same factory, so the dedup key (resolved registry
+        // names) collapses their ladder points into one set of jobs.
+        let specs = vec![
+            ScenarioSpec::new("uniform-fabric", "uniform").with_effort(Effort::Smoke),
+            ScenarioSpec::new("uniform-fabric", "uniform-random").with_effort(Effort::Smoke),
+        ];
+        let outcome = run_specs(&specs).expect("alias resolves");
+        assert_eq!(outcome.scenarios.len(), 2);
+        assert_eq!(outcome.total_points, 2 * outcome.unique_points);
+        assert_eq!(
+            outcome.scenarios[0].result, outcome.scenarios[1].result,
+            "both spellings must reuse the same simulated points"
+        );
+        // Each result still echoes the spelling it was asked for.
+        assert_eq!(outcome.scenarios[0].spec.traffic, "uniform");
+        assert_eq!(outcome.scenarios[1].spec.traffic, "uniform-random");
     }
 
     #[test]

@@ -67,6 +67,38 @@ impl LatencyHistogram {
         &self.bins
     }
 
+    /// Approximate latency below which percentile `p` (0..=100) of samples
+    /// fall (`percentile(95.0) == quantile(0.95)`). Returns `None` when the
+    /// histogram is empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        self.quantile(p / 100.0)
+    }
+
+    /// Merges another histogram into this one, bin by bin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramMergeError`] — naming both geometries — when the
+    /// two histograms disagree on bin width or bin count; `self` is left
+    /// untouched in that case. (Histograms built by [`SimStats`] always
+    /// share the default geometry and merge cleanly.)
+    pub fn merge(&mut self, other: &LatencyHistogram) -> Result<(), HistogramMergeError> {
+        if self.bin_width != other.bin_width || self.bins.len() != other.bins.len() {
+            return Err(HistogramMergeError {
+                left_bin_width: self.bin_width,
+                left_num_bins: self.bins.len(),
+                right_bin_width: other.bin_width,
+                right_num_bins: other.bins.len(),
+            });
+        }
+        for (bin, &extra) in self.bins.iter_mut().zip(&other.bins) {
+            *bin += extra;
+        }
+        self.overflow += other.overflow;
+        Ok(())
+    }
+
     /// Approximate latency below which `quantile` (0..=1) of samples fall,
     /// using bin upper edges. Returns `None` when the histogram is empty.
     #[must_use]
@@ -86,6 +118,33 @@ impl LatencyHistogram {
         Some(self.bins.len() as u64 * self.bin_width)
     }
 }
+
+/// Why two [`LatencyHistogram`]s could not be merged: their bin geometries
+/// differ, so bin-wise addition would silently misattribute samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramMergeError {
+    /// Bin width (cycles) of the receiving histogram.
+    pub left_bin_width: u64,
+    /// Bin count of the receiving histogram.
+    pub left_num_bins: usize,
+    /// Bin width (cycles) of the incoming histogram.
+    pub right_bin_width: u64,
+    /// Bin count of the incoming histogram.
+    pub right_num_bins: usize,
+}
+
+impl std::fmt::Display for HistogramMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot merge latency histograms with different geometries: \
+             {} bins of {} cycles vs {} bins of {} cycles",
+            self.left_num_bins, self.left_bin_width, self.right_num_bins, self.right_bin_width
+        )
+    }
+}
+
+impl std::error::Error for HistogramMergeError {}
 
 /// Statistics of one simulation run (measurement window only).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -248,6 +307,37 @@ mod tests {
         assert_eq!(h.quantile(0.6), Some(30));
         assert!(h.quantile(1.0).unwrap() >= 100);
         assert_eq!(LatencyHistogram::new(10, 10).quantile(0.5), None);
+        assert_eq!(h.percentile(20.0), h.quantile(0.2));
+        assert_eq!(h.percentile(60.0), Some(30));
+    }
+
+    #[test]
+    fn histogram_merge_adds_bins_and_rejects_mismatched_geometries() {
+        let mut a = LatencyHistogram::new(10, 10);
+        let mut b = LatencyHistogram::new(10, 10);
+        for lat in [5, 15] {
+            a.record(lat);
+        }
+        for lat in [15, 2000] {
+            b.record(lat);
+        }
+        a.merge(&b).expect("same geometry");
+        assert_eq!(a.samples(), 4);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.bins()[1], 2);
+
+        let untouched = a.clone();
+        let narrow = LatencyHistogram::new(5, 10);
+        let error = a.merge(&narrow).expect_err("different bin width");
+        assert_eq!(error.left_bin_width, 10);
+        assert_eq!(error.right_bin_width, 5);
+        assert!(error.to_string().contains("different geometries"));
+        assert_eq!(a, untouched, "failed merge must not mutate");
+
+        let short = LatencyHistogram::new(10, 4);
+        let error = a.merge(&short).expect_err("different bin count");
+        assert_eq!(error.left_num_bins, 10);
+        assert_eq!(error.right_num_bins, 4);
     }
 
     #[test]

@@ -22,8 +22,14 @@
 //! the architecture and traffic registries by name and drives this module
 //! internally, and a [`ScenarioMatrix`](crate::scenario::ScenarioMatrix)
 //! batches whole cross-products of scenarios into one flattened work queue.
-//! The raw closure-based [`run_saturation_sweep`] remains as a deprecated
-//! shim for one release.
+//! (The raw closure-based `run_saturation_sweep` shim deprecated in 0.3.0
+//! has been removed — build a `Scenario` instead.)
+//!
+//! Every point simulated by the driver carries a
+//! [`MetricReport`](crate::metrics::MetricReport) collected by a
+//! [`MetricsProbe`](crate::metrics::MetricsProbe) — latency quantiles,
+//! per-node and per-cluster-pair breakdowns, windowed throughput — next to
+//! the legacy [`SimStats`] snapshot.
 //!
 //! # Per-point seed derivation
 //!
@@ -42,7 +48,8 @@
 //! parallel sweep reproducible and bitwise-equal to the sequential sweep.
 
 use crate::config::SimConfig;
-use crate::engine::run_to_completion;
+use crate::engine::run_to_completion_with;
+use crate::metrics::{MetricReport, MetricsProbe, Probe as _};
 use crate::registry::ArchitectureBuilder;
 use crate::stats::SimStats;
 use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
@@ -56,6 +63,10 @@ pub struct SweepPoint {
     pub offered_load: f64,
     /// Measured statistics at that load.
     pub stats: SimStats,
+    /// Streamed metrics of the point (latency quantiles, per-node and
+    /// per-cluster-pair breakdowns, windowed throughput). Empty for points
+    /// assembled outside the generic driver (e.g. [`sweep_offered_loads`]).
+    pub metrics: MetricReport,
 }
 
 /// The outcome of a saturation sweep.
@@ -184,6 +195,7 @@ where
         .map(|&load| SweepPoint {
             offered_load: load,
             stats: run_at(load),
+            metrics: MetricReport::new(),
         })
         .collect();
     SaturationResult { points }
@@ -244,22 +256,26 @@ pub(crate) fn point_spec(config: &SimConfig, index: usize, load: f64) -> SweepPo
     }
 }
 
-/// Builds and runs the network of one sweep point.
+/// Builds and runs the network of one sweep point, collecting the standard
+/// [`MetricsProbe`] instrumentation alongside the legacy snapshot.
 pub(crate) fn run_point(
     architecture: &dyn ArchitectureBuilder,
     spec: &SweepPointSpec,
     traffic: Box<dyn TrafficModel + Send>,
 ) -> SweepPoint {
     let mut network = architecture.build(spec.config, traffic);
+    let mut probe = MetricsProbe::for_config(&spec.config);
+    let stats = run_to_completion_with(&mut *network, &mut [&mut probe]);
     SweepPoint {
         offered_load: spec.offered_load.value(),
-        stats: run_to_completion(&mut *network),
+        stats,
+        metrics: probe.report(),
     }
 }
 
-/// The sweep driver shared by [`run_saturation_sweep`] and the scenario
-/// engine in [`crate::scenario`]: one simulation per ladder point, all points
-/// through the same architecture builder.
+/// The sweep driver behind the scenario engine in [`crate::scenario`]: one
+/// simulation per ladder point, all points through the same architecture
+/// builder.
 pub(crate) fn run_sweep(
     architecture: &dyn ArchitectureBuilder,
     make_traffic: &(dyn Fn(&SweepPointSpec) -> Box<dyn TrafficModel + Send> + Sync),
@@ -283,33 +299,6 @@ pub(crate) fn run_sweep(
             .collect(),
     };
     SaturationResult { points }
-}
-
-/// The generic closure-based saturation-sweep driver: one simulation per
-/// ladder point, all points through the same architecture builder.
-///
-/// `make_traffic` is called exactly once per point and should construct the
-/// traffic model from the point's [`SweepPointSpec`] — in particular from
-/// `spec.offered_load` and `spec.seed`, so that every point is reproducible
-/// in isolation.
-///
-/// With [`SweepMode::Parallel`] the points run concurrently (thread count =
-/// `RAYON_NUM_THREADS` or the machine's available parallelism); the returned
-/// [`SaturationResult`] is bitwise-identical to the sequential result.
-#[deprecated(
-    since = "0.3.0",
-    note = "build a pnoc_sim::scenario::Scenario (or a ScenarioMatrix for batches) instead of \
-            assembling the architecture/traffic/config/ladder tuple by hand"
-)]
-#[must_use]
-pub fn run_saturation_sweep(
-    architecture: &dyn ArchitectureBuilder,
-    make_traffic: &(dyn Fn(&SweepPointSpec) -> Box<dyn TrafficModel + Send> + Sync),
-    config: &SimConfig,
-    loads: &[f64],
-    mode: SweepMode,
-) -> SaturationResult {
-    run_sweep(architecture, make_traffic, config, loads, mode)
 }
 
 #[cfg(test)]
@@ -499,25 +488,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_forwards_to_the_generic_driver() {
+    fn points_carry_metric_reports() {
         let config = sweep_config();
-        let loads = [1.0 / 300.0, 1.0 / 150.0];
+        let loads = [1.0 / 200.0, 1.0 / 100.0];
         let architecture = UniformFabricArchitecture;
-        let generic = run_sweep(
+        let result = run_sweep(
             &architecture,
             &make_seeded,
             &config,
             &loads,
             SweepMode::Sequential,
         );
-        let shim = run_saturation_sweep(
-            &architecture,
-            &make_seeded,
-            &config,
-            &loads,
-            SweepMode::Sequential,
-        );
-        assert_eq!(generic, shim);
+        for point in &result.points {
+            assert_eq!(
+                point.metrics.counter("delivered_packets"),
+                Some(point.stats.delivered_packets),
+                "probe counters must agree with the snapshot"
+            );
+            let latency = point.metrics.histogram("latency_cycles").expect("present");
+            assert_eq!(latency.count(), point.stats.delivered_packets);
+        }
     }
 }

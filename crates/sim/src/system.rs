@@ -22,6 +22,7 @@
 
 use crate::config::SimConfig;
 use crate::engine::CycleNetwork;
+use crate::metrics::{EventSink, NullSink, SimEvent};
 use crate::stats::SimStats;
 use pnoc_noc::arbiter::{Arbiter, RoundRobinArbiter};
 use pnoc_noc::flit::Flit;
@@ -351,14 +352,16 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
         electrical + photonic
     }
 
-    fn generate_traffic(&mut self, cycle: u64) {
+    fn generate_traffic(&mut self, cycle: u64, sink: &mut dyn EventSink) {
         for core_idx in 0..self.topology.num_cores() {
             let core = CoreId(core_idx);
             if let Some(desc) = self.traffic.next_packet(cycle, core) {
                 self.stats.generated_packets += 1;
+                sink.emit(cycle, SimEvent::PacketGenerated { src: core });
                 let state = &mut self.cores[core_idx];
                 if state.queue.len() >= self.config.injection_queue_capacity {
                     self.stats.dropped_packets += 1;
+                    sink.emit(cycle, SimEvent::PacketDropped { src: core });
                     continue;
                 }
                 let packet = Packet {
@@ -371,7 +374,7 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
         }
     }
 
-    fn inject_flits(&mut self, cycle: u64) {
+    fn inject_flits(&mut self, cycle: u64, sink: &mut dyn EventSink) {
         for core_idx in 0..self.topology.num_cores() {
             // Start a new packet if the previous one finished injecting.
             if self.cores[core_idx].injecting.is_none() {
@@ -385,6 +388,12 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
                 packet.injected_cycle = cycle;
                 let flits = PacketFramer::frame(&packet, vc);
                 self.stats.injected_packets += 1;
+                sink.emit(
+                    cycle,
+                    SimEvent::PacketInjected {
+                        src: CoreId(core_idx),
+                    },
+                );
                 self.cores[core_idx].injecting = Some(InjectionProgress { flits, next: 0 });
             }
             // Push at most one flit of the in-progress packet per cycle.
@@ -398,6 +407,13 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
                         .expect("capacity checked");
                     self.energy.record_buffer_write(u64::from(flit.bits));
                     self.stats.injected_flits += 1;
+                    sink.emit(
+                        cycle,
+                        SimEvent::FlitInjected {
+                            src: CoreId(core_idx),
+                            bits: flit.bits,
+                        },
+                    );
                     progress.next += 1;
                     if progress.next == progress.flits.len() {
                         finished = true;
@@ -410,7 +426,7 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
         }
     }
 
-    fn step_switches(&mut self, cycle: u64) {
+    fn step_switches(&mut self, cycle: u64, sink: &mut dyn EventSink) {
         let topology = self.topology;
         let num_cores = topology.num_cores();
         let cpc = topology.cores_per_cluster();
@@ -480,12 +496,30 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
                 debug_assert_eq!(flit.dst, core, "flit ejected at the wrong core");
                 self.stats.delivered_flits += 1;
                 self.stats.delivered_bits += u64::from(flit.bits);
-                if !topology.same_cluster(flit.src, flit.dst) {
+                let photonic = !topology.same_cluster(flit.src, flit.dst);
+                if photonic {
                     self.stats.delivered_photonic_bits += u64::from(flit.bits);
                 }
+                sink.emit(
+                    cycle,
+                    SimEvent::FlitDelivered {
+                        src: flit.src,
+                        dst: flit.dst,
+                        bits: flit.bits,
+                        photonic,
+                    },
+                );
                 if flit.is_tail() {
                     let latency = cycle.saturating_sub(flit.created_cycle);
                     self.stats.record_packet_delivery(latency);
+                    sink.emit(
+                        cycle,
+                        SimEvent::PacketDelivered {
+                            src: flit.src,
+                            dst: flit.dst,
+                            latency,
+                        },
+                    );
                 }
             } else if grant.output == photonic_port {
                 self.energy.record_buffer_write(u64::from(flit.bits));
@@ -727,11 +761,15 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
 
 impl<F: PhotonicFabric, T: TrafficModel> CycleNetwork for PhotonicSystem<F, T> {
     fn step(&mut self, cycle: u64) {
+        self.step_observed(cycle, &mut NullSink);
+    }
+
+    fn step_observed(&mut self, cycle: u64, sink: &mut dyn EventSink) {
         self.fabric.pre_cycle(cycle);
-        self.generate_traffic(cycle);
-        self.inject_flits(cycle);
+        self.generate_traffic(cycle, sink);
+        self.inject_flits(cycle, sink);
         self.drain_ejection(cycle);
-        self.step_switches(cycle);
+        self.step_switches(cycle, sink);
         self.advance_transmissions(cycle);
         self.start_transmissions();
         self.account_buffer_energy();
@@ -919,6 +957,63 @@ mod tests {
         assert!(e.buffer_pj > 0.0);
         assert!(e.electrical_pj > 0.0);
         assert!(stats.packet_energy_pj() > 0.0);
+    }
+
+    #[test]
+    fn metrics_probe_stream_matches_the_legacy_snapshot() {
+        use crate::engine::run_to_completion_with;
+        use crate::metrics::{MetricValue, MetricsProbe, Probe};
+        let config = small_config(BandwidthSet::Set1);
+        let fabric = UniformFabric::new("uniform-test", 64, 16);
+        let traffic = FixedOffsetTraffic::new(150, 4, BandwidthSet::Set1);
+        let mut system = PhotonicSystem::new(config, fabric, traffic);
+        let mut probe = MetricsProbe::for_config(&config);
+        let stats = run_to_completion_with(&mut system, &mut [&mut probe]);
+        assert!(stats.delivered_packets > 0);
+        let report = probe.report();
+        for (name, expected) in [
+            ("generated_packets", stats.generated_packets),
+            ("dropped_packets", stats.dropped_packets),
+            ("injected_packets", stats.injected_packets),
+            ("injected_flits", stats.injected_flits),
+            ("delivered_packets", stats.delivered_packets),
+            ("delivered_flits", stats.delivered_flits),
+            ("delivered_bits", stats.delivered_bits),
+            ("delivered_photonic_bits", stats.delivered_photonic_bits),
+            ("measured_cycles", stats.measured_cycles),
+        ] {
+            assert_eq!(
+                report.counter(name),
+                Some(expected),
+                "probe counter '{name}' diverged from the snapshot"
+            );
+        }
+        let latency = report.histogram("latency_cycles").expect("recorded");
+        assert_eq!(latency.count(), stats.delivered_packets);
+        assert_eq!(latency.max(), Some(stats.max_packet_latency));
+        assert_eq!(latency.sum(), stats.total_packet_latency);
+        // The per-node delivered-bits family partitions the aggregate.
+        let by_node = report.family("delivered_bits_by_node").expect("present");
+        let node_sum: u64 = by_node
+            .values()
+            .map(|v| match v {
+                MetricValue::Counter(c) => *c,
+                other => panic!("family member must be a counter, got {other:?}"),
+            })
+            .sum();
+        assert_eq!(node_sum, stats.delivered_bits);
+        // Offset-4 traffic is always inter-cluster, so the pair family too.
+        let by_pair = report
+            .family("photonic_bits_by_cluster_pair")
+            .expect("present");
+        let pair_sum: u64 = by_pair
+            .values()
+            .map(|v| match v {
+                MetricValue::Counter(c) => *c,
+                other => panic!("family member must be a counter, got {other:?}"),
+            })
+            .sum();
+        assert_eq!(pair_sum, stats.delivered_photonic_bits);
     }
 
     #[test]

@@ -241,10 +241,17 @@ impl TrafficRegistry {
         self.factories.insert(factory.name().to_string(), factory)
     }
 
-    /// Looks up a factory by name.
+    /// Looks up a factory by name. Exact registered names always win; when
+    /// nothing is registered under `name`, well-known shorthands fall back
+    /// to their canonical pattern (see [`canonical_pattern_name`]), so a
+    /// factory explicitly registered as `"uniform"` is never shadowed by
+    /// the `uniform → uniform-random` convenience.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<Arc<dyn TrafficFactory>> {
-        self.factories.get(name).cloned()
+        self.factories
+            .get(name)
+            .or_else(|| self.factories.get(canonical_pattern_name(name)))
+            .cloned()
     }
 
     /// All registered names, sorted.
@@ -264,6 +271,23 @@ impl TrafficRegistry {
     pub fn is_empty(&self) -> bool {
         self.factories.is_empty()
     }
+}
+
+/// Shorthand pattern names accepted by lookups, mapped to their canonical
+/// registry keys. Only the canonical names appear in
+/// [`TrafficRegistry::names`]; shorthands are a lookup convenience (e.g. the
+/// `repro --scenario firefly:uniform` CLI spelling).
+pub const PATTERN_ALIASES: [(&str, &str); 2] =
+    [("uniform", "uniform-random"), ("bursty", "bursty-uniform")];
+
+/// Resolves a pattern shorthand to its canonical registry name (identity for
+/// names that are not shorthands).
+#[must_use]
+pub fn canonical_pattern_name(name: &str) -> &str {
+    PATTERN_ALIASES
+        .iter()
+        .find(|(alias, _)| *alias == name)
+        .map_or(name, |(_, canonical)| canonical)
 }
 
 fn global() -> &'static Mutex<TrafficRegistry> {
@@ -422,5 +446,46 @@ mod tests {
 
         register_traffic_factory(Arc::new(Custom));
         assert!(lookup_traffic_factory("custom-test-pattern").is_ok());
+    }
+
+    #[test]
+    fn shorthand_aliases_resolve_to_their_canonical_pattern() {
+        assert_eq!(canonical_pattern_name("uniform"), "uniform-random");
+        assert_eq!(canonical_pattern_name("bursty"), "bursty-uniform");
+        assert_eq!(canonical_pattern_name("tornado"), "tornado");
+        let via_alias = lookup_traffic_factory("uniform").expect("alias resolves");
+        assert_eq!(via_alias.name(), "uniform-random");
+        // Aliases are a lookup convenience only: the catalogue stays
+        // canonical, so every listed factory still matches its model name.
+        assert!(!registered_traffic_patterns().contains(&"uniform".to_string()));
+    }
+
+    #[test]
+    fn exact_registrations_are_never_shadowed_by_aliases() {
+        struct Exact;
+
+        impl TrafficFactory for Exact {
+            fn name(&self) -> &str {
+                "uniform"
+            }
+
+            fn build(&self, spec: &TrafficSpec) -> Box<dyn TrafficModel + Send> {
+                Box::new(UniformRandomTraffic::new(
+                    spec.topology,
+                    spec.shape,
+                    spec.load,
+                    spec.seed,
+                ))
+            }
+        }
+
+        let mut registry = TrafficRegistry::with_builtins();
+        registry.register(Arc::new(Exact));
+        let resolved = registry.get("uniform").expect("registered");
+        assert_eq!(
+            resolved.name(),
+            "uniform",
+            "an exact registration must win over the shorthand fallback"
+        );
     }
 }

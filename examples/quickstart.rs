@@ -55,14 +55,24 @@ fn main() {
             "scenario",
             "sustainable BW (Gb/s)",
             "latency@sat (cycles)",
+            "p95 latency (cycles)",
             "packet energy (pJ)",
         ],
     );
     for outcome in &batch.scenarios {
+        // Every ladder point carries a typed MetricReport; the saturation
+        // point's quantile sketch gives the tail latency for free.
+        let p95 = outcome
+            .result
+            .saturation_point()
+            .and_then(|p| p.metrics.histogram("latency_cycles"))
+            .and_then(|h| h.percentile(95.0))
+            .map_or_else(|| "-".to_string(), |v| v.to_string());
         table.add_row(&[
             outcome.spec.id(),
             format!("{:.1}", outcome.result.sustainable_bandwidth_gbps()),
             format!("{:.1}", outcome.result.latency_at_saturation()),
+            p95,
             format!("{:.1}", outcome.result.packet_energy_at_saturation_pj()),
         ]);
     }

@@ -50,8 +50,18 @@
 //!
 //! The old per-architecture helpers (`build_firefly_system`,
 //! `build_dhetpnoc_system`) still exist for direct, non-registry use; the
-//! closure-based `run_saturation_sweep` is a deprecated shim over the same
-//! driver the scenario engine uses.
+//! closure-based `run_saturation_sweep` shim has been removed — every sweep
+//! goes through the scenario engine.
+//!
+//! ## Metrics
+//!
+//! Every sweep point carries a typed
+//! [`MetricReport`](sim::metrics::MetricReport) — streaming latency
+//! quantiles (p50/p95/p99/max), per-node and per-cluster-pair breakdowns,
+//! windowed throughput — collected by an engine-driven
+//! [`MetricsProbe`](sim::metrics::MetricsProbe) and exportable through
+//! pluggable sinks (JSONL, CSV, in-memory); see `pnoc_sim::metrics` and
+//! `repro --metrics`.
 //!
 //! ## Per-point seed derivation
 //!
