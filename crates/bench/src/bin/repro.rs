@@ -14,6 +14,14 @@
 //!                            # run one scenario (ARCH:TRAFFIC[:SET[:EFFORT]],
 //!                            # repeatable; SET defaults to set1, EFFORT to
 //!                            # the --quick/--paper flag)
+//! repro --workload allreduce:64 --metrics out.jsonl
+//!                            # run a closed-loop workload (NAME[:SIZE],
+//!                            # repeatable, on the d-hetpnoc architecture) to
+//!                            # DAG-drain and report flow-completion-time
+//!                            # p50/p95/p99 and per-collective makespans
+//! repro --list-workloads     # print the workload registry catalogue
+//! repro --list-architectures # print the architecture registry catalogue
+//! repro --list-traffic       # print the traffic-pattern registry catalogue
 //! repro --scenario firefly:uniform --metrics out.jsonl --percentiles
 //!                            # stream one metric row per ladder point
 //!                            # (latency quantile sketch, per-node delivered
@@ -45,7 +53,7 @@ use pnoc_bench::runner::{
 };
 use pnoc_bench::scenario_io::{matrix_json, parse_scenarios, render_scenarios};
 use pnoc_sim::config::BandwidthSet;
-use pnoc_sim::metrics::{CsvSink, JsonlSink};
+use pnoc_sim::metrics::{CsvSink, JsonlSink, MetricValue};
 use pnoc_sim::report::{fmt_f, Table};
 use pnoc_sim::scenario::{run_specs, MatrixResult, ScenarioMatrix, ScenarioSpec};
 use pnoc_sim::sweep::SweepMode;
@@ -105,6 +113,11 @@ fn read_file(path: &str) -> String {
     })
 }
 
+/// The architecture a bare `--workload NAME[:SIZE]` runs on (the paper's
+/// proposed architecture; use `--from-scenarios` or the library API to run
+/// workloads on other architectures).
+const WORKLOAD_DEFAULT_ARCHITECTURE: &str = "d-hetpnoc";
+
 /// The default evaluation matrix of `repro --matrix`: every registered
 /// architecture × the extended permutation/bursty workloads × all three
 /// bandwidth sets.
@@ -163,6 +176,7 @@ fn run_scenario_batch(specs: &[ScenarioSpec], percentiles: bool) -> MatrixResult
             .expect("row built from the header above");
     }
     println!("{table}");
+    print_workload_table(&outcome);
     eprintln!(
         "[repro] batch: {} scenario(s), {} point(s) ({} unique after dedup) in {:.2}s",
         outcome.scenarios.len(),
@@ -171,6 +185,80 @@ fn run_scenario_batch(specs: &[ScenarioSpec], percentiles: bool) -> MatrixResult
         outcome.wall_clock_seconds
     );
     outcome
+}
+
+/// Prints the closed-loop summary for any workload scenarios in the batch:
+/// DAG-drain status, makespan, flow-completion-time percentiles and the
+/// per-collective makespan breakdown, read from the single point's metric
+/// report.
+fn print_workload_table(outcome: &MatrixResult) {
+    let closed: Vec<_> = outcome
+        .scenarios
+        .iter()
+        .filter(|result| result.spec.workload.is_some())
+        .collect();
+    if closed.is_empty() {
+        return;
+    }
+    let mut table = Table::new(
+        "Closed-loop workload results",
+        &[
+            "scenario",
+            "flows",
+            "drained",
+            "makespan (cyc)",
+            "FCT p50",
+            "FCT p95",
+            "FCT p99",
+            "collectives",
+        ],
+    );
+    for result in &closed {
+        let Some(point) = result.result.points.first() else {
+            continue;
+        };
+        let metrics = &point.metrics;
+        let fct = metrics.histogram("flow_completion_cycles");
+        let percentile = |p: f64| {
+            fct.and_then(|sketch| sketch.percentile(p))
+                .map_or_else(|| "-".to_string(), |v| v.to_string())
+        };
+        let collectives = metrics
+            .family("collective_makespan_cycles")
+            .map(|family| {
+                family
+                    .iter()
+                    .map(|(label, value)| match value {
+                        MetricValue::Gauge(span) => format!("{label}={span:.0}"),
+                        other => format!("{label}={other:?}"),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_default();
+        let row = vec![
+            result.spec.id(),
+            metrics
+                .counter("flows_total")
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+            if metrics.gauge("workload_drained") == Some(1.0) {
+                "yes".to_string()
+            } else {
+                "NO (hit cycle cap)".to_string()
+            },
+            metrics
+                .gauge("workload_makespan_cycles")
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.0}")),
+            percentile(50.0),
+            percentile(95.0),
+            percentile(99.0),
+            collectives,
+        ];
+        table
+            .try_add_row(&row)
+            .expect("row built from the header above");
+    }
+    println!("{table}");
 }
 
 /// Times sequential vs parallel saturation sweeps for every registered
@@ -260,7 +348,9 @@ fn main() {
     let mut bench_sweep_path: Option<String> = None;
     let mut matrix_path: Option<String> = None;
     let mut dump_path: Option<String> = None;
+    let mut batch_json_path: Option<String> = None;
     let mut scenario_args: Vec<String> = Vec::new();
+    let mut workload_args: Vec<String> = Vec::new();
     let mut from_paths: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
     let mut metrics_format = MetricsFormat::Jsonl;
@@ -272,6 +362,25 @@ fn main() {
             "--paper" => effort = EffortLevel::Paper,
             "--list" => {
                 for name in ALL_EXPERIMENTS {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--list-architectures" => {
+                ensure_registered();
+                for name in pnoc_sim::registry::registered_architectures() {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--list-traffic" => {
+                for name in pnoc_traffic::factory::registered_traffic_patterns() {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--list-workloads" => {
+                for name in pnoc_workload::registry::registered_workloads() {
                     println!("{name}");
                 }
                 return;
@@ -292,6 +401,26 @@ fn main() {
             },
             other if other.starts_with("--scenario=") => {
                 scenario_args.push(other["--scenario=".len()..].to_string());
+            }
+            "--workload" => match iter.next() {
+                Some(text) => workload_args.push(text),
+                None => {
+                    eprintln!("--workload requires NAME[:SIZE] (try --list-workloads)");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--workload=") => {
+                workload_args.push(other["--workload=".len()..].to_string());
+            }
+            "--batch-json" => match iter.next() {
+                Some(path) => batch_json_path = Some(path),
+                None => {
+                    eprintln!("--batch-json requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--batch-json=") => {
+                batch_json_path = Some(other["--batch-json=".len()..].to_string());
             }
             "--matrix" => matrix_path = Some("MATRIX_sweep.json".to_string()),
             other if other.starts_with("--matrix=") => {
@@ -349,8 +478,11 @@ fn main() {
                 println!(
                     "usage: repro [--quick|--paper] [--json FILE] [--bench-sweep[=FILE]]\n\
                      \x20            [--scenario ARCH:TRAFFIC[:SET[:EFFORT]]]... [--matrix[=FILE]]\n\
+                     \x20            [--workload NAME[:SIZE]]... [--batch-json FILE]\n\
                      \x20            [--metrics FILE] [--metrics-format jsonl|csv] [--percentiles]\n\
-                     \x20            [--dump-scenarios FILE] [--from-scenarios FILE] [EXPERIMENT ...]\n\
+                     \x20            [--dump-scenarios FILE] [--from-scenarios FILE]\n\
+                     \x20            [--list-architectures] [--list-traffic] [--list-workloads]\n\
+                     \x20            [EXPERIMENT ...]\n\
                      experiments: {}",
                     ALL_EXPERIMENTS.join(", ")
                 );
@@ -378,6 +510,12 @@ fn main() {
             spec = spec.with_effort(effort);
         }
         specs.push(spec);
+    }
+    for reference in &workload_args {
+        specs.push(
+            ScenarioSpec::closed_loop(WORKLOAD_DEFAULT_ARCHITECTURE, reference.clone())
+                .with_effort(effort),
+        );
     }
     for path in &from_paths {
         let loaded = parse_scenarios(&read_file(path)).unwrap_or_else(|error| {
@@ -421,6 +559,10 @@ fn main() {
     } else {
         let outcome = run_scenario_batch(&specs, percentiles);
         if let Some(path) = &matrix_path {
+            write_file(path, &(matrix_json(&outcome).render() + "\n"));
+            eprintln!("[repro] wrote {path}");
+        }
+        if let Some(path) = &batch_json_path {
             write_file(path, &(matrix_json(&outcome).render() + "\n"));
             eprintln!("[repro] wrote {path}");
         }

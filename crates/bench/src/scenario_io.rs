@@ -33,6 +33,10 @@ pub fn spec_json(spec: &ScenarioSpec) -> Json {
             "ladder",
             Json::Arr(spec.ladder.iter().map(|&l| Json::Num(l)).collect()),
         ),
+        (
+            "workload",
+            spec.workload.as_deref().map_or(Json::Null, Json::str),
+        ),
     ])
 }
 
@@ -83,6 +87,15 @@ pub fn spec_from_json(value: &Json) -> Result<ScenarioSpec, String> {
                 .ok_or_else(|| "ladder entries must be numbers".to_string())
         })
         .collect::<Result<Vec<f64>, String>>()?;
+    // Optional (absent in pre-0.5 documents): the closed-loop workload
+    // reference, `null` or missing for open-loop scenarios.
+    let workload = match value.get("workload") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(reference)) => Some(reference.clone()),
+        Some(_) => {
+            return Err("scenario field 'workload' must be a string or null".to_string());
+        }
+    };
     Ok(ScenarioSpec {
         architecture,
         traffic,
@@ -90,6 +103,7 @@ pub fn spec_from_json(value: &Json) -> Result<ScenarioSpec, String> {
         effort,
         seed,
         ladder,
+        workload,
     })
 }
 
@@ -292,6 +306,26 @@ mod tests {
         }
         let error = parse_scenarios(&Json::Arr(vec![bad]).render()).unwrap_err();
         assert!(error.contains("missing the 'traffic' field"), "{error}");
+    }
+
+    #[test]
+    fn workload_specs_round_trip_and_old_documents_still_parse() {
+        let spec =
+            ScenarioSpec::closed_loop("d-hetpnoc", "allreduce:64").with_effort(Effort::Smoke);
+        let rendered = spec_json(&spec).render();
+        let parsed = spec_from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.workload.as_deref(), Some("allreduce:64"));
+
+        // Pre-0.5 documents have no 'workload' field: they parse as
+        // open-loop specs.
+        let mut old = spec_json(&example_spec());
+        if let Json::Obj(fields) = &mut old {
+            fields.retain(|(k, _)| k != "workload");
+        }
+        let parsed = spec_from_json(&old).unwrap();
+        assert_eq!(parsed, example_spec());
+        assert!(parsed.workload.is_none());
     }
 
     #[test]

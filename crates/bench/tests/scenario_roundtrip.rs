@@ -26,10 +26,11 @@ proptest! {
     fn scenario_specs_round_trip_through_the_json_emitter(
         arch_codes in prop::collection::vec(1u32..0x250, 1..12),
         traffic_codes in prop::collection::vec(1u32..0x250, 1..12),
-        knobs in (0usize..3, 0usize..3, 0u64..=u64::MAX),
+        workload_codes in prop::collection::vec(1u32..0x250, 1..12),
+        knobs in (0usize..3, 0usize..3, 0u64..=u64::MAX, any::<bool>()),
         ladder in prop::collection::vec(1e-9f64..10.0, 0..5),
     ) {
-        let (set_index, effort_index, seed) = knobs;
+        let (set_index, effort_index, seed, closed_loop) = knobs;
         let spec = ScenarioSpec {
             architecture: name_from(&arch_codes),
             traffic: name_from(&traffic_codes),
@@ -37,6 +38,7 @@ proptest! {
             effort: Effort::ALL[effort_index],
             seed,
             ladder,
+            workload: closed_loop.then(|| name_from(&workload_codes)),
         };
         let rendered = render_scenarios(std::slice::from_ref(&spec));
         let parsed = parse_scenarios(&rendered)

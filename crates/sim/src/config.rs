@@ -223,6 +223,27 @@ impl SimConfig {
         self.bandwidth_set.total_wavelengths() as f64 * self.wavelength_rate_gbps
     }
 
+    /// Static electrical power of the photonic fabric in milli-watts: the
+    /// laser sources driving every data wavelength (1.5 mW each, Table 3-4)
+    /// plus the thermal tuning holding one modulator ring and one detector
+    /// ring on-resonance per active data wavelength (3 mW per ring at the
+    /// paper's 2.4 mW/nm × 1.25 nm operating point).
+    ///
+    /// This burns regardless of traffic — 480 mW for bandwidth set 1 —
+    /// which is why energy-per-bit comparisons that only count the dynamic
+    /// [`crate::stats::SimStats::packet_energy_pj`] undercount: the sweep
+    /// engine reports it next to the dynamic totals as the
+    /// `static_power_mw` / `total_energy_pj` gauges on every
+    /// [`MetricReport`](crate::metrics::MetricReport).
+    #[must_use]
+    pub fn static_power_mw(&self) -> f64 {
+        let wavelengths = self.bandwidth_set.total_wavelengths();
+        let laser = pnoc_photonics::laser::LaserSource::paper_default(wavelengths);
+        let tuner = pnoc_photonics::thermal::ThermalTuner::paper_default();
+        let tuned_rings = 2 * wavelengths; // one modulator + one detector per λ
+        laser.power_mw(wavelengths) + tuner.power_mw() * tuned_rings as f64
+    }
+
     /// A rough estimate of the per-core offered load (packets per core per
     /// cycle) that would exactly saturate the aggregate photonic bandwidth.
     /// Sweeps use multiples of this value.
@@ -319,6 +340,16 @@ mod tests {
         // Higher bandwidth sets saturate at proportionally higher loads.
         let c3 = SimConfig::paper_default(BandwidthSet::Set3);
         assert!(c3.estimated_saturation_load() > 7.0 * load);
+    }
+
+    #[test]
+    fn static_power_counts_lasers_and_tuned_rings() {
+        // Set 1: 64 λ × 1.5 mW laser + 128 rings × 3 mW heater = 480 mW.
+        let c1 = SimConfig::paper_default(BandwidthSet::Set1);
+        assert!((c1.static_power_mw() - 480.0).abs() < 1e-9);
+        // Scales linearly with the wavelength count.
+        let c3 = SimConfig::paper_default(BandwidthSet::Set3);
+        assert!((c3.static_power_mw() - 8.0 * c1.static_power_mw()).abs() < 1e-9);
     }
 
     #[test]

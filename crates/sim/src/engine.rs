@@ -117,6 +117,46 @@ pub fn run_to_completion<N: CycleNetwork + ?Sized>(network: &mut N) -> SimStats 
     run_to_completion_with(network, &mut [])
 }
 
+/// Runs a network **closed-loop**: measurement starts immediately (no
+/// warm-up — a finite workload has no steady state to warm into), every
+/// cycle is observed by the probes, and the run ends as soon as `drained`
+/// returns `true` (checked after each cycle, so the cycle that completes the
+/// last flow is still measured) or `max_cycles` is reached.
+///
+/// This is the completion condition behind the flow-level workload engine
+/// ([`crate::workload`]): the fixed-cycle ladder of
+/// [`run_to_completion_with`] measures open-loop steady state, this entry
+/// point measures how long a finite dependency DAG takes to drain.
+pub fn run_until_with<N: CycleNetwork + ?Sized>(
+    network: &mut N,
+    probes: &mut [&mut dyn Probe],
+    mut drained: impl FnMut(u64) -> bool,
+    max_cycles: u64,
+) -> SimStats {
+    network.begin_measurement(0);
+    let mut fanout = ProbeFanout {
+        probes,
+        measuring: true,
+    };
+    for probe in fanout.probes.iter_mut() {
+        probe.on_measurement_begin(0);
+    }
+    for cycle in 0..max_cycles {
+        network.step_observed(cycle, &mut fanout);
+        for probe in fanout.probes.iter_mut() {
+            probe.on_cycle_end(cycle);
+        }
+        if drained(cycle) {
+            break;
+        }
+    }
+    let stats = network.stats();
+    for probe in probes.iter_mut() {
+        probe.finish(&stats);
+    }
+    stats
+}
+
 /// Runs a network for an explicit number of cycles (no warm-up handling).
 /// Useful for fine-grained tests that want to observe transient behaviour.
 pub fn run_cycles<N: CycleNetwork + ?Sized>(network: &mut N, start: u64, cycles: u64) -> SimStats {
@@ -254,6 +294,28 @@ mod tests {
         assert_eq!(probe.cycle_ends, 400);
         assert!(probe.finished);
         assert_eq!(probe.report().counter("events"), Some(400));
+    }
+
+    #[test]
+    fn run_until_with_stops_at_drain_and_measures_from_cycle_zero() {
+        let mut net = counter_net(100, 400); // warm-up is ignored closed-loop
+        let mut probe = LifecycleProbe::default();
+        let drained = |cycle: u64| cycle >= 6;
+        let stats = run_until_with(&mut net, &mut [&mut probe], drained, 10_000);
+        // Measurement began immediately; 7 cycles ran (0..=6 inclusive).
+        assert_eq!(net.measured_from, Some(0));
+        assert_eq!(stats.measured_cycles, 7);
+        assert_eq!(probe.measurement_begun_at, Some(0));
+        assert_eq!(probe.first_event_cycle, Some(0));
+        assert_eq!(probe.events, 7);
+        assert!(probe.finished);
+    }
+
+    #[test]
+    fn run_until_with_honours_the_cycle_cap() {
+        let mut net = counter_net(0, 0);
+        let stats = run_until_with(&mut net, &mut [], |_| false, 37);
+        assert_eq!(stats.measured_cycles, 37);
     }
 
     #[test]

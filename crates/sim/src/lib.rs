@@ -31,6 +31,11 @@
 //!   bandwidth set × effort × seed × ladder) run, a
 //!   [`scenario::ScenarioMatrix`] batches whole cross-products into one
 //!   flattened, deduplicated, parallel work queue,
+//! * [`workload`] — the closed-loop workload engine: a
+//!   [`workload::WorkloadDriver`] injects a finite flow DAG (see the
+//!   `pnoc-workload` crate), observes deliveries through the event stream,
+//!   releases dependent flows and terminates at DAG-drain, reporting
+//!   flow-completion-time quantiles and per-collective makespans,
 //! * [`report`] — plain-text table rendering used by the experiment harness.
 
 #![forbid(unsafe_code)]
@@ -47,12 +52,15 @@ pub mod scenario;
 pub mod stats;
 pub mod sweep;
 pub mod system;
+pub mod workload;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::clock::Clock;
     pub use crate::config::{BandwidthSet, SimConfig};
-    pub use crate::engine::{run_to_completion, run_to_completion_with, CycleNetwork};
+    pub use crate::engine::{
+        run_to_completion, run_to_completion_with, run_until_with, CycleNetwork,
+    };
     pub use crate::metrics::{
         Counter, CsvSink, EventSink, Family, Gauge, JsonlSink, MemorySink, MetricReport, MetricRow,
         MetricSink, MetricValue, MetricsProbe, Probe, QuantileSketch, SimEvent, SimStatsProbe,
@@ -72,6 +80,7 @@ pub mod prelude {
         SweepPointSpec,
     };
     pub use crate::system::{PhotonicFabric, PhotonicSystem};
+    pub use crate::workload::{FlowProbe, WorkloadDriver};
 }
 
 pub use prelude::*;

@@ -7,12 +7,15 @@ use crate::sweep::{
     default_load_ladder, derive_point_seed, point_spec, run_point, run_sweep, SaturationResult,
     SweepMode, SweepPoint, SweepPointSpec,
 };
+use crate::workload::run_workload_point;
 use pnoc_noc::traffic_model::TrafficModel;
 use pnoc_traffic::factory::{
     lookup_traffic_factory, registered_traffic_patterns, TrafficFactory, TrafficSpec,
     UnknownPatternError,
 };
 use pnoc_traffic::pattern::PacketShape;
+use pnoc_workload::dag::Workload;
+use pnoc_workload::registry::{UnknownWorkloadError, WorkloadRef, WorkloadSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -102,6 +105,7 @@ pub struct ScenarioSpec {
     /// Registry name of the architecture (`"firefly"`, `"d-hetpnoc"`, ...).
     pub architecture: String,
     /// Registry name of the traffic pattern (`"tornado"`, `"skewed-3"`, ...).
+    /// Unused (and conventionally empty) when `workload` is set.
     pub traffic: String,
     /// Aggregate-bandwidth design point.
     pub bandwidth_set: BandwidthSet,
@@ -111,8 +115,15 @@ pub struct ScenarioSpec {
     /// [`derive_point_seed`].
     pub seed: u64,
     /// Explicit offered-load ladder in packets per core per cycle. Empty
-    /// means "use the effort level's default ladder".
+    /// means "use the effort level's default ladder". Ignored for workload
+    /// scenarios (a closed-loop run has no offered-load axis).
     pub ladder: Vec<f64>,
+    /// Closed-loop workload reference (`NAME[:SIZE]`, validated against the
+    /// workload registry). When set, the scenario runs the workload DAG to
+    /// drain instead of an open-loop saturation sweep: one point, no load
+    /// ladder, flow-completion-time and makespan metrics on the point's
+    /// report.
+    pub workload: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -127,7 +138,24 @@ impl ScenarioSpec {
             effort: Effort::Quick,
             seed: DEFAULT_SEED,
             ladder: Vec::new(),
+            workload: None,
         }
+    }
+
+    /// Creates a **closed-loop** spec: `workload_ref` is a `NAME[:SIZE]`
+    /// workload-registry reference (e.g. `"allreduce:64"`); defaults
+    /// otherwise as in [`ScenarioSpec::new`].
+    #[must_use]
+    pub fn closed_loop(architecture: impl Into<String>, workload_ref: impl Into<String>) -> Self {
+        Self::new(architecture, "").with_workload(workload_ref)
+    }
+
+    /// Sets (or clears) the closed-loop workload reference.
+    #[must_use]
+    pub fn with_workload(mut self, workload_ref: impl Into<String>) -> Self {
+        let workload_ref = workload_ref.into();
+        self.workload = (!workload_ref.is_empty()).then_some(workload_ref);
+        self
     }
 
     /// Sets the bandwidth set.
@@ -192,13 +220,23 @@ impl ScenarioSpec {
     }
 
     /// The compact `arch:traffic:set:effort` identifier used in reports and
-    /// log lines (the shorthand accepted by [`ScenarioSpec::parse_shorthand`]).
+    /// log lines. For open-loop scenarios this is exactly the shorthand
+    /// accepted by [`ScenarioSpec::parse_shorthand`]; workload scenarios
+    /// render their `NAME[:SIZE]` reference with the size separator as `@`
+    /// (`d-hetpnoc:allreduce@64:set1:quick`) — unambiguous in the
+    /// `:`-separated structure, but **not** parseable back through
+    /// `parse_shorthand` (re-run a workload with `--workload NAME[:SIZE]`
+    /// or a serialized spec instead).
     #[must_use]
     pub fn id(&self) -> String {
+        let middle = match &self.workload {
+            Some(workload) => workload.replace(':', "@"),
+            None => self.traffic.clone(),
+        };
         format!(
             "{}:{}:{}:{}",
             self.architecture,
-            self.traffic,
+            middle,
             self.bandwidth_set.short_name(),
             self.effort.label()
         )
@@ -214,39 +252,94 @@ impl ScenarioSpec {
     }
 
     /// The offered-load ladder of this scenario: the explicit ladder when one
-    /// was given, the effort level's default ladder otherwise.
+    /// was given, the effort level's default ladder otherwise. A workload
+    /// scenario has no offered-load axis: it contributes exactly one
+    /// closed-loop point, reported at load 0.
     #[must_use]
     pub fn loads(&self) -> Vec<f64> {
-        if self.ladder.is_empty() {
+        if self.workload.is_some() {
+            vec![0.0]
+        } else if self.ladder.is_empty() {
             self.effort.load_ladder(&self.config())
         } else {
             self.ladder.clone()
         }
     }
 
-    /// Validates the spec against both process-global registries and returns
-    /// the resolved, runnable [`Scenario`].
+    /// Validates the spec against the process-global registries
+    /// (architecture plus either traffic or workload) and returns the
+    /// resolved, runnable [`Scenario`]. Workload scenarios also build their
+    /// flow DAG here, eagerly — resolution is the last point where a
+    /// malformed workload can fail with a typed error.
     ///
     /// # Errors
     ///
     /// * [`ScenarioError::UnknownArchitecture`] / [`ScenarioError::UnknownTraffic`]
-    ///   when a name is not registered — the error lists the registered
-    ///   catalogue and suggests the nearest name,
+    ///   / [`ScenarioError::UnknownWorkload`] when a name is not registered —
+    ///   the error lists the registered catalogue and suggests the nearest
+    ///   name,
+    /// * [`ScenarioError::Malformed`] when a workload reference does not
+    ///   parse as `NAME[:SIZE]`,
+    /// * [`ScenarioError::WorkloadTooLarge`] when a workload's participant
+    ///   count does not fit the topology,
     /// * [`ScenarioError::InvalidLoad`] when an explicit ladder entry is not
     ///   a positive finite load.
     pub fn resolve(&self) -> Result<Scenario, ScenarioError> {
         let architecture = lookup_architecture(&self.architecture)?;
-        let traffic = lookup_traffic_factory(&self.traffic)?;
-        if let Some(&load) = self.ladder.iter().find(|l| !l.is_finite() || **l <= 0.0) {
-            return Err(ScenarioError::InvalidLoad {
-                scenario: self.id(),
-                load,
-            });
-        }
+        let payload = match &self.workload {
+            Some(reference) => {
+                // A scenario is either open- or closed-loop: a spec naming
+                // both a traffic pattern and a workload is ambiguous about
+                // what it runs, so reject it instead of silently ignoring
+                // the traffic field.
+                if !self.traffic.is_empty() {
+                    return Err(ScenarioError::Malformed {
+                        input: self.id(),
+                        reason: format!(
+                            "scenario sets both traffic '{}' and workload '{reference}'; \
+                             a closed-loop spec must leave traffic empty",
+                            self.traffic
+                        ),
+                    });
+                }
+                let parsed =
+                    WorkloadRef::parse(reference).map_err(|reason| ScenarioError::Malformed {
+                        input: reference.clone(),
+                        reason,
+                    })?;
+                let (factory, size) = parsed.resolve()?;
+                let num_cores = self.config().topology.num_cores();
+                if size < 2 || size > num_cores {
+                    return Err(ScenarioError::WorkloadTooLarge {
+                        scenario: self.id(),
+                        size,
+                        num_cores,
+                    });
+                }
+                let workload = factory.build(&WorkloadSpec::new(size));
+                workload.validate().unwrap_or_else(|error| {
+                    panic!(
+                        "registered workload factory '{}' built an invalid workload: {error}",
+                        factory.name()
+                    )
+                });
+                ScenarioPayload::Workload(Arc::new(workload))
+            }
+            None => {
+                let traffic = lookup_traffic_factory(&self.traffic)?;
+                if let Some(&load) = self.ladder.iter().find(|l| !l.is_finite() || **l <= 0.0) {
+                    return Err(ScenarioError::InvalidLoad {
+                        scenario: self.id(),
+                        load,
+                    });
+                }
+                ScenarioPayload::Traffic(traffic)
+            }
+        };
         Ok(Scenario {
             spec: self.clone(),
             architecture,
-            traffic,
+            payload,
         })
     }
 }
@@ -264,6 +357,18 @@ pub enum ScenarioError {
     UnknownArchitecture(UnknownArchitectureError),
     /// The traffic-pattern name is not in the traffic registry.
     UnknownTraffic(UnknownPatternError),
+    /// The workload name is not in the workload registry.
+    UnknownWorkload(UnknownWorkloadError),
+    /// A workload's participant count does not fit the topology (or is
+    /// below the 2-node minimum of every collective).
+    WorkloadTooLarge {
+        /// Identifier of the offending scenario.
+        scenario: String,
+        /// The requested participant count.
+        size: usize,
+        /// Cores available in the topology.
+        num_cores: usize,
+    },
     /// An explicit ladder entry is not a positive finite offered load.
     InvalidLoad {
         /// Identifier of the offending scenario.
@@ -285,6 +390,16 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::UnknownArchitecture(e) => e.fmt(f),
             ScenarioError::UnknownTraffic(e) => e.fmt(f),
+            ScenarioError::UnknownWorkload(e) => e.fmt(f),
+            ScenarioError::WorkloadTooLarge {
+                scenario,
+                size,
+                num_cores,
+            } => write!(
+                f,
+                "scenario '{scenario}' asks for a {size}-node workload; \
+                 sizes must be between 2 and the topology's {num_cores} cores"
+            ),
             ScenarioError::InvalidLoad { scenario, load } => write!(
                 f,
                 "scenario '{scenario}' has invalid ladder load {load}; \
@@ -311,12 +426,29 @@ impl From<UnknownPatternError> for ScenarioError {
     }
 }
 
+impl From<UnknownWorkloadError> for ScenarioError {
+    fn from(error: UnknownWorkloadError) -> Self {
+        ScenarioError::UnknownWorkload(error)
+    }
+}
+
+/// What a resolved scenario simulates: an open-loop traffic factory swept
+/// over the load ladder, or a closed-loop workload DAG run to drain.
+#[derive(Clone)]
+enum ScenarioPayload {
+    /// Open-loop: one saturation sweep over the ladder.
+    Traffic(Arc<dyn TrafficFactory>),
+    /// Closed-loop: one DAG-drain run (the eagerly built workload is shared
+    /// by every job that deduplicates onto it).
+    Workload(Arc<Workload>),
+}
+
 /// A validated scenario: the spec plus the registry entries it resolved to.
 #[derive(Clone)]
 pub struct Scenario {
     spec: ScenarioSpec,
     architecture: Arc<dyn ArchitectureBuilder>,
-    traffic: Arc<dyn TrafficFactory>,
+    payload: ScenarioPayload,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -347,16 +479,39 @@ impl Scenario {
         self.run_with_mode(SweepMode::Parallel)
     }
 
-    /// Runs the scenario's saturation sweep with an explicit execution mode
-    /// (used by determinism tests and the `repro --bench-sweep` harness).
+    /// The resolved closed-loop workload, when this is a workload scenario.
+    #[must_use]
+    pub fn workload(&self) -> Option<&Arc<Workload>> {
+        match &self.payload {
+            ScenarioPayload::Workload(workload) => Some(workload),
+            ScenarioPayload::Traffic(_) => None,
+        }
+    }
+
+    /// Runs the scenario with an explicit execution mode (used by
+    /// determinism tests and the `repro --bench-sweep` harness). Open-loop
+    /// scenarios sweep their ladder; closed-loop scenarios run their single
+    /// DAG-drain point (for which both modes are the same single
+    /// simulation).
     #[must_use]
     pub fn run_with_mode(&self, mode: SweepMode) -> ScenarioResult {
         let config = self.spec.config();
         let loads = self.spec.loads();
         let started = Instant::now();
-        let factory = Arc::clone(&self.traffic);
-        let make = move |point: &SweepPointSpec| build_traffic(factory.as_ref(), point);
-        let result = run_sweep(self.architecture.as_ref(), &make, &config, &loads, mode);
+        let result = match &self.payload {
+            ScenarioPayload::Traffic(factory) => {
+                let factory = Arc::clone(factory);
+                let make = move |point: &SweepPointSpec| build_traffic(factory.as_ref(), point);
+                run_sweep(self.architecture.as_ref(), &make, &config, &loads, mode)
+            }
+            ScenarioPayload::Workload(workload) => SaturationResult {
+                points: vec![run_workload_point(
+                    self.architecture.as_ref(),
+                    &point_spec(&config, 0, loads[0]),
+                    workload,
+                )],
+            },
+        };
         ScenarioResult {
             spec: self.spec.clone(),
             point_seeds: (0..loads.len())
@@ -467,6 +622,7 @@ impl ScenarioResult {
 pub struct ScenarioMatrix {
     architectures: Vec<String>,
     traffics: Vec<String>,
+    workloads: Vec<String>,
     bandwidth_sets: Vec<BandwidthSet>,
     effort: Effort,
     seed: u64,
@@ -488,6 +644,7 @@ impl ScenarioMatrix {
         Self {
             architectures: Vec::new(),
             traffics: Vec::new(),
+            workloads: Vec::new(),
             bandwidth_sets: vec![BandwidthSet::Set1],
             effort: Effort::Quick,
             seed: DEFAULT_SEED,
@@ -531,6 +688,20 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Sets the closed-loop workload axis by `NAME[:SIZE]` reference. The
+    /// expanded workload scenarios cross with the architecture and
+    /// bandwidth-set axes (but not the traffic axis — a scenario is either
+    /// open- or closed-loop) and run in the same flattened work queue.
+    #[must_use]
+    pub fn workloads<I, S>(mut self, references: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.workloads = references.into_iter().map(Into::into).collect();
+        self
+    }
+
     /// Sets the bandwidth-set axis.
     #[must_use]
     pub fn bandwidth_sets<I>(mut self, sets: I) -> Self
@@ -569,24 +740,39 @@ impl ScenarioMatrix {
     }
 
     /// Expands the cross-product into scenario specs (architecture-major,
-    /// then traffic, then bandwidth set), dropping exact duplicates.
+    /// then traffic, then bandwidth set; closed-loop workload scenarios
+    /// follow the open-loop block, in the same axis order), dropping exact
+    /// duplicates.
     #[must_use]
     pub fn specs(&self) -> Vec<ScenarioSpec> {
         let mut out: Vec<ScenarioSpec> = Vec::new();
+        let mut push = |spec: ScenarioSpec| {
+            if !out.contains(&spec) {
+                out.push(spec);
+            }
+        };
         for architecture in &self.architectures {
             for traffic in &self.traffics {
                 for &set in &self.bandwidth_sets {
-                    let spec = ScenarioSpec {
+                    push(ScenarioSpec {
                         architecture: architecture.clone(),
                         traffic: traffic.clone(),
                         bandwidth_set: set,
                         effort: self.effort,
                         seed: self.seed,
                         ladder: self.ladder.clone(),
-                    };
-                    if !out.contains(&spec) {
-                        out.push(spec);
-                    }
+                        workload: None,
+                    });
+                }
+            }
+            for workload in &self.workloads {
+                for &set in &self.bandwidth_sets {
+                    push(
+                        ScenarioSpec::closed_loop(architecture.clone(), workload.clone())
+                            .with_bandwidth_set(set)
+                            .with_effort(self.effort)
+                            .with_seed(self.seed),
+                    );
                 }
             }
         }
@@ -633,11 +819,26 @@ fn resolve_all(specs: &[ScenarioSpec]) -> Result<Vec<Scenario>, ScenarioError> {
 }
 
 /// One flattened unit of matrix work: a single sweep point of a single
-/// scenario.
+/// scenario — an open-loop ladder point or a closed-loop DAG-drain run.
 struct PointJob {
     architecture: Arc<dyn ArchitectureBuilder>,
-    traffic: Arc<dyn TrafficFactory>,
+    payload: ScenarioPayload,
     point: SweepPointSpec,
+}
+
+impl PointJob {
+    fn run(&self) -> SweepPoint {
+        match &self.payload {
+            ScenarioPayload::Traffic(factory) => run_point(
+                self.architecture.as_ref(),
+                &self.point,
+                build_traffic(factory.as_ref(), &self.point),
+            ),
+            ScenarioPayload::Workload(workload) => {
+                run_workload_point(self.architecture.as_ref(), &self.point, workload)
+            }
+        }
+    }
 }
 
 /// Runs a batch of already-expanded specs through the flattened work queue
@@ -649,23 +850,31 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
 
     // Flatten every (scenario, ladder point) pair into one job list,
     // deduplicating jobs that would simulate the exact same network: same
-    // architecture, same traffic pattern, same per-point configuration
-    // (which includes the derived seed) and same offered load.
+    // architecture, same payload (traffic pattern, or workload DAG), same
+    // per-point configuration (which includes the derived seed) and same
+    // offered load.
     let mut jobs: Vec<PointJob> = Vec::new();
     let mut index_of: BTreeMap<(String, String, String, u64), usize> = BTreeMap::new();
     let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(scenarios.len());
     for scenario in &scenarios {
         let config = scenario.spec.config();
         let loads = scenario.spec.loads();
+        // Key on the *resolved* registry names, not the spec spellings:
+        // alias spellings (e.g. "uniform" vs "uniform-random", or
+        // "allreduce:16" vs "ring-allreduce:16") resolve to the same
+        // factory-built payload and must share one simulation. Generated
+        // workload names encode size and per-node bytes, so two workload
+        // scenarios dedup exactly when their DAGs are identical.
+        let payload_key = match &scenario.payload {
+            ScenarioPayload::Traffic(factory) => format!("traffic/{}", factory.name()),
+            ScenarioPayload::Workload(workload) => format!("workload/{}", workload.name()),
+        };
         let mut point_jobs = Vec::with_capacity(loads.len());
         for (index, &load) in loads.iter().enumerate() {
             let point = point_spec(&config, index, load);
-            // Key on the *resolved* registry names, not the spec spellings:
-            // alias spellings (e.g. "uniform" vs "uniform-random") resolve
-            // to the same factory and must share one simulation.
             let key = (
                 scenario.architecture.name().to_string(),
-                scenario.traffic.name().to_string(),
+                payload_key.clone(),
                 format!("{:?}", point.config),
                 load.to_bits(),
             );
@@ -674,7 +883,7 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
             if job_index == next {
                 jobs.push(PointJob {
                     architecture: Arc::clone(&scenario.architecture),
-                    traffic: Arc::clone(&scenario.traffic),
+                    payload: scenario.payload.clone(),
                     point,
                 });
             }
@@ -687,16 +896,7 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
 
     // One flat rayon queue across every scenario: workers stay busy across
     // scenario boundaries instead of idling at each per-sweep barrier.
-    let points: Vec<SweepPoint> = jobs
-        .par_iter()
-        .map(|job| {
-            run_point(
-                job.architecture.as_ref(),
-                &job.point,
-                build_traffic(job.traffic.as_ref(), &job.point),
-            )
-        })
-        .collect();
+    let points: Vec<SweepPoint> = jobs.par_iter().map(PointJob::run).collect();
 
     let wall_clock_seconds = started.elapsed().as_secs_f64();
     let results: Vec<ScenarioResult> = scenarios
@@ -992,6 +1192,115 @@ mod tests {
         assert!(outcome
             .find("uniform-fabric", "tornado", BandwidthSet::Set2)
             .is_none());
+    }
+
+    fn workload_spec(reference: &str) -> ScenarioSpec {
+        ScenarioSpec::closed_loop("uniform-fabric", reference).with_effort(Effort::Smoke)
+    }
+
+    #[test]
+    fn workload_specs_identify_load_and_resolve() {
+        let spec = workload_spec("allreduce:8");
+        assert_eq!(spec.id(), "uniform-fabric:allreduce@8:set1:smoke");
+        assert_eq!(spec.loads(), vec![0.0]);
+        let scenario = spec.resolve().expect("workload registered");
+        let workload = scenario.workload().expect("closed-loop");
+        assert_eq!(workload.name(), "ring-allreduce:8x16384B");
+
+        // Open-loop scenarios have no workload.
+        assert!(smoke_spec().resolve().unwrap().workload().is_none());
+    }
+
+    #[test]
+    fn workload_resolution_failures_are_typed_and_suggestive() {
+        let unknown = workload_spec("ring-alreduce:8")
+            .resolve()
+            .expect_err("misspelled workload");
+        match &unknown {
+            ScenarioError::UnknownWorkload(e) => {
+                assert_eq!(e.suggestion(), Some("ring-allreduce"));
+            }
+            other => panic!("expected UnknownWorkload, got {other:?}"),
+        }
+        assert!(unknown.to_string().contains("did you mean"));
+
+        let malformed = workload_spec("allreduce:8:9")
+            .resolve()
+            .expect_err("too many parts");
+        assert!(matches!(malformed, ScenarioError::Malformed { .. }));
+
+        // A spec naming both a traffic pattern and a workload is ambiguous
+        // and must be rejected, not run with the traffic silently ignored.
+        let mut mixed = ScenarioSpec::new("uniform-fabric", "tornado").with_effort(Effort::Smoke);
+        mixed.workload = Some("incast:4".to_string());
+        let both = mixed
+            .resolve()
+            .expect_err("traffic + workload is ambiguous");
+        assert!(matches!(both, ScenarioError::Malformed { .. }));
+        assert!(both.to_string().contains("both traffic"), "{both}");
+
+        let too_large = workload_spec("allreduce:65")
+            .resolve()
+            .expect_err("65 nodes on a 64-core chip");
+        assert!(matches!(
+            too_large,
+            ScenarioError::WorkloadTooLarge { size: 65, .. }
+        ));
+        assert!(too_large.to_string().contains("64 cores"));
+    }
+
+    #[test]
+    fn workload_scenarios_run_one_closed_loop_point_to_drain() {
+        let outcome = workload_spec("incast:6").resolve().expect("valid").run();
+        assert_eq!(outcome.result.points.len(), 1);
+        let point = &outcome.result.points[0];
+        assert_eq!(point.metrics.gauge("workload_drained"), Some(1.0));
+        assert_eq!(point.metrics.counter("flows_total"), Some(5));
+        assert_eq!(
+            point.metrics.counter("flows_completed"),
+            point.metrics.counter("flows_total")
+        );
+        assert!(point.metrics.histogram("flow_completion_cycles").is_some());
+        assert!(point.metrics.gauge("static_power_mw").unwrap() > 0.0);
+        assert!(point.metrics.gauge("total_energy_pj").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn matrix_workload_axis_runs_in_the_flattened_queue_deterministically() {
+        rayon::set_thread_count(4);
+        let matrix = ScenarioMatrix::new()
+            .architectures(["uniform-fabric"])
+            .traffics(["tornado"])
+            .workloads(["incast:4", "allreduce:4"])
+            .effort(Effort::Smoke);
+        let specs = matrix.specs();
+        assert_eq!(specs.len(), 3, "1 open-loop + 2 closed-loop scenarios");
+        let batched = matrix.run().expect("all names registered");
+        let sequential = matrix.run_sequential().expect("all names registered");
+        assert!(
+            batched.bitwise_eq(&sequential),
+            "workload points must stay bitwise-deterministic in the parallel queue"
+        );
+        // The open-loop scenario swept a ladder; each workload ran 1 point.
+        assert_eq!(batched.total_points, sequential.total_points);
+        let drained = batched
+            .scenarios
+            .iter()
+            .filter(|r| r.spec.workload.is_some())
+            .all(|r| r.result.points[0].metrics.gauge("workload_drained") == Some(1.0));
+        assert!(drained);
+    }
+
+    #[test]
+    fn workload_alias_spellings_share_one_simulation() {
+        let specs = vec![
+            workload_spec("allreduce:4"),
+            workload_spec("ring-allreduce:4"),
+        ];
+        let outcome = run_specs(&specs).expect("alias resolves");
+        assert_eq!(outcome.total_points, 2);
+        assert_eq!(outcome.unique_points, 1, "identical DAGs must dedup");
+        assert_eq!(outcome.scenarios[0].result, outcome.scenarios[1].result);
     }
 
     #[test]

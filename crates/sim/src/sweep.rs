@@ -256,6 +256,26 @@ pub(crate) fn point_spec(config: &SimConfig, index: usize, load: f64) -> SweepPo
     }
 }
 
+/// Adds the photonic static-power gauges to a point's metric report:
+/// `static_power_mw` (laser + thermal tuning, see
+/// [`SimConfig::static_power_mw`]) and `total_energy_pj` (the dynamic
+/// [`EnergyBreakdown`](pnoc_photonics::energy::EnergyBreakdown) total plus
+/// the static power integrated over the measured window) — so
+/// energy-per-bit comparisons no longer undercount the always-on laser and
+/// heater budget.
+pub(crate) fn attach_power_gauges(report: &mut MetricReport, config: &SimConfig, stats: &SimStats) {
+    use crate::metrics::MetricValue;
+    let static_mw = config.static_power_mw();
+    let seconds = config.clock.cycles_to_seconds(stats.measured_cycles);
+    // 1 mW·s = 1 mJ = 1e9 pJ.
+    let static_pj = static_mw * seconds * 1e9;
+    report.insert("static_power_mw", MetricValue::Gauge(static_mw));
+    report.insert(
+        "total_energy_pj",
+        MetricValue::Gauge(stats.energy.total_pj() + static_pj),
+    );
+}
+
 /// Builds and runs the network of one sweep point, collecting the standard
 /// [`MetricsProbe`] instrumentation alongside the legacy snapshot.
 pub(crate) fn run_point(
@@ -266,10 +286,12 @@ pub(crate) fn run_point(
     let mut network = architecture.build(spec.config, traffic);
     let mut probe = MetricsProbe::for_config(&spec.config);
     let stats = run_to_completion_with(&mut *network, &mut [&mut probe]);
+    let mut metrics = probe.report();
+    attach_power_gauges(&mut metrics, &spec.config, &stats);
     SweepPoint {
         offered_load: spec.offered_load.value(),
         stats,
-        metrics: probe.report(),
+        metrics,
     }
 }
 

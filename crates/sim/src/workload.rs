@@ -1,0 +1,692 @@
+//! The closed-loop workload engine: executing a flow-level
+//! [`Workload`](pnoc_workload::dag::Workload) DAG on a simulated network.
+//!
+//! Open-loop sweeps (the [`crate::sweep`] ladder) inject packets at a fixed
+//! rate forever and measure steady state. This module runs the other kind of
+//! experiment: a **finite** set of flows with dependencies is injected
+//! closed-loop, deliveries are observed through the engine's
+//! [`SimEvent`](crate::metrics::SimEvent) stream, dependent flows are
+//! released as their prerequisites complete, and the run terminates when the
+//! DAG drains (see [`crate::engine::run_until_with`]). The metrics that come
+//! out are the ones that matter for closed-loop workloads: per-flow
+//! **flow-completion time** quantiles and per-collective **makespans**.
+//!
+//! # How the loop closes
+//!
+//! A [`WorkloadDriver`] owns the shared flow state and hands out two views
+//! of it:
+//!
+//! * a [`TrafficModel`] (via [`WorkloadDriver::traffic`]) that the network
+//!   polls each cycle — it emits the next packet of the frontmost released
+//!   flow at each source core, **paced** so a core never generates while its
+//!   injection queue is full (closed-loop flows must not be load-shed; a
+//!   dropped packet would leave its flow waiting forever), and
+//! * a [`FlowProbe`] (via [`WorkloadDriver::probe`]) that watches the event
+//!   stream: `PacketInjected`/`PacketDropped` maintain the pacing window,
+//!   and `PacketDelivered` advances per-flow delivery counts, completes
+//!   flows, records their completion time and releases their dependents.
+//!
+//! Everything is deterministic — no RNG is involved anywhere in the flow
+//! path — so a workload point run in the parallel matrix queue is
+//! bitwise-identical to the same point run sequentially, the same guarantee
+//! the open-loop sweep engine gives.
+//!
+//! Flows sharing a (source, destination) pair are credited in release
+//! order: delivery counts are attributed to the earliest incomplete flow of
+//! the pair. Totals (and therefore the drain condition) are exact; if the
+//! network reorders packets across two same-pair flows, their individual
+//! completion cycles are approximations at sub-flow granularity.
+
+use crate::config::SimConfig;
+use crate::engine::run_until_with;
+use crate::metrics::{MetricReport, MetricValue, MetricsProbe, Probe, QuantileSketch, SimEvent};
+use crate::registry::ArchitectureBuilder;
+use crate::sweep::{SweepPoint, SweepPointSpec};
+use pnoc_noc::ids::{ClusterId, CoreId};
+use pnoc_noc::packet::{BandwidthClass, PacketDescriptor};
+use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
+use pnoc_workload::dag::Workload;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// How many simulated cycles a closed-loop run may take before it is
+/// declared stuck, expressed as a multiple of the configuration's
+/// (open-loop) measurement window. Generous: a drained DAG ends the run
+/// long before the cap; the cap only bounds a genuinely wedged workload.
+pub const DRAIN_CYCLE_CAP_FACTOR: u64 = 100;
+
+/// The per-packet term of the drain cap: a workload whose flows all funnel
+/// through one core (incast, parameter-server fan-in) is limited by that
+/// core's one-flit-per-cycle ejection port, so the cap must grow with
+/// `total packets × flits per packet`. The factor leaves an order of
+/// magnitude of slack for reservation overhead and dependency serialization.
+pub const DRAIN_CYCLE_CAP_PACKET_FACTOR: u64 = 8;
+
+/// The shared, mutex-guarded state of one closed-loop run.
+struct FlowState {
+    /// Remaining unmet dependencies per flow.
+    remaining_deps: Vec<usize>,
+    /// Flows waiting on each flow's completion.
+    dependents: Vec<Vec<usize>>,
+    /// Packets each flow occupies on the wire.
+    packets_total: Vec<u64>,
+    /// Packets generated so far per flow (drops are re-credited).
+    packets_generated: Vec<u64>,
+    /// Packets delivered so far per flow.
+    packets_delivered: Vec<u64>,
+    /// Cycle each flow became eligible to inject.
+    released_at: Vec<Option<u64>>,
+    /// Cycle each flow's last packet arrived.
+    completed_at: Vec<Option<u64>>,
+    /// Released-but-not-fully-generated flows, FIFO per source core.
+    ready: Vec<VecDeque<usize>>,
+    /// Released flows awaiting delivery attribution, FIFO per (src, dst).
+    open_by_pair: BTreeMap<(usize, usize), VecDeque<usize>>,
+    /// Dependency-satisfied flows waiting on their `release_cycle`.
+    timed: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Tracked injection-queue occupancy per core (generated − injected −
+    /// dropped); generation pauses at the configured capacity.
+    in_queue: Vec<u64>,
+    /// The flow that generated each core's most recent packet (drop
+    /// re-crediting).
+    last_generated: Vec<Option<usize>>,
+    /// Completed flows so far.
+    completed: usize,
+    /// Packets dropped and re-credited for retransmission (zero under the
+    /// pacing window; counted defensively).
+    retransmitted: u64,
+    /// Flow-completion-time sketch (completion − release, cycles).
+    fct: QuantileSketch,
+    /// Next cycle whose timed releases have not been activated yet.
+    activated_through: u64,
+}
+
+impl FlowState {
+    fn new(workload: &Workload, config: &SimConfig) -> Self {
+        let cores = config.topology.num_cores();
+        let packet_bits = config.bandwidth_set.packet_bits();
+        let flows = workload.flows();
+        let mut dependents = vec![Vec::new(); flows.len()];
+        for flow in flows {
+            for &dep in &flow.deps {
+                dependents[dep.0].push(flow.id.0);
+            }
+        }
+        let mut state = Self {
+            remaining_deps: flows.iter().map(|f| f.deps.len()).collect(),
+            dependents,
+            packets_total: flows.iter().map(|f| f.packets(packet_bits)).collect(),
+            packets_generated: vec![0; flows.len()],
+            packets_delivered: vec![0; flows.len()],
+            released_at: vec![None; flows.len()],
+            completed_at: vec![None; flows.len()],
+            ready: vec![VecDeque::new(); cores],
+            open_by_pair: BTreeMap::new(),
+            timed: BinaryHeap::new(),
+            in_queue: vec![0; cores],
+            last_generated: vec![None; cores],
+            completed: 0,
+            retransmitted: 0,
+            fct: QuantileSketch::new(),
+            activated_through: 0,
+        };
+        for flow in flows {
+            if flow.deps.is_empty() {
+                state.timed.push(Reverse((flow.release_cycle, flow.id.0)));
+            }
+        }
+        state
+    }
+
+    /// Moves every timed flow due at or before `cycle` into the per-core
+    /// ready queues (and the per-pair attribution queues), in (cycle, flow
+    /// id) order — deterministic regardless of completion interleaving.
+    fn activate_due(&mut self, cycle: u64, workload: &Workload) {
+        if cycle < self.activated_through {
+            return;
+        }
+        while let Some(&Reverse((due, flow_idx))) = self.timed.peek() {
+            if due > cycle {
+                break;
+            }
+            self.timed.pop();
+            let flow = &workload.flows()[flow_idx];
+            self.released_at[flow_idx] = Some(cycle.max(due));
+            self.ready[flow.src.0].push_back(flow_idx);
+            self.open_by_pair
+                .entry((flow.src.0, flow.dst.0))
+                .or_default()
+                .push_back(flow_idx);
+        }
+        self.activated_through = cycle + 1;
+    }
+
+    /// Marks `flow_idx` complete at `cycle`, records its completion time and
+    /// schedules any dependents whose last prerequisite this was.
+    fn complete(&mut self, flow_idx: usize, cycle: u64, workload: &Workload) {
+        self.completed_at[flow_idx] = Some(cycle);
+        self.completed += 1;
+        let released = self.released_at[flow_idx].unwrap_or(0);
+        self.fct.record(cycle.saturating_sub(released));
+        let dependents = std::mem::take(&mut self.dependents[flow_idx]);
+        for &dependent in &dependents {
+            self.remaining_deps[dependent] -= 1;
+            if self.remaining_deps[dependent] == 0 {
+                let release = workload.flows()[dependent].release_cycle.max(cycle + 1);
+                self.timed.push(Reverse((release, dependent)));
+                // The dependent may be due before `activated_through` if its
+                // prerequisite completed this very cycle; re-open activation.
+                self.activated_through = self.activated_through.min(release);
+            }
+        }
+        self.dependents[flow_idx] = dependents;
+    }
+
+    fn drained(&self, total_flows: usize) -> bool {
+        self.completed == total_flows
+    }
+}
+
+/// Static per-cluster-pair byte volumes of a workload (drives the demand
+/// tables d-HetPNoC allocates wavelengths from).
+struct PairDemand {
+    /// Bytes exchanged between each ordered cluster pair.
+    volume: Vec<Vec<u64>>,
+    /// Total bytes leaving each cluster for other clusters.
+    outbound: Vec<u64>,
+    clusters: usize,
+}
+
+impl PairDemand {
+    fn new(workload: &Workload, config: &SimConfig) -> Self {
+        let clusters = config.topology.num_clusters();
+        let mut volume = vec![vec![0u64; clusters]; clusters];
+        let mut outbound = vec![0u64; clusters];
+        for flow in workload.flows() {
+            let src = config.topology.cluster_of(flow.src).0;
+            let dst = config.topology.cluster_of(flow.dst).0;
+            if src != dst {
+                volume[src][dst] += flow.bytes;
+                outbound[src] += flow.bytes;
+            }
+        }
+        Self {
+            volume,
+            outbound,
+            clusters,
+        }
+    }
+
+    fn share(&self, src: ClusterId, dst: ClusterId) -> f64 {
+        if src.0 >= self.clusters || dst.0 >= self.clusters || self.outbound[src.0] == 0 {
+            return 0.0;
+        }
+        self.volume[src.0][dst.0] as f64 / self.outbound[src.0] as f64
+    }
+
+    fn class(&self, src: ClusterId, dst: ClusterId) -> BandwidthClass {
+        // Classify relative to the uniform share (1/(clusters−1)): pairs
+        // carrying multiples of the average demand advertise higher classes.
+        let uniform = 1.0 / (self.clusters.saturating_sub(1).max(1)) as f64;
+        let share = self.share(src, dst);
+        if share >= 4.0 * uniform {
+            BandwidthClass::High
+        } else if share >= 2.0 * uniform {
+            BandwidthClass::MediumHigh
+        } else if share >= 0.5 * uniform {
+            BandwidthClass::MediumLow
+        } else {
+            BandwidthClass::Low
+        }
+    }
+}
+
+/// The closed-loop driver of one workload run: builds the paired traffic
+/// model and probe, owns the drain condition and the cycle cap.
+pub struct WorkloadDriver {
+    workload: Arc<Workload>,
+    state: Arc<Mutex<FlowState>>,
+    config: SimConfig,
+}
+
+impl WorkloadDriver {
+    /// Creates a driver for one run of `workload` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty, touches cores outside the
+    /// configured topology, or fails
+    /// [`Workload::validate`](pnoc_workload::dag::Workload::validate) —
+    /// scenario resolution ([`crate::scenario::ScenarioSpec::resolve`])
+    /// checks these upfront and returns typed errors instead.
+    #[must_use]
+    pub fn new(workload: Arc<Workload>, config: &SimConfig) -> Self {
+        assert!(!workload.is_empty(), "cannot drive an empty workload");
+        let max_core = workload.max_core().expect("non-empty");
+        assert!(
+            max_core < config.topology.num_cores(),
+            "workload '{}' touches core {max_core}, topology has {} cores",
+            workload.name(),
+            config.topology.num_cores()
+        );
+        workload
+            .validate()
+            .unwrap_or_else(|error| panic!("workload '{}' invalid: {error}", workload.name()));
+        let state = Arc::new(Mutex::new(FlowState::new(&workload, config)));
+        Self {
+            workload,
+            state,
+            config: *config,
+        }
+    }
+
+    /// The paced closed-loop traffic model (hand to the architecture
+    /// builder).
+    #[must_use]
+    pub fn traffic(&self) -> Box<dyn TrafficModel + Send> {
+        Box::new(FlowTraffic {
+            workload: Arc::clone(&self.workload),
+            state: Arc::clone(&self.state),
+            demand: PairDemand::new(&self.workload, &self.config),
+            topology: self.config.topology,
+            shape: (
+                self.config.bandwidth_set.packet_flits(),
+                self.config.bandwidth_set.flit_bits(),
+            ),
+            capacity: self.config.injection_queue_capacity as u64,
+        })
+    }
+
+    /// The flow-observing probe (attach to the engine next to the standard
+    /// [`MetricsProbe`]).
+    #[must_use]
+    pub fn probe(&self) -> FlowProbe {
+        FlowProbe {
+            workload: Arc::clone(&self.workload),
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Whether every flow of the DAG has completed.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.state
+            .lock()
+            .expect("flow state poisoned")
+            .drained(self.workload.len())
+    }
+
+    /// The safety cap on closed-loop cycles: the larger of
+    /// [`DRAIN_CYCLE_CAP_FACTOR`] × the open-loop measurement window and
+    /// [`DRAIN_CYCLE_CAP_PACKET_FACTOR`] × the workload's total flit count
+    /// (the serial-ejection lower bound of fan-in workloads).
+    #[must_use]
+    pub fn max_cycles(&self) -> u64 {
+        let effort_cap = self
+            .config
+            .sim_cycles
+            .saturating_mul(DRAIN_CYCLE_CAP_FACTOR);
+        let packet_bits = self.config.bandwidth_set.packet_bits();
+        let total_flits = self
+            .workload
+            .total_packets(packet_bits)
+            .saturating_mul(u64::from(self.config.bandwidth_set.packet_flits()));
+        effort_cap
+            .max(total_flits.saturating_mul(DRAIN_CYCLE_CAP_PACKET_FACTOR))
+            .max(1)
+    }
+}
+
+/// The closed-loop [`TrafficModel`]: emits the next packet of the frontmost
+/// released flow at each core, paced by the tracked injection-queue
+/// occupancy so closed-loop traffic is never load-shed.
+struct FlowTraffic {
+    workload: Arc<Workload>,
+    state: Arc<Mutex<FlowState>>,
+    demand: PairDemand,
+    topology: pnoc_noc::topology::ClusterTopology,
+    shape: (u32, u32),
+    capacity: u64,
+}
+
+impl TrafficModel for FlowTraffic {
+    fn next_packet(&mut self, cycle: u64, src: CoreId) -> Option<PacketDescriptor> {
+        let mut state = self.state.lock().expect("flow state poisoned");
+        state.activate_due(cycle, &self.workload);
+        if state.in_queue[src.0] >= self.capacity {
+            return None; // queue full: generating now would drop
+        }
+        let &flow_idx = state.ready[src.0].front()?;
+        state.packets_generated[flow_idx] += 1;
+        if state.packets_generated[flow_idx] == state.packets_total[flow_idx] {
+            state.ready[src.0].pop_front();
+        }
+        state.in_queue[src.0] += 1;
+        state.last_generated[src.0] = Some(flow_idx);
+        let flow = &self.workload.flows()[flow_idx];
+        Some(PacketDescriptor {
+            src,
+            dst: flow.dst,
+            num_flits: self.shape.0,
+            flit_bits: self.shape.1,
+            class: self.demand.class(
+                self.topology.cluster_of(src),
+                self.topology.cluster_of(flow.dst),
+            ),
+            created_cycle: cycle,
+        })
+    }
+
+    fn offered_load(&self) -> OfferedLoad {
+        // Closed-loop: the load is whatever the DAG admits; report zero so
+        // open-loop rate math never misreads it.
+        OfferedLoad::ZERO
+    }
+
+    fn set_offered_load(&mut self, _load: OfferedLoad) {}
+
+    fn demand_class(&self, src: ClusterId, dst: ClusterId) -> BandwidthClass {
+        self.demand.class(src, dst)
+    }
+
+    fn volume_share(&self, src: ClusterId, dst: ClusterId) -> f64 {
+        self.demand.share(src, dst)
+    }
+
+    fn name(&self) -> String {
+        format!("workload:{}", self.workload.name())
+    }
+}
+
+/// The flow-observing [`Probe`]: closes the loop (pacing window, delivery
+/// attribution, dependency release) and reports the closed-loop metrics.
+pub struct FlowProbe {
+    workload: Arc<Workload>,
+    state: Arc<Mutex<FlowState>>,
+}
+
+impl Probe for FlowProbe {
+    fn on_event(&mut self, cycle: u64, event: &SimEvent) {
+        let mut state = self.state.lock().expect("flow state poisoned");
+        match *event {
+            SimEvent::PacketInjected { src } => {
+                state.in_queue[src.0] = state.in_queue[src.0].saturating_sub(1);
+            }
+            SimEvent::PacketDropped { src } => {
+                // Cannot happen under the pacing window, but if it ever
+                // does, re-credit the packet so the flow still completes.
+                state.in_queue[src.0] = state.in_queue[src.0].saturating_sub(1);
+                if let Some(flow_idx) = state.last_generated[src.0] {
+                    state.packets_generated[flow_idx] =
+                        state.packets_generated[flow_idx].saturating_sub(1);
+                    state.retransmitted += 1;
+                    if state.ready[src.0].front() != Some(&flow_idx) {
+                        state.ready[src.0].push_front(flow_idx);
+                    }
+                }
+            }
+            SimEvent::PacketDelivered { src, dst, .. } => {
+                let pair = (src.0, dst.0);
+                // Credit the earliest incomplete flow of the pair.
+                let Some(flow_idx) = state
+                    .open_by_pair
+                    .get(&pair)
+                    .and_then(|queue| queue.front().copied())
+                else {
+                    return;
+                };
+                state.packets_delivered[flow_idx] += 1;
+                if state.packets_delivered[flow_idx] == state.packets_total[flow_idx] {
+                    state
+                        .open_by_pair
+                        .get_mut(&pair)
+                        .expect("just present")
+                        .pop_front();
+                    state.complete(flow_idx, cycle, &self.workload);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn report(&self) -> MetricReport {
+        let state = self.state.lock().expect("flow state poisoned");
+        let mut report = MetricReport::new();
+        report.insert(
+            "flows_total",
+            MetricValue::Counter(self.workload.len() as u64),
+        );
+        report.insert(
+            "flows_completed",
+            MetricValue::Counter(state.completed as u64),
+        );
+        report.insert(
+            "flow_bytes_total",
+            MetricValue::Counter(self.workload.total_bytes()),
+        );
+        report.insert(
+            "flow_packets_total",
+            MetricValue::Counter(state.packets_total.iter().sum()),
+        );
+        report.insert(
+            "flow_retransmitted_packets",
+            MetricValue::Counter(state.retransmitted),
+        );
+        report.insert(
+            "workload_drained",
+            MetricValue::Gauge(if state.drained(self.workload.len()) {
+                1.0
+            } else {
+                0.0
+            }),
+        );
+        report.insert(
+            "flow_completion_cycles",
+            MetricValue::Histogram(state.fct.clone()),
+        );
+        // Whole-workload makespan: first release to last completion.
+        let first_release = state.released_at.iter().flatten().min().copied();
+        let last_completion = state.completed_at.iter().flatten().max().copied();
+        let makespan = match (first_release, last_completion) {
+            (Some(start), Some(end)) => end.saturating_sub(start) as f64,
+            _ => 0.0,
+        };
+        report.insert("workload_makespan_cycles", MetricValue::Gauge(makespan));
+        // Per-collective makespans, one gauge per label (first release of
+        // the phase to its last completion).
+        let mut spans: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for flow in self.workload.flows() {
+            let (Some(released), Some(completed)) =
+                (state.released_at[flow.id.0], state.completed_at[flow.id.0])
+            else {
+                continue;
+            };
+            let span = spans
+                .entry(flow.collective.as_str())
+                .or_insert((released, completed));
+            span.0 = span.0.min(released);
+            span.1 = span.1.max(completed);
+        }
+        let members: BTreeMap<String, MetricValue> = spans
+            .into_iter()
+            .map(|(label, (start, end))| {
+                let label = if label.is_empty() { "flows" } else { label };
+                (
+                    label.to_string(),
+                    MetricValue::Gauge(end.saturating_sub(start) as f64),
+                )
+            })
+            .collect();
+        report.insert("collective_makespan_cycles", MetricValue::Family(members));
+        report
+    }
+}
+
+/// Builds the network of one closed-loop workload point, runs it to
+/// DAG-drain (or the cycle cap) with the standard [`MetricsProbe`] plus the
+/// [`FlowProbe`] attached, and returns the sweep point carrying both metric
+/// sets merged.
+///
+/// The spec's configuration is used with its warm-up zeroed (closed-loop
+/// runs measure from cycle 0). Deterministic: depends only on the
+/// architecture, the spec and the workload.
+#[must_use]
+pub fn run_workload_point(
+    architecture: &dyn ArchitectureBuilder,
+    spec: &SweepPointSpec,
+    workload: &Arc<Workload>,
+) -> SweepPoint {
+    let mut config = spec.config;
+    config.warmup_cycles = 0;
+    let driver = WorkloadDriver::new(Arc::clone(workload), &config);
+    let mut network = architecture.build(config, driver.traffic());
+    let mut metrics_probe = MetricsProbe::for_config(&config);
+    let mut flow_probe = driver.probe();
+    let max_cycles = driver.max_cycles();
+    let stats = run_until_with(
+        &mut *network,
+        &mut [&mut metrics_probe, &mut flow_probe],
+        |_cycle| driver.drained(),
+        max_cycles,
+    );
+    let mut metrics = metrics_probe.report();
+    metrics
+        .merge(&flow_probe.report())
+        .expect("flow metrics use distinct names");
+    crate::sweep::attach_power_gauges(&mut metrics, &config, &stats);
+    SweepPoint {
+        offered_load: spec.offered_load.value(),
+        stats,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BandwidthSet;
+    use crate::registry::UniformFabricArchitecture;
+    use crate::sweep::derive_point_seed;
+    use pnoc_workload::collectives::{incast, parameter_server, ring_allreduce};
+
+    fn smoke_config() -> SimConfig {
+        let mut config = SimConfig::fast(BandwidthSet::Set1);
+        config.sim_cycles = 600;
+        config.warmup_cycles = 0;
+        config
+    }
+
+    fn point_spec_for(config: &SimConfig) -> SweepPointSpec {
+        SweepPointSpec {
+            index: 0,
+            offered_load: OfferedLoad::ZERO,
+            seed: derive_point_seed(config.seed, 0),
+            config: *config,
+        }
+    }
+
+    fn run(workload: Workload) -> SweepPoint {
+        let config = smoke_config();
+        run_workload_point(
+            &UniformFabricArchitecture,
+            &point_spec_for(&config),
+            &Arc::new(workload),
+        )
+    }
+
+    #[test]
+    fn incast_drains_and_reports_flow_metrics() {
+        let workload = incast(8, 1024);
+        let flows = workload.len() as u64;
+        let packets = workload.total_packets(2048);
+        let point = run(workload);
+        assert_eq!(point.metrics.gauge("workload_drained"), Some(1.0));
+        assert_eq!(point.metrics.counter("flows_completed"), Some(flows));
+        assert_eq!(point.metrics.counter("flow_packets_total"), Some(packets));
+        assert_eq!(point.stats.delivered_packets, packets);
+        assert_eq!(point.stats.dropped_packets, 0, "pacing must prevent drops");
+        let fct = point
+            .metrics
+            .histogram("flow_completion_cycles")
+            .expect("recorded");
+        assert_eq!(fct.count(), flows);
+        assert!(fct.min().unwrap() > 0);
+        assert!(point.metrics.gauge("workload_makespan_cycles").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_serializes_its_steps() {
+        let nodes = 4;
+        let workload = ring_allreduce(nodes, 1024);
+        let steps = 2 * (nodes as u64 - 1);
+        let point = run(workload);
+        assert_eq!(point.metrics.gauge("workload_drained"), Some(1.0));
+        // 2(n−1) dependent steps cannot finish faster than 2(n−1) single-
+        // packet delivery latencies; the makespan must reflect the chain.
+        let fct = point
+            .metrics
+            .histogram("flow_completion_cycles")
+            .expect("recorded");
+        let makespan = point.metrics.gauge("workload_makespan_cycles").unwrap();
+        assert!(
+            makespan >= steps as f64 * fct.min().unwrap() as f64,
+            "makespan {makespan} vs {steps} serialized steps of ≥{} cycles",
+            fct.min().unwrap()
+        );
+        let spans = point
+            .metrics
+            .family("collective_makespan_cycles")
+            .expect("present");
+        assert!(spans.contains_key("reduce-scatter"));
+        assert!(spans.contains_key("all-gather"));
+    }
+
+    #[test]
+    fn parameter_server_barrier_orders_the_phases() {
+        let point = run(parameter_server(6, 2048));
+        assert_eq!(point.metrics.gauge("workload_drained"), Some(1.0));
+        let spans = point
+            .metrics
+            .family("collective_makespan_cycles")
+            .expect("present");
+        let gauge = |label: &str| match spans.get(label) {
+            Some(MetricValue::Gauge(v)) => *v,
+            other => panic!("expected a gauge for '{label}', got {other:?}"),
+        };
+        assert!(gauge("push") > 0.0);
+        assert!(gauge("pull") > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_runs_are_deterministic() {
+        let a = run(ring_allreduce(4, 4096));
+        let b = run(ring_allreduce(4, 4096));
+        assert_eq!(a, b, "closed-loop runs must be reproducible");
+    }
+
+    #[test]
+    fn timed_releases_hold_flows_back() {
+        let mut workload = Workload::new("timed");
+        workload.add_flow(
+            pnoc_workload::flow::Flow::new(
+                pnoc_workload::flow::FlowId(0),
+                CoreId(0),
+                CoreId(5),
+                256,
+            )
+            .released_at(200),
+        );
+        let point = run(workload);
+        assert_eq!(point.metrics.gauge("workload_drained"), Some(1.0));
+        // The single flow could not complete before its release cycle.
+        assert!(point.stats.measured_cycles > 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "touches core")]
+    fn oversized_workloads_are_rejected() {
+        let config = smoke_config();
+        let _ = WorkloadDriver::new(Arc::new(incast(65, 64)), &config);
+    }
+}

@@ -87,6 +87,9 @@ pub use pnoc_sim as sim;
 /// Traffic generators (uniform, skewed, hotspot, GPU applications,
 /// permutation, bursty) and the traffic registry.
 pub use pnoc_traffic as traffic;
+/// Flow-level workloads: collective DAG generators, trace replay and the
+/// workload registry behind the closed-loop scenario variant.
+pub use pnoc_workload as workload;
 
 /// Registers every architecture of this workspace into the process-global
 /// architecture registry: `"firefly"`, `"d-hetpnoc"`, and (built into
@@ -113,6 +116,7 @@ pub mod prelude {
     pub use pnoc_photonics::prelude::*;
     pub use pnoc_sim::prelude::*;
     pub use pnoc_traffic::prelude::*;
+    pub use pnoc_workload::prelude::*;
 }
 
 #[cfg(test)]
