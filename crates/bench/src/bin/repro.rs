@@ -21,7 +21,23 @@
 //!                            # p50/p95/p99 and per-collective makespans
 //! repro --list-workloads     # print the workload registry catalogue
 //! repro --list-architectures # print the architecture registry catalogue
+//!                            # (with each architecture's parameter count)
 //! repro --list-traffic       # print the traffic-pattern registry catalogue
+//!
+//! repro --describe-arch firefly
+//!                            # print an architecture's parameter schema
+//!                            # (name, kind, default, bounds, doc)
+//! repro --scenario 'firefly{radix=8}:uniform-random'
+//!                            # any architecture may carry {key=value,...}
+//!                            # parameter overrides, validated against the
+//!                            # declared schema
+//! repro --arch 'd-hetpnoc{policy=paper-max}' --workload allreduce:64
+//!                            # run workloads on an explicit (possibly
+//!                            # parameterized) architecture; repeatable
+//! repro --quick --matrix --arch firefly --arch-params radix=8,32
+//!                            # restrict the default matrix's architecture
+//!                            # axis and sweep a parameter axis through the
+//!                            # same deduplicated batch engine
 //! repro --scenario firefly:uniform --metrics out.jsonl --percentiles
 //!                            # stream one metric row per ladder point
 //!                            # (latency quantile sketch, per-node delivered
@@ -54,6 +70,7 @@ use pnoc_bench::runner::{
 use pnoc_bench::scenario_io::{matrix_json, parse_scenarios, render_scenarios};
 use pnoc_sim::config::BandwidthSet;
 use pnoc_sim::metrics::{CsvSink, JsonlSink, MetricValue};
+use pnoc_sim::params::ArchParams;
 use pnoc_sim::report::{fmt_f, Table};
 use pnoc_sim::scenario::{run_specs, MatrixResult, ScenarioMatrix, ScenarioSpec};
 use pnoc_sim::sweep::SweepMode;
@@ -113,21 +130,93 @@ fn read_file(path: &str) -> String {
     })
 }
 
-/// The architecture a bare `--workload NAME[:SIZE]` runs on (the paper's
-/// proposed architecture; use `--from-scenarios` or the library API to run
-/// workloads on other architectures).
+/// The architecture a bare `--workload NAME[:SIZE]` runs on when no
+/// `--arch` is given (the paper's proposed architecture).
 const WORKLOAD_DEFAULT_ARCHITECTURE: &str = "d-hetpnoc";
 
 /// The default evaluation matrix of `repro --matrix`: every registered
-/// architecture × the extended permutation/bursty workloads × all three
-/// bandwidth sets.
-fn default_matrix(effort: EffortLevel) -> ScenarioMatrix {
+/// architecture (or the `--arch` specs, when given) × the extended
+/// permutation/bursty workloads × all three bandwidth sets, crossed with
+/// any `--arch-params` axes.
+fn default_matrix(
+    effort: EffortLevel,
+    archs: &[String],
+    param_axes: &[(String, Vec<String>)],
+) -> ScenarioMatrix {
     ensure_registered();
-    ScenarioMatrix::new()
-        .all_architectures()
+    let mut matrix = ScenarioMatrix::new()
         .traffics(["tornado", "bursty-uniform"])
         .all_bandwidth_sets()
-        .effort(effort)
+        .effort(effort);
+    matrix = if archs.is_empty() {
+        matrix.all_architectures()
+    } else {
+        matrix.architectures(archs.iter().cloned())
+    };
+    for (key, values) in param_axes {
+        matrix = matrix.arch_params(key, values.iter().cloned());
+    }
+    matrix
+}
+
+/// Prints one architecture's parameter schema (`repro --describe-arch`):
+/// one row per declared parameter with its kind, default, bounds and doc.
+fn describe_architecture(spec: &str) {
+    ensure_registered();
+    let (builder, _) = pnoc_sim::registry::resolve_architecture_spec(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let schema = builder.param_schema();
+    println!(
+        "architecture '{}' ({}), {} parameter(s)",
+        builder.name(),
+        builder.label(),
+        schema.len()
+    );
+    if schema.is_empty() {
+        println!("  (no tunable parameters)");
+        return;
+    }
+    let mut table = Table::new(
+        format!("Parameters of '{}'", builder.name()),
+        &["parameter", "kind", "default", "bounds", "description"],
+    );
+    for param in schema.specs() {
+        table
+            .try_add_row(&[
+                param.name.clone(),
+                param.kind.label().to_string(),
+                param.default.to_string(),
+                param.kind.bounds_label(),
+                param.doc.clone(),
+            ])
+            .expect("row built from the header above");
+    }
+    println!("{table}");
+    println!(
+        "use e.g. --scenario '{}{{{}=...}}:uniform-random' to override",
+        builder.name(),
+        schema.specs()[0].name
+    );
+}
+
+/// Parses one `--arch-params KEY=V1,V2,...` axis argument.
+fn parse_param_axis(text: &str) -> Result<(String, Vec<String>), String> {
+    let (key, values) = text
+        .split_once('=')
+        .ok_or_else(|| format!("--arch-params needs KEY=V1[,V2,...], got '{text}'"))?;
+    let values: Vec<String> = values
+        .split(',')
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .collect();
+    if key.trim().is_empty() || values.is_empty() {
+        return Err(format!(
+            "--arch-params needs a non-empty key and at least one value, got '{text}'"
+        ));
+    }
+    Ok((key.trim().to_string(), values))
 }
 
 /// Runs a batch of scenario specs through the flattened matrix engine and
@@ -351,6 +440,9 @@ fn main() {
     let mut batch_json_path: Option<String> = None;
     let mut scenario_args: Vec<String> = Vec::new();
     let mut workload_args: Vec<String> = Vec::new();
+    let mut describe_args: Vec<String> = Vec::new();
+    let mut arch_args: Vec<String> = Vec::new();
+    let mut param_axes: Vec<(String, Vec<String>)> = Vec::new();
     let mut from_paths: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
     let mut metrics_format = MetricsFormat::Jsonl;
@@ -369,9 +461,53 @@ fn main() {
             "--list-architectures" => {
                 ensure_registered();
                 for name in pnoc_sim::registry::registered_architectures() {
-                    println!("{name}");
+                    let params = pnoc_sim::registry::lookup_architecture(&name)
+                        .map(|b| b.param_schema().len())
+                        .unwrap_or(0);
+                    let plural = if params == 1 { "" } else { "s" };
+                    println!("{name} ({params} parameter{plural})");
                 }
                 return;
+            }
+            "--describe-arch" => match iter.next() {
+                Some(name) => describe_args.push(name),
+                None => {
+                    eprintln!("--describe-arch requires an architecture name");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--describe-arch=") => {
+                describe_args.push(other["--describe-arch=".len()..].to_string());
+            }
+            "--arch" => match iter.next() {
+                Some(spec) => arch_args.push(spec),
+                None => {
+                    eprintln!("--arch requires NAME[{{key=value,...}}]");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--arch=") => {
+                arch_args.push(other["--arch=".len()..].to_string());
+            }
+            "--arch-params" => match iter.next().as_deref().map(parse_param_axis) {
+                Some(Ok(axis)) => param_axes.push(axis),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--arch-params requires KEY=V1[,V2,...]");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--arch-params=") => {
+                match parse_param_axis(&other["--arch-params=".len()..]) {
+                    Ok(axis) => param_axes.push(axis),
+                    Err(message) => {
+                        eprintln!("{message}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--list-traffic" => {
                 for name in pnoc_traffic::factory::registered_traffic_patterns() {
@@ -477,12 +613,13 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick|--paper] [--json FILE] [--bench-sweep[=FILE]]\n\
-                     \x20            [--scenario ARCH:TRAFFIC[:SET[:EFFORT]]]... [--matrix[=FILE]]\n\
+                     \x20            [--scenario ARCH[{{k=v,...}}]:TRAFFIC[:SET[:EFFORT]]]...\n\
+                     \x20            [--matrix[=FILE]] [--arch SPEC]... [--arch-params K=V1,V2]...\n\
                      \x20            [--workload NAME[:SIZE]]... [--batch-json FILE]\n\
                      \x20            [--metrics FILE] [--metrics-format jsonl|csv] [--percentiles]\n\
                      \x20            [--dump-scenarios FILE] [--from-scenarios FILE]\n\
-                     \x20            [--list-architectures] [--list-traffic] [--list-workloads]\n\
-                     \x20            [EXPERIMENT ...]\n\
+                     \x20            [--describe-arch NAME] [--list-architectures]\n\
+                     \x20            [--list-traffic] [--list-workloads] [EXPERIMENT ...]\n\
                      experiments: {}",
                     ALL_EXPERIMENTS.join(", ")
                 );
@@ -494,6 +631,32 @@ fn main() {
             }
             other => names.push(other.to_string()),
         }
+    }
+
+    if !describe_args.is_empty() {
+        for name in &describe_args {
+            describe_architecture(name);
+        }
+        return;
+    }
+
+    // --arch and --arch-params only feed the matrix (or a dumped matrix) and
+    // the workload batch; reject combinations where they would be silently
+    // ignored and the user's sweep would quietly run at defaults.
+    let builds_matrix = matrix_path.is_some() || dump_path.is_some();
+    if !param_axes.is_empty() && !builds_matrix {
+        eprintln!(
+            "--arch-params adds a matrix axis; combine it with --matrix or --dump-scenarios \
+             (for a single run, use --scenario 'ARCH{{key=value,...}}:TRAFFIC')"
+        );
+        std::process::exit(2);
+    }
+    if !arch_args.is_empty() && !builds_matrix && workload_args.is_empty() {
+        eprintln!(
+            "--arch selects architectures for --workload, --matrix or --dump-scenarios; \
+             none of those was given (for a single run, use --scenario)"
+        );
+        std::process::exit(2);
     }
 
     // Assemble the scenario batch: explicit --scenario shorthands, specs
@@ -511,11 +674,25 @@ fn main() {
         }
         specs.push(spec);
     }
+    // Workloads run on the --arch spec(s) when given (crossing every
+    // workload with every architecture), on d-hetpnoc otherwise.
+    let workload_archs: Vec<String> = if arch_args.is_empty() {
+        vec![WORKLOAD_DEFAULT_ARCHITECTURE.to_string()]
+    } else {
+        arch_args.clone()
+    };
     for reference in &workload_args {
-        specs.push(
-            ScenarioSpec::closed_loop(WORKLOAD_DEFAULT_ARCHITECTURE, reference.clone())
-                .with_effort(effort),
-        );
+        for arch in &workload_archs {
+            let (name, params) = ArchParams::split_spec(arch).unwrap_or_else(|error| {
+                eprintln!("{error}");
+                std::process::exit(2);
+            });
+            specs.push(
+                ScenarioSpec::closed_loop(name, reference.clone())
+                    .with_arch_params(params)
+                    .with_effort(effort),
+            );
+        }
     }
     for path in &from_paths {
         let loaded = parse_scenarios(&read_file(path)).unwrap_or_else(|error| {
@@ -526,7 +703,7 @@ fn main() {
         specs.extend(loaded);
     }
     if matrix_path.is_some() {
-        specs.extend(default_matrix(effort).specs());
+        specs.extend(default_matrix(effort, &arch_args, &param_axes).specs());
     }
 
     if dump_path.is_some() && metrics_path.is_some() {
@@ -539,7 +716,7 @@ fn main() {
         // Other explicitly requested work — --bench-sweep, named experiments,
         // --json reports — still runs below.
         let dumped = if specs.is_empty() {
-            default_matrix(effort).specs()
+            default_matrix(effort, &arch_args, &param_axes).specs()
         } else {
             std::mem::take(&mut specs)
         };

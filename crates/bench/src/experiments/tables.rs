@@ -115,18 +115,18 @@ pub fn run() -> ExperimentReport {
             "Firefly channels (set 1/2/3)",
             format!(
                 "{} / {} / {} wavelengths per channel x 16 channels",
-                BandwidthSet::Set1.firefly_wavelengths_per_channel(),
-                BandwidthSet::Set2.firefly_wavelengths_per_channel(),
-                BandwidthSet::Set3.firefly_wavelengths_per_channel()
+                BandwidthSet::Set1.class_wavelengths(BandwidthClass::MediumHigh),
+                BandwidthSet::Set2.class_wavelengths(BandwidthClass::MediumHigh),
+                BandwidthSet::Set3.class_wavelengths(BandwidthClass::MediumHigh)
             ),
         ),
         (
             "d-HetPNoC maximum channel (set 1/2/3)",
             format!(
                 "{} / {} / {} wavelengths",
-                BandwidthSet::Set1.dhet_max_channel_wavelengths(),
-                BandwidthSet::Set2.dhet_max_channel_wavelengths(),
-                BandwidthSet::Set3.dhet_max_channel_wavelengths()
+                BandwidthSet::Set1.class_wavelengths(BandwidthClass::High),
+                BandwidthSet::Set2.class_wavelengths(BandwidthClass::High),
+                BandwidthSet::Set3.class_wavelengths(BandwidthClass::High)
             ),
         ),
     ];

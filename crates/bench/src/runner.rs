@@ -242,7 +242,9 @@ pub fn scenario_for(
         .unwrap_or_else(|error| panic!("{error}"))
 }
 
-/// Runs one simulation of one architecture at one offered load.
+/// Runs one simulation of one architecture at one offered load (at the
+/// architecture's default parameters; use the scenario API's `arch_params`
+/// for other design points).
 #[must_use]
 pub fn run_once(
     architecture: &Architecture,
@@ -251,7 +253,8 @@ pub fn run_once(
     load: f64,
 ) -> SimStats {
     let traffic = kind.build(&config, OfferedLoad::new(load), config.seed);
-    let mut network = architecture.builder().build(config, traffic);
+    let builder = architecture.builder();
+    let mut network = builder.build(config, &builder.default_params(), traffic);
     run_to_completion(&mut *network)
 }
 

@@ -13,6 +13,7 @@
 use crate::json::{Json, JsonParseError};
 use pnoc_sim::config::BandwidthSet;
 use pnoc_sim::metrics::MetricReport;
+use pnoc_sim::params::ArchParams;
 use pnoc_sim::scenario::{Effort, MatrixResult, ScenarioResult, ScenarioSpec};
 use pnoc_sim::stats::SimStats;
 
@@ -20,11 +21,22 @@ use pnoc_sim::stats::SimStats;
 ///
 /// The seed is rendered as a **decimal string**, not a JSON number: the value
 /// model stores numbers as `f64`, which cannot represent every `u64` exactly,
-/// and seeds must survive the round trip bit-for-bit.
+/// and seeds must survive the round trip bit-for-bit. Architecture-parameter
+/// overrides serialize as a string→string object (values are raw spec
+/// strings; typing happens against the schema at resolve time).
 #[must_use]
 pub fn spec_json(spec: &ScenarioSpec) -> Json {
     Json::obj(vec![
         ("architecture", Json::str(&spec.architecture)),
+        (
+            "arch_params",
+            Json::Obj(
+                spec.arch_params
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::str(v)))
+                    .collect(),
+            ),
+        ),
         ("traffic", Json::str(&spec.traffic)),
         ("bandwidth_set", Json::str(spec.bandwidth_set.short_name())),
         ("effort", Json::str(spec.effort.label())),
@@ -96,8 +108,28 @@ pub fn spec_from_json(value: &Json) -> Result<ScenarioSpec, String> {
             return Err("scenario field 'workload' must be a string or null".to_string());
         }
     };
+    // Optional (absent in pre-0.6 documents): architecture-parameter
+    // overrides as a string→string object.
+    let mut arch_params = ArchParams::new();
+    match value.get("arch_params") {
+        None | Some(Json::Null) => {}
+        Some(Json::Obj(fields)) => {
+            for (key, raw) in fields {
+                match raw.as_str() {
+                    Some(text) => arch_params.insert(key, text),
+                    None => {
+                        return Err(format!("scenario parameter '{key}' must be a string value"));
+                    }
+                }
+            }
+        }
+        Some(_) => {
+            return Err("scenario field 'arch_params' must be an object or null".to_string());
+        }
+    }
     Ok(ScenarioSpec {
         architecture,
+        arch_params,
         traffic,
         bandwidth_set,
         effort,
@@ -326,6 +358,39 @@ mod tests {
         let parsed = spec_from_json(&old).unwrap();
         assert_eq!(parsed, example_spec());
         assert!(parsed.workload.is_none());
+    }
+
+    #[test]
+    fn arch_params_round_trip_and_old_documents_still_parse() {
+        let spec = example_spec()
+            .with_arch_param("max_wavelengths", 4)
+            .with_arch_param("policy", "paper-max");
+        let rendered = spec_json(&spec).render();
+        let parsed = spec_from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.arch_params.get("policy"), Some("paper-max"));
+
+        // Pre-0.6 documents have no 'arch_params' field: they parse with
+        // empty overrides (= the architecture's defaults).
+        let mut old = spec_json(&example_spec());
+        if let Json::Obj(fields) = &mut old {
+            fields.retain(|(k, _)| k != "arch_params");
+        }
+        let parsed = spec_from_json(&old).unwrap();
+        assert_eq!(parsed, example_spec());
+        assert!(parsed.arch_params.is_empty());
+
+        // Non-string parameter values are rejected with a clear message.
+        let mut bad = spec_json(&spec);
+        if let Json::Obj(fields) = &mut bad {
+            for (k, v) in fields.iter_mut() {
+                if k == "arch_params" {
+                    *v = Json::obj(vec![("radix", Json::Num(8.0))]);
+                }
+            }
+        }
+        let error = spec_from_json(&bad).unwrap_err();
+        assert!(error.contains("'radix' must be a string"), "{error}");
     }
 
     #[test]

@@ -39,6 +39,36 @@ fn matrix_run_is_bitwise_identical_to_sequential_per_scenario_runs() {
 }
 
 #[test]
+fn param_axis_matrix_is_bitwise_deterministic_on_real_architectures() {
+    rayon::set_thread_count(4);
+    ensure_registered();
+    // A 2-value radix sweep over the Firefly baseline: same flattened queue,
+    // same bitwise-determinism contract as every other axis.
+    let matrix = ScenarioMatrix::new()
+        .architectures(["firefly"])
+        .arch_params("radix", ["8", "32"])
+        .traffics(["tornado"])
+        .bandwidth_sets([BandwidthSet::Set1])
+        .effort(EffortLevel::Smoke);
+    let batched = matrix.run().expect("radix is declared by firefly");
+    let sequential = matrix.run_sequential().expect("radix is declared");
+    assert_eq!(batched.scenarios.len(), 2);
+    assert!(
+        batched.bitwise_eq(&sequential),
+        "param-swept matrix must be bitwise-identical to sequential runs"
+    );
+    assert_eq!(
+        batched.unique_points, batched.total_points,
+        "distinct radix values must not share simulations"
+    );
+    // The two design points genuinely differ, and the JSON artifact is
+    // reproducible.
+    assert_ne!(batched.scenarios[0].result, batched.scenarios[1].result);
+    let again = matrix_json(&matrix.run().expect("registered")).render();
+    assert_eq!(matrix_json(&batched).render(), again);
+}
+
+#[test]
 fn matrix_json_artifact_is_deterministic_across_runs() {
     let matrix = smoke_matrix();
     let first = matrix_json(&matrix.run().expect("registered")).render();

@@ -6,6 +6,7 @@
 
 use pnoc_bench::scenario_io::{parse_scenarios, render_scenarios};
 use pnoc_sim::config::BandwidthSet;
+use pnoc_sim::params::ArchParams;
 use pnoc_sim::scenario::{Effort, ScenarioSpec};
 use proptest::prelude::*;
 
@@ -27,12 +28,24 @@ proptest! {
         arch_codes in prop::collection::vec(1u32..0x250, 1..12),
         traffic_codes in prop::collection::vec(1u32..0x250, 1..12),
         workload_codes in prop::collection::vec(1u32..0x250, 1..12),
+        param_entries in prop::collection::vec(
+            (prop::collection::vec(1u32..0x250, 1..8), prop::collection::vec(1u32..0x250, 1..8)),
+            0..4,
+        ),
         knobs in (0usize..3, 0usize..3, 0u64..=u64::MAX, any::<bool>()),
         ladder in prop::collection::vec(1e-9f64..10.0, 0..5),
     ) {
         let (set_index, effort_index, seed, closed_loop) = knobs;
+        // JSON carries arch_params as a string map, so keys and values may
+        // be arbitrary text (the spec-string grammar is stricter, but the
+        // JSON wire format must not lose anything).
+        let mut arch_params = ArchParams::new();
+        for (key_codes, value_codes) in &param_entries {
+            arch_params.insert(name_from(key_codes), name_from(value_codes));
+        }
         let spec = ScenarioSpec {
             architecture: name_from(&arch_codes),
+            arch_params,
             traffic: name_from(&traffic_codes),
             bandwidth_set: BandwidthSet::ALL[set_index],
             effort: Effort::ALL[effort_index],
@@ -55,6 +68,7 @@ proptest! {
             .enumerate()
             .map(|(i, &seed)| {
                 ScenarioSpec::new(format!("arch-{i}"), format!("traffic-{i}"))
+                    .with_arch_param("radix", i)
                     .with_bandwidth_set(BandwidthSet::ALL[i % 3])
                     .with_effort(Effort::ALL[i % 3])
                     .with_seed(seed)

@@ -30,9 +30,19 @@ pub struct DhetFabric {
     controller: DbaController,
     reservation: ReservationTiming,
     policy: AllocationPolicy,
+    max_channel_wavelengths: usize,
 }
 
 impl DhetFabric {
+    /// The paper's maximum channel width for a bandwidth set (8 / 32 / 64,
+    /// Table 3-3: the wavelength demand of the set's highest application
+    /// class). This is what the `"d-hetpnoc"` registry entry's
+    /// `max_wavelengths` parameter defaults to (via its `0 = auto` value).
+    #[must_use]
+    pub fn default_max_channel_wavelengths(config: &SimConfig) -> usize {
+        ReservationTiming::default_max_identifiers(config.bandwidth_set)
+    }
+
     /// Builds the fabric with the default (proportional) allocation policy
     /// and converges the initial allocation.
     #[must_use]
@@ -40,14 +50,44 @@ impl DhetFabric {
         Self::with_policy(config, demand, AllocationPolicy::Proportional)
     }
 
-    /// Builds the fabric with an explicit allocation policy.
+    /// Builds the fabric with an explicit allocation policy at the paper's
+    /// maximum channel width.
     #[must_use]
     pub fn with_policy(config: &SimConfig, demand: DemandMatrix, policy: AllocationPolicy) -> Self {
+        Self::with_options(
+            config,
+            demand,
+            policy,
+            Self::default_max_channel_wavelengths(config),
+        )
+    }
+
+    /// Builds the fabric with an explicit allocation policy and maximum
+    /// per-cluster channel width (what the registry entry's `policy` /
+    /// `max_wavelengths` parameters feed). The width caps both the DBA
+    /// controller's acquisition and the reservation flit's worst-case
+    /// identifier payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_channel_wavelengths` is zero or the demand matrix does
+    /// not match the topology.
+    #[must_use]
+    pub fn with_options(
+        config: &SimConfig,
+        demand: DemandMatrix,
+        policy: AllocationPolicy,
+        max_channel_wavelengths: usize,
+    ) -> Self {
         let num_clusters = config.topology.num_clusters();
         assert_eq!(
             demand.num_clusters(),
             num_clusters,
             "demand matrix does not match the topology"
+        );
+        assert!(
+            max_channel_wavelengths > 0,
+            "a channel needs at least one wavelength"
         );
         let set = config.bandwidth_set;
         let grid =
@@ -68,7 +108,7 @@ impl DhetFabric {
             num_clusters,
             dynamic,
             reserved_per_cluster,
-            set.dhet_max_channel_wavelengths(),
+            max_channel_wavelengths,
             hop,
         );
         // Install the request tables (element-wise max over the cores of a
@@ -87,27 +127,36 @@ impl DhetFabric {
             request.rebuild(std::slice::from_ref(&table));
             controller.set_request_table(ClusterId(src), request);
         }
-        let targets = Self::compute_targets(config, &demand, policy);
+        let targets = Self::compute_targets(config, &demand, policy, max_channel_wavelengths);
         controller.set_targets(&targets);
         // The initial task mapping is known before the simulation starts, so
         // the allocation is converged up front (the token keeps circulating
         // during the run to model the protocol's steady-state behaviour).
         controller.converge(4 * num_clusters);
-        let reservation = ReservationTiming::for_config(config);
+        let reservation = ReservationTiming::with_max_identifiers(
+            set,
+            config.wavelengths_per_waveguide,
+            config.wavelength_rate_gbps,
+            config.clock,
+            max_channel_wavelengths,
+        );
         Self {
             config: *config,
             demand,
             controller,
             reservation,
             policy,
+            max_channel_wavelengths,
         }
     }
 
-    /// Computes per-cluster wavelength targets from the demand matrix.
+    /// Computes per-cluster wavelength targets from the demand matrix,
+    /// capped at `cap` wavelengths per cluster.
     fn compute_targets(
         config: &SimConfig,
         demand: &DemandMatrix,
         policy: AllocationPolicy,
+        cap: usize,
     ) -> Vec<usize> {
         let set = config.bandwidth_set;
         let num_clusters = config.topology.num_clusters();
@@ -115,7 +164,7 @@ impl DhetFabric {
             AllocationPolicy::PaperMax => (0..num_clusters)
                 .map(|c| {
                     let max_mult = demand.max_class_multiplier(ClusterId(c));
-                    set.min_class_wavelengths() * max_mult
+                    (set.min_class_wavelengths() * max_mult).min(cap)
                 })
                 .collect(),
             AllocationPolicy::Proportional => {
@@ -125,7 +174,6 @@ impl DhetFabric {
                 // same budget Firefly spreads uniformly. The class mix then
                 // decides how many of those wavelengths an individual
                 // transfer switches on.
-                let cap = set.dhet_max_channel_wavelengths();
                 let total = set.total_wavelengths();
                 let weights: Vec<f64> = (0..num_clusters)
                     .map(|c| demand.intensity(ClusterId(c)).max(1e-6))
@@ -168,6 +216,12 @@ impl DhetFabric {
         self.policy
     }
 
+    /// The maximum wavelengths a single cluster channel may hold.
+    #[must_use]
+    pub fn max_channel_wavelengths(&self) -> usize {
+        self.max_channel_wavelengths
+    }
+
     /// Access to the DBA controller (allocation snapshots, invariants).
     #[must_use]
     pub fn controller(&self) -> &DbaController {
@@ -190,7 +244,12 @@ impl DhetFabric {
     /// matrix (a task-mapping change: "this bandwidth allocation happens
     /// whenever there is a change in the task mapping on the chip").
     pub fn remap(&mut self, demand: DemandMatrix) {
-        let targets = Self::compute_targets(&self.config, &demand, self.policy);
+        let targets = Self::compute_targets(
+            &self.config,
+            &demand,
+            self.policy,
+            self.max_channel_wavelengths,
+        );
         self.controller.set_targets(&targets);
         self.controller
             .converge(4 * self.config.topology.num_clusters());
@@ -277,7 +336,7 @@ mod tests {
             let cfg = config(set);
             let fabric = DhetFabric::new(&cfg, uniform_demand(set));
             let alloc = fabric.allocation_snapshot();
-            let firefly_width = set.firefly_wavelengths_per_channel();
+            let firefly_width = set.class_wavelengths(pnoc_noc::packet::BandwidthClass::MediumHigh);
             assert!(
                 alloc.iter().all(|&p| p == firefly_width),
                 "{set:?}: allocation {alloc:?} != uniform {firefly_width}"
@@ -382,6 +441,32 @@ mod tests {
         let alloc = fabric.allocation_snapshot();
         assert!(alloc.iter().sum::<usize>() <= 64);
         fabric.controller().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn explicit_max_channel_width_caps_the_allocation() {
+        let cfg = config(BandwidthSet::Set1);
+        let demand = skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed3, 11);
+        let capped =
+            DhetFabric::with_options(&cfg, demand.clone(), AllocationPolicy::Proportional, 4);
+        assert_eq!(capped.max_channel_wavelengths(), 4);
+        assert!(
+            capped.allocation_snapshot().iter().all(|&p| p <= 4),
+            "{:?}",
+            capped.allocation_snapshot()
+        );
+        // A narrower maximum channel shrinks the reservation payload too.
+        let default = DhetFabric::new(&cfg, demand);
+        assert_eq!(
+            DhetFabric::default_max_channel_wavelengths(&cfg),
+            8,
+            "set 1 default"
+        );
+        assert!(
+            capped.reservation_timing().identifier_payload_bits
+                < default.reservation_timing().identifier_payload_bits
+        );
+        capped.controller().check_invariants().unwrap();
     }
 
     #[test]

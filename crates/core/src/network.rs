@@ -1,10 +1,12 @@
 //! Convenience constructors and the registry entry for d-HetPNoC
 //! simulations.
 
+use crate::dba::AllocationPolicy;
 use crate::fabric::DhetFabric;
 use pnoc_noc::traffic_model::TrafficModel;
 use pnoc_sim::config::SimConfig;
 use pnoc_sim::engine::CycleNetwork;
+use pnoc_sim::params::{ParamSchema, ResolvedParams};
 use pnoc_sim::registry::{register_architecture, ArchitectureBuilder};
 use pnoc_sim::system::PhotonicSystem;
 use pnoc_traffic::demand::DemandMatrix;
@@ -25,6 +27,17 @@ pub fn build_dhetpnoc_system<T: TrafficModel>(
 
 /// The d-HetPNoC [`ArchitectureBuilder`], registered under the name
 /// `"d-hetpnoc"`.
+///
+/// Declared parameters:
+///
+/// * `max_wavelengths` (int, default 0 = auto) — maximum wavelengths a
+///   single cluster channel may hold. `0` resolves to the paper's Table 3-3
+///   value for the bandwidth set (8 / 32 / 64: the demand of the set's
+///   highest application class). The cap also sizes the reservation flit's
+///   worst-case identifier payload.
+/// * `policy` (enum `proportional` | `paper-max`, default `proportional`) —
+///   how per-cluster wavelength targets are derived from the demand matrix
+///   (see [`AllocationPolicy`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DhetPnocArchitecture;
 
@@ -37,12 +50,43 @@ impl ArchitectureBuilder for DhetPnocArchitecture {
         "d-HetPNoC".to_string()
     }
 
+    fn param_schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .int(
+                "max_wavelengths",
+                0,
+                0,
+                512,
+                "maximum wavelengths per cluster channel \
+                 (0 = the bandwidth set's Table 3-3 value: 8/32/64)",
+            )
+            .choice(
+                "policy",
+                "proportional",
+                &["proportional", "paper-max"],
+                "how wavelength targets are derived from demand: apportion \
+                 the whole budget proportionally, or aim for each cluster's \
+                 maximum requested class",
+            )
+    }
+
     fn build(
         &self,
         config: SimConfig,
+        params: &ResolvedParams,
         traffic: Box<dyn TrafficModel + Send>,
     ) -> Box<dyn CycleNetwork> {
-        Box::new(build_dhetpnoc_system(config, traffic))
+        let policy = match params.choice("policy") {
+            "paper-max" => AllocationPolicy::PaperMax,
+            _ => AllocationPolicy::Proportional,
+        };
+        let max_wavelengths = match params.int("max_wavelengths") {
+            0 => DhetFabric::default_max_channel_wavelengths(&config),
+            n => n as usize,
+        };
+        let demand = DemandMatrix::from_model(&*traffic, config.topology.num_clusters());
+        let fabric = DhetFabric::with_options(&config, demand, policy, max_wavelengths);
+        Box::new(PhotonicSystem::new(config, fabric, traffic))
     }
 }
 
@@ -101,9 +145,9 @@ mod tests {
         );
         let system = build_dhetpnoc_system(config, traffic);
         let alloc = system.fabric().allocation_snapshot();
-        assert!(alloc
-            .iter()
-            .all(|&p| p == BandwidthSet::Set2.firefly_wavelengths_per_channel()));
+        let firefly_width =
+            BandwidthSet::Set2.class_wavelengths(pnoc_noc::packet::BandwidthClass::MediumHigh);
+        assert!(alloc.iter().all(|&p| p == firefly_width));
     }
 
     #[test]
@@ -163,11 +207,54 @@ mod tests {
             )
         };
         let direct = run_to_completion(&mut build_dhetpnoc_system(config, make()));
-        let mut via_registry = DhetPnocArchitecture.build(config, Box::new(make()));
+        let mut via_registry = DhetPnocArchitecture.build(
+            config,
+            &DhetPnocArchitecture.default_params(),
+            Box::new(make()),
+        );
         let registry_stats = run_to_completion(&mut *via_registry);
         assert_eq!(
             direct, registry_stats,
             "registry path must not change results"
+        );
+    }
+
+    #[test]
+    fn policy_and_max_wavelengths_parameters_flow_from_specs() {
+        register_dhetpnoc_architecture();
+        let schema = DhetPnocArchitecture.param_schema();
+        assert_eq!(schema.len(), 2);
+        assert_eq!(
+            schema.get("policy").unwrap().kind.bounds_label(),
+            "proportional|paper-max"
+        );
+
+        // A capped channel width changes the sweep versus the default.
+        let base = pnoc_sim::scenario::ScenarioSpec::new("d-hetpnoc", "skewed-3")
+            .with_effort(pnoc_sim::scenario::Effort::Smoke);
+        let capped = base.clone().with_arch_param("max_wavelengths", 2);
+        assert_eq!(
+            capped.id(),
+            "d-hetpnoc{max_wavelengths=2}:skewed-3:set1:smoke"
+        );
+        let default_run = base.resolve().expect("registered").run();
+        let capped_run = capped.resolve().expect("within bounds").run();
+        assert_ne!(
+            default_run.result, capped_run.result,
+            "a 2-wavelength channel cap must change the sweep"
+        );
+
+        // An unknown policy label fails with the declared choices and the
+        // nearest suggestion.
+        let error =
+            pnoc_sim::scenario::ScenarioSpec::new("d-hetpnoc{policy=proportionale}", "skewed-3")
+                .resolve()
+                .expect_err("unknown choice");
+        let message = error.to_string();
+        assert!(message.contains("[proportional, paper-max]"), "{message}");
+        assert!(
+            message.contains("did you mean 'proportional'?"),
+            "{message}"
         );
     }
 

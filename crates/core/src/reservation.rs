@@ -14,6 +14,7 @@
 //! * **BW set 3** (512 λ, eight waveguides): at most 64 identifiers ×
 //!   (6 + 3) bits = 576 bits → 720 ps → two cycles, a small extra overhead.
 
+use pnoc_noc::packet::BandwidthClass;
 use pnoc_photonics::dwdm::WavelengthGrid;
 use pnoc_sim::clock::Clock;
 use pnoc_sim::config::{BandwidthSet, SimConfig};
@@ -38,7 +39,16 @@ pub struct ReservationTiming {
 }
 
 impl ReservationTiming {
-    /// Computes the reservation timing for a configuration.
+    /// The paper's maximum channel width for a bandwidth set (8 / 32 / 64:
+    /// the wavelength demand of the set's highest application class), the
+    /// default worst-case identifier count of a reservation.
+    #[must_use]
+    pub fn default_max_identifiers(set: BandwidthSet) -> usize {
+        set.class_wavelengths(BandwidthClass::High)
+    }
+
+    /// Computes the reservation timing for a configuration at the paper's
+    /// maximum channel width.
     #[must_use]
     pub fn for_config(config: &SimConfig) -> Self {
         Self::new(
@@ -49,7 +59,8 @@ impl ReservationTiming {
         )
     }
 
-    /// Computes the reservation timing from first principles.
+    /// Computes the reservation timing from first principles at the paper's
+    /// maximum channel width for the set.
     #[must_use]
     pub fn new(
         set: BandwidthSet,
@@ -57,9 +68,29 @@ impl ReservationTiming {
         wavelength_rate_gbps: f64,
         clock: Clock,
     ) -> Self {
+        Self::with_max_identifiers(
+            set,
+            wavelengths_per_waveguide,
+            wavelength_rate_gbps,
+            clock,
+            Self::default_max_identifiers(set),
+        )
+    }
+
+    /// Computes the reservation timing for an explicit maximum channel width
+    /// (what the `"d-hetpnoc"` registry entry's `max_wavelengths` parameter
+    /// feeds: a wider maximum channel piggybacks more identifiers and may
+    /// need an extra reservation cycle).
+    #[must_use]
+    pub fn with_max_identifiers(
+        set: BandwidthSet,
+        wavelengths_per_waveguide: usize,
+        wavelength_rate_gbps: f64,
+        clock: Clock,
+        max_identifiers: usize,
+    ) -> Self {
         let grid = WavelengthGrid::for_total(set.total_wavelengths(), wavelengths_per_waveguide);
         let identifier_bits = grid.identifier_bits();
-        let max_identifiers = set.dhet_max_channel_wavelengths();
         let identifier_payload_bits = identifier_bits * max_identifiers as u32;
         let reservation_channel_gbps = wavelengths_per_waveguide as f64 * wavelength_rate_gbps;
         let payload_time_ps = f64::from(identifier_payload_bits) / reservation_channel_gbps * 1e3;
@@ -123,6 +154,37 @@ mod tests {
         );
         assert_eq!(t.cycles, 2);
         assert_eq!(t.extra_cycles_vs_firefly(), 1);
+    }
+
+    #[test]
+    fn explicit_max_identifiers_scale_the_payload() {
+        // Halving the maximum channel width of set 3 halves the payload and
+        // brings the reservation back to a single cycle.
+        let narrow = ReservationTiming::with_max_identifiers(
+            BandwidthSet::Set3,
+            64,
+            12.5,
+            Clock::paper_default(),
+            32,
+        );
+        assert_eq!(narrow.max_identifiers, 32);
+        assert_eq!(narrow.identifier_payload_bits, 288);
+        assert_eq!(narrow.cycles, 1);
+        // The default path equals the explicit default width.
+        assert_eq!(
+            ReservationTiming::default_max_identifiers(BandwidthSet::Set3),
+            64
+        );
+        assert_eq!(
+            timing(BandwidthSet::Set3),
+            ReservationTiming::with_max_identifiers(
+                BandwidthSet::Set3,
+                64,
+                12.5,
+                Clock::paper_default(),
+                64,
+            )
+        );
     }
 
     #[test]

@@ -22,14 +22,37 @@ pub struct FireflyFabric {
 }
 
 impl FireflyFabric {
-    /// Builds the fabric for a simulation configuration.
+    /// The paper's crossbar radix: 16 clusters share the R-SWMR crossbar, so
+    /// each write channel gets `total wavelengths / 16` wavelengths
+    /// (Table 3-3). This is the default of the `radix` parameter declared by
+    /// the `"firefly"` registry entry.
+    pub const DEFAULT_RADIX: usize = 16;
+
+    /// Builds the fabric for a simulation configuration at the paper's
+    /// defaults (radix 16, single-cycle reservation).
     #[must_use]
     pub fn new(config: &SimConfig) -> Self {
+        Self::with_params(config, Self::DEFAULT_RADIX, 1)
+    }
+
+    /// Builds the fabric with an explicit crossbar radix (the uniform static
+    /// allocation divisor: each write channel gets `total wavelengths /
+    /// radix` wavelengths, at least 1) and reservation latency. This is what
+    /// the registry entry's `radix` / `reservation_cycles` parameters feed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` or `reservation_cycles` is zero.
+    #[must_use]
+    pub fn with_params(config: &SimConfig, radix: usize, reservation_cycles: u64) -> Self {
+        assert!(radix > 0, "radix must be positive");
+        assert!(reservation_cycles > 0, "reservation takes at least a cycle");
+        let total_wavelengths = config.bandwidth_set.total_wavelengths();
         Self {
             num_clusters: config.topology.num_clusters(),
-            wavelengths_per_channel: config.bandwidth_set.firefly_wavelengths_per_channel(),
-            total_wavelengths: config.bandwidth_set.total_wavelengths(),
-            reservation_cycles: 1,
+            wavelengths_per_channel: (total_wavelengths / radix).max(1),
+            total_wavelengths,
+            reservation_cycles,
         }
     }
 
@@ -110,5 +133,23 @@ mod tests {
         let fabric = FireflyFabric::new(&SimConfig::paper_default(BandwidthSet::Set3));
         assert_eq!(fabric.reservation_cycles(ClusterId(1), ClusterId(2)), 1);
         assert_eq!(fabric.architecture_name(), "firefly");
+    }
+
+    #[test]
+    fn radix_parameter_scales_the_channel_width() {
+        let config = SimConfig::paper_default(BandwidthSet::Set1);
+        // Halving the radix doubles each channel's wavelength share.
+        let wide = FireflyFabric::with_params(&config, 8, 1);
+        assert_eq!(wide.wavelengths_per_channel(), 8);
+        // A radix beyond the wavelength budget still leaves one wavelength.
+        let starved = FireflyFabric::with_params(&config, 128, 2);
+        assert_eq!(starved.wavelengths_per_channel(), 1);
+        assert_eq!(starved.reservation_cycles(ClusterId(0), ClusterId(1)), 2);
+        // The default constructor is the paper point.
+        assert_eq!(
+            FireflyFabric::new(&config).wavelengths_per_channel(),
+            FireflyFabric::with_params(&config, FireflyFabric::DEFAULT_RADIX, 1)
+                .wavelengths_per_channel()
+        );
     }
 }

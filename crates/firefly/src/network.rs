@@ -4,11 +4,15 @@ use crate::fabric::FireflyFabric;
 use pnoc_noc::traffic_model::TrafficModel;
 use pnoc_sim::config::SimConfig;
 use pnoc_sim::engine::CycleNetwork;
+use pnoc_sim::params::{ParamSchema, ResolvedParams};
 use pnoc_sim::registry::{register_architecture, ArchitectureBuilder, Provisioning};
 use pnoc_sim::system::PhotonicSystem;
 use std::sync::Arc;
 
-/// Builds a ready-to-run Firefly system for the given traffic model.
+/// Builds a ready-to-run Firefly system for the given traffic model at the
+/// paper's defaults (radix 16, single-cycle reservation). For other design
+/// points use the registry entry's parameters (`firefly{radix=...}`) or
+/// [`FireflyFabric::with_params`] directly.
 pub fn build_firefly_system<T: TrafficModel>(
     config: SimConfig,
     traffic: T,
@@ -19,6 +23,14 @@ pub fn build_firefly_system<T: TrafficModel>(
 
 /// The Firefly baseline's [`ArchitectureBuilder`], registered under the name
 /// `"firefly"`.
+///
+/// Declared parameters:
+///
+/// * `radix` (int, default 16) — clusters sharing the R-SWMR crossbar; each
+///   write channel gets `total wavelengths / radix` wavelengths (at least
+///   1). The paper's Table 3-3 point is radix 16.
+/// * `reservation_cycles` (int, default 1) — latency of the reservation
+///   broadcast preceding every photonic transfer.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FireflyArchitecture;
 
@@ -35,12 +47,38 @@ impl ArchitectureBuilder for FireflyArchitecture {
         Provisioning::Static
     }
 
+    fn param_schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .int(
+                "radix",
+                FireflyFabric::DEFAULT_RADIX as i64,
+                2,
+                512,
+                "clusters sharing the R-SWMR crossbar; each write channel \
+                 gets total_wavelengths/radix wavelengths (min 1)",
+            )
+            .int(
+                "reservation_cycles",
+                1,
+                1,
+                16,
+                "cycles of the reservation broadcast preceding every \
+                 photonic transfer",
+            )
+    }
+
     fn build(
         &self,
         config: SimConfig,
+        params: &ResolvedParams,
         traffic: Box<dyn TrafficModel + Send>,
     ) -> Box<dyn CycleNetwork> {
-        Box::new(build_firefly_system(config, traffic))
+        let fabric = FireflyFabric::with_params(
+            &config,
+            params.int("radix") as usize,
+            params.int("reservation_cycles") as u64,
+        );
+        Box::new(PhotonicSystem::new(config, fabric, traffic))
     }
 }
 
@@ -131,12 +169,43 @@ mod tests {
             )
         };
         let direct = run_to_completion(&mut build_firefly_system(config, make()));
-        let mut via_registry = FireflyArchitecture.build(config, Box::new(make()));
+        let mut via_registry = FireflyArchitecture.build(
+            config,
+            &FireflyArchitecture.default_params(),
+            Box::new(make()),
+        );
         let registry_stats = run_to_completion(&mut *via_registry);
         assert_eq!(
             direct, registry_stats,
             "registry path must not change results"
         );
+    }
+
+    #[test]
+    fn radix_parameter_flows_from_spec_to_fabric() {
+        register_firefly_architecture();
+        let schema = FireflyArchitecture.param_schema();
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.get("radix").unwrap().kind.bounds_label(), "2..=512");
+
+        // A radix override resolves through the scenario API and changes
+        // the measured sweep relative to the paper default.
+        let base = pnoc_sim::scenario::ScenarioSpec::new("firefly", "uniform-random")
+            .with_effort(pnoc_sim::scenario::Effort::Smoke);
+        let swept = base.clone().with_arch_param("radix", 64);
+        assert_eq!(swept.id(), "firefly{radix=64}:uniform-random:set1:smoke");
+        let default_run = base.resolve().expect("registered").run();
+        let starved_run = swept.resolve().expect("within bounds").run();
+        assert_ne!(
+            default_run.result, starved_run.result,
+            "a 64-radix (1-wavelength) channel must change the sweep"
+        );
+
+        // Out-of-schema specs fail resolution with the declared catalogue.
+        let error = pnoc_sim::scenario::ScenarioSpec::new("firefly{radix=1}", "uniform-random")
+            .resolve()
+            .expect_err("radix 1 is below the declared minimum");
+        assert!(error.to_string().contains("2..=512"), "{error}");
     }
 
     #[test]

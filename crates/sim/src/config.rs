@@ -62,20 +62,38 @@ impl BandwidthSet {
 
     /// Wavelengths of each Firefly write channel (uniform static allocation:
     /// `total / 16`, Table 3-3).
+    ///
+    /// Deprecated: this architecture-specific knob now lives in the Firefly
+    /// builder's parameter schema (`firefly{radix=...}`; the default radix
+    /// of 16 reproduces this value). Architecture-agnostic callers want
+    /// [`BandwidthSet::class_wavelengths`] with
+    /// [`BandwidthClass::MediumHigh`], which this forwards to.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the firefly builder's `radix` parameter (pnoc-firefly) or \
+                `class_wavelengths(BandwidthClass::MediumHigh)`"
+    )]
     #[must_use]
     pub fn firefly_wavelengths_per_channel(self) -> usize {
-        self.total_wavelengths() / 16
+        self.class_wavelengths(BandwidthClass::MediumHigh)
     }
 
     /// Maximum wavelengths a d-HetPNoC cluster may hold (Table 3-3:
     /// "maximum channel bandwidth of 8 / 32 / 64 channels").
+    ///
+    /// Deprecated: this architecture-specific knob now lives in the
+    /// d-HetPNoC builder's parameter schema (`d-hetpnoc{max_wavelengths=...}`;
+    /// the default of 0 = auto reproduces this value). Architecture-agnostic
+    /// callers want [`BandwidthSet::class_wavelengths`] with
+    /// [`BandwidthClass::High`], which this forwards to.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the d-hetpnoc builder's `max_wavelengths` parameter \
+                (pnoc-dhetpnoc) or `class_wavelengths(BandwidthClass::High)`"
+    )]
     #[must_use]
     pub fn dhet_max_channel_wavelengths(self) -> usize {
-        match self {
-            BandwidthSet::Set1 => 8,
-            BandwidthSet::Set2 => 32,
-            BandwidthSet::Set3 => 64,
-        }
+        self.class_wavelengths(BandwidthClass::High)
     }
 
     /// Wavelengths needed by the *lowest* application bandwidth of the set
@@ -277,6 +295,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the deprecated forwards to the param defaults
     fn firefly_and_dhet_channel_widths() {
         assert_eq!(BandwidthSet::Set1.firefly_wavelengths_per_channel(), 4);
         assert_eq!(BandwidthSet::Set2.firefly_wavelengths_per_channel(), 16);
@@ -304,6 +323,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the forwards must agree with the class widths
     fn highest_class_fits_dhet_max_channel() {
         for set in BandwidthSet::ALL {
             assert_eq!(
@@ -313,6 +333,11 @@ mod tests {
             assert_eq!(
                 set.class_wavelengths(BandwidthClass::MediumHigh),
                 set.firefly_wavelengths_per_channel()
+            );
+            // The paper's literal Table 3-3 formula for the Firefly width.
+            assert_eq!(
+                set.class_wavelengths(BandwidthClass::MediumHigh),
+                set.total_wavelengths() / 16
             );
         }
     }

@@ -23,6 +23,10 @@
 //! * [`registry`] — the open-ended architecture registry
 //!   ([`registry::ArchitectureBuilder`]) that Firefly, d-HetPNoC and the
 //!   uniform test fabric plug into,
+//! * [`params`] — the typed architecture-parameter system: every builder
+//!   declares a [`params::ParamSchema`] (kind, default, bounds, doc per
+//!   knob), `name{key=value,...}` specs parse into validated parameter
+//!   sets, and scenario matrices sweep parameter axes like any other axis,
 //! * [`sweep`] — the generic (optionally parallel) saturation-sweep driver
 //!   shared by every architecture, with deterministic per-point seed
 //!   derivation,
@@ -46,6 +50,7 @@ pub mod clock;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod params;
 pub mod registry;
 pub mod report;
 pub mod scenario;
@@ -65,9 +70,13 @@ pub mod prelude {
         Counter, CsvSink, EventSink, Family, Gauge, JsonlSink, MemorySink, MetricReport, MetricRow,
         MetricSink, MetricValue, MetricsProbe, Probe, QuantileSketch, SimEvent, SimStatsProbe,
     };
+    pub use crate::params::{
+        ArchParamError, ArchParams, ParamKind, ParamSchema, ParamSpec, ParamValue, ResolvedParams,
+    };
     pub use crate::registry::{
-        lookup_architecture, register_architecture, registered_architectures, ArchitectureBuilder,
-        ArchitectureRegistry, Provisioning, UniformFabricArchitecture, UnknownArchitectureError,
+        lookup_architecture, register_architecture, registered_architectures,
+        resolve_architecture_spec, ArchSpecError, ArchitectureBuilder, ArchitectureRegistry,
+        Provisioning, UniformFabricArchitecture, UnknownArchitectureError,
     };
     pub use crate::report::Table;
     pub use crate::scenario::{

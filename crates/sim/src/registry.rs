@@ -20,6 +20,7 @@
 
 use crate::config::SimConfig;
 use crate::engine::CycleNetwork;
+use crate::params::{ArchParamError, ArchParams, ParamSchema, ResolvedParams};
 use crate::system::{PhotonicSystem, UniformFabric};
 use pnoc_noc::suggest::unknown_name_message;
 use pnoc_noc::traffic_model::TrafficModel;
@@ -77,6 +78,12 @@ pub enum Provisioning {
 /// parallel sweep the same builder instance is shared across worker threads,
 /// each calling [`ArchitectureBuilder::build`] to obtain its own private
 /// network instance.
+///
+/// An architecture is a **parameter space**, not a single design point: it
+/// declares its tunable knobs as a [`ParamSchema`] and builds from a
+/// schema-validated [`ResolvedParams`] set (see [`crate::params`]). An
+/// architecture with no knobs keeps the default empty schema and ignores
+/// the params argument.
 pub trait ArchitectureBuilder: Send + Sync {
     /// Stable registry key, also used as the architecture label in
     /// statistics (e.g. `"firefly"`, `"d-hetpnoc"`).
@@ -93,11 +100,30 @@ pub trait ArchitectureBuilder: Send + Sync {
         Provisioning::Dynamic
     }
 
-    /// Builds a ready-to-run network for the given configuration and traffic
-    /// source.
+    /// The architecture's declared parameter space (defaults to the empty
+    /// schema: no tunable parameters).
+    fn param_schema(&self) -> ParamSchema {
+        ParamSchema::new()
+    }
+
+    /// The architecture's parameters at their declared defaults (an empty
+    /// set for an empty schema). Convenience for callers that build a
+    /// network directly without a `name{key=value,...}` spec.
+    fn default_params(&self) -> ResolvedParams {
+        self.param_schema()
+            .validate(self.name(), &ArchParams::new())
+            .expect("schema defaults validate against their own bounds")
+    }
+
+    /// Builds a ready-to-run network for the given configuration, resolved
+    /// parameters and traffic source. `params` is always a full resolved set
+    /// for this architecture's schema (validate overrides with
+    /// [`ParamSchema::validate`], or start from
+    /// [`ArchitectureBuilder::default_params`]).
     fn build(
         &self,
         config: SimConfig,
+        params: &ResolvedParams,
         traffic: Box<dyn TrafficModel + Send>,
     ) -> Box<dyn CycleNetwork>;
 }
@@ -105,6 +131,11 @@ pub trait ArchitectureBuilder: Send + Sync {
 /// Builder for the trivially uniform test fabric
 /// ([`UniformFabric`]): every cluster statically owns
 /// `total wavelengths / clusters` wavelengths.
+///
+/// Declares one parameter, `wavelengths`: the total data-wavelength budget
+/// split evenly over the clusters, with `0` (the default) meaning "use the
+/// bandwidth set's budget". Mostly useful for exercising the parameter
+/// machinery without pulling in the architecture crates.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UniformFabricArchitecture;
 
@@ -121,14 +152,30 @@ impl ArchitectureBuilder for UniformFabricArchitecture {
         Provisioning::Static
     }
 
+    fn param_schema(&self) -> ParamSchema {
+        ParamSchema::new().int(
+            "wavelengths",
+            0,
+            0,
+            4096,
+            "total data wavelengths split evenly over the clusters \
+             (0 = the bandwidth set's budget)",
+        )
+    }
+
     fn build(
         &self,
         config: SimConfig,
+        params: &ResolvedParams,
         traffic: Box<dyn TrafficModel + Send>,
     ) -> Box<dyn CycleNetwork> {
+        let wavelengths = match params.int("wavelengths") {
+            0 => config.bandwidth_set.total_wavelengths(),
+            n => n as usize,
+        };
         let fabric = UniformFabric::new(
             "uniform-fabric",
-            config.bandwidth_set.total_wavelengths(),
+            wavelengths,
             config.topology.num_clusters(),
         );
         Box::new(PhotonicSystem::new(config, fabric, traffic))
@@ -227,6 +274,71 @@ pub fn lookup_architecture(
     })
 }
 
+/// Why a `name{key=value,...}` architecture spec failed to resolve against
+/// the process-global registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchSpecError {
+    /// The bare name is not registered (lists the catalogue, suggests the
+    /// nearest name).
+    Unknown(UnknownArchitectureError),
+    /// The spec is malformed or its parameters do not validate against the
+    /// architecture's declared schema.
+    Params(ArchParamError),
+}
+
+impl std::fmt::Display for ArchSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchSpecError::Unknown(e) => e.fmt(f),
+            ArchSpecError::Params(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ArchSpecError {}
+
+impl From<UnknownArchitectureError> for ArchSpecError {
+    fn from(error: UnknownArchitectureError) -> Self {
+        ArchSpecError::Unknown(error)
+    }
+}
+
+impl From<ArchParamError> for ArchSpecError {
+    fn from(error: ArchParamError) -> Self {
+        ArchSpecError::Params(error)
+    }
+}
+
+/// Resolves a full `name{key=value,...}` architecture spec against the
+/// process-global registry: parses the spec, looks the name up, and
+/// validates the parameter overrides against the builder's declared schema.
+/// Returns the builder together with the fully resolved parameter set
+/// (overrides applied, defaults filled in).
+///
+/// ```
+/// use pnoc_sim::registry::resolve_architecture_spec;
+///
+/// let (builder, params) =
+///     resolve_architecture_spec("uniform-fabric{wavelengths=32}").unwrap();
+/// assert_eq!(builder.name(), "uniform-fabric");
+/// assert_eq!(params.int("wavelengths"), 32);
+/// ```
+///
+/// # Errors
+///
+/// * [`ArchSpecError::Params`] on a malformed spec or parameters that do
+///   not validate (unknown key / bad value / out of bounds — each message
+///   lists the declared catalogue and suggests the nearest key),
+/// * [`ArchSpecError::Unknown`] when the bare name is not registered.
+pub fn resolve_architecture_spec(
+    spec: &str,
+) -> Result<(Arc<dyn ArchitectureBuilder>, ResolvedParams), ArchSpecError> {
+    let (name, overrides) = ArchParams::split_spec(spec)?;
+    let builder = lookup_architecture(&name)?;
+    let params = builder.param_schema().validate(&name, &overrides)?;
+    Ok((builder, params))
+}
+
 /// Names registered in the process-global registry, sorted.
 #[must_use]
 pub fn registered_architectures() -> Vec<String> {
@@ -275,6 +387,7 @@ mod tests {
         fn build(
             &self,
             config: SimConfig,
+            _params: &ResolvedParams,
             _traffic: Box<dyn TrafficModel + Send>,
         ) -> Box<dyn CycleNetwork> {
             Box::new(NullNetwork { config })
@@ -369,22 +482,111 @@ mod tests {
         }
     }
 
+    fn single_flow(config: &SimConfig) -> Box<SingleFlow> {
+        Box::new(SingleFlow {
+            shape: (
+                config.bandwidth_set.packet_flits(),
+                config.bandwidth_set.flit_bits(),
+            ),
+            load: pnoc_noc::traffic_model::OfferedLoad::new(1.0 / 400.0),
+        })
+    }
+
     #[test]
     fn uniform_fabric_builder_produces_a_working_network() {
         let mut config = SimConfig::fast(BandwidthSet::Set1);
         config.sim_cycles = 1_000;
         config.warmup_cycles = 200;
         let builder = UniformFabricArchitecture;
-        let traffic = Box::new(SingleFlow {
-            shape: (
-                config.bandwidth_set.packet_flits(),
-                config.bandwidth_set.flit_bits(),
-            ),
-            load: pnoc_noc::traffic_model::OfferedLoad::new(1.0 / 400.0),
-        });
-        let mut network = builder.build(config, traffic);
+        let params = builder.default_params();
+        let mut network = builder.build(config, &params, single_flow(&config));
         let stats = run_to_completion(&mut *network);
         assert!(stats.delivered_packets > 0);
         assert_eq!(stats.architecture, "uniform-fabric");
+    }
+
+    #[test]
+    fn uniform_fabric_declares_and_honours_the_wavelengths_parameter() {
+        let builder = UniformFabricArchitecture;
+        let schema = builder.param_schema();
+        assert_eq!(schema.len(), 1);
+        assert_eq!(schema.get("wavelengths").unwrap().kind.label(), "int");
+        // The default (0 = auto) resolves to the bandwidth set's budget.
+        assert_eq!(builder.default_params().int("wavelengths"), 0);
+
+        let mut config = SimConfig::fast(BandwidthSet::Set1);
+        config.sim_cycles = 1_000;
+        config.warmup_cycles = 200;
+        let starved = schema
+            .validate(
+                "uniform-fabric",
+                &crate::params::ArchParams::new().set("wavelengths", 16),
+            )
+            .expect("within bounds");
+        let mut narrow = builder.build(config, &starved, single_flow(&config));
+        let mut wide = builder.build(config, &builder.default_params(), single_flow(&config));
+        let narrow_stats = run_to_completion(&mut *narrow);
+        let wide_stats = run_to_completion(&mut *wide);
+        assert!(narrow_stats.delivered_packets > 0);
+        assert!(
+            narrow_stats.average_packet_latency() > wide_stats.average_packet_latency(),
+            "a quarter of the wavelengths must cost latency ({} vs {})",
+            narrow_stats.average_packet_latency(),
+            wide_stats.average_packet_latency()
+        );
+    }
+
+    #[test]
+    fn architecture_specs_resolve_with_overrides_and_defaults() {
+        let (builder, params) =
+            resolve_architecture_spec("uniform-fabric{wavelengths=32}").expect("valid spec");
+        assert_eq!(builder.name(), "uniform-fabric");
+        assert_eq!(params.int("wavelengths"), 32);
+        assert_eq!(params.canonical(), "{wavelengths=32}");
+
+        let (_, defaults) = resolve_architecture_spec("uniform-fabric").expect("bare name");
+        assert_eq!(defaults.int("wavelengths"), 0);
+    }
+
+    #[test]
+    fn architecture_spec_errors_display_catalogue_and_suggestions() {
+        // Unknown architecture name: same rich error as lookup_architecture.
+        let Err(error) = resolve_architecture_spec("uniform-fabrik{wavelengths=1}") else {
+            panic!("misspelled name must not resolve");
+        };
+        assert!(matches!(error, ArchSpecError::Unknown(_)));
+        assert!(error.to_string().contains("did you mean 'uniform-fabric'?"));
+
+        // Unknown parameter key: catalogue + nearest-key suggestion,
+        // mirroring the UnknownArchitectureError contract.
+        let Err(error) = resolve_architecture_spec("uniform-fabric{wavelenths=1}") else {
+            panic!("misspelled key must not validate");
+        };
+        let message = error.to_string();
+        assert!(
+            message.contains("unknown parameter 'wavelenths' for architecture 'uniform-fabric'"),
+            "{message}"
+        );
+        assert!(message.contains("[wavelengths]"), "{message}");
+        assert!(message.contains("did you mean 'wavelengths'?"), "{message}");
+
+        // Out of bounds: the admissible range is rendered.
+        let Err(error) = resolve_architecture_spec("uniform-fabric{wavelengths=100000}") else {
+            panic!("100000 is outside 0..=4096");
+        };
+        assert!(matches!(
+            error,
+            ArchSpecError::Params(ArchParamError::OutOfBounds { .. })
+        ));
+        assert!(error.to_string().contains("0..=4096"), "{error}");
+
+        // Malformed spec text.
+        let Err(error) = resolve_architecture_spec("uniform-fabric{wavelengths") else {
+            panic!("unbalanced brace must not parse");
+        };
+        assert!(matches!(
+            error,
+            ArchSpecError::Params(ArchParamError::Malformed { .. })
+        ));
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::config::{BandwidthSet, SimConfig};
 use crate::metrics::{MetricMergeError, MetricReport, MetricRow, MetricSink};
+use crate::params::{ArchParamError, ArchParams, ResolvedParams};
 use crate::registry::{lookup_architecture, ArchitectureBuilder, UnknownArchitectureError};
 use crate::sweep::{
     default_load_ladder, derive_point_seed, point_spec, run_point, run_sweep, SaturationResult,
@@ -103,7 +104,14 @@ impl Effort {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// Registry name of the architecture (`"firefly"`, `"d-hetpnoc"`, ...).
+    /// A full `name{key=value,...}` spec is also accepted; embedded
+    /// overrides merge into (and are overridden by) `arch_params` at
+    /// resolve time.
     pub architecture: String,
+    /// Raw architecture-parameter overrides, validated against the
+    /// architecture's declared [`ParamSchema`](crate::params::ParamSchema)
+    /// by [`ScenarioSpec::resolve`]. Empty means "all defaults".
+    pub arch_params: ArchParams,
     /// Registry name of the traffic pattern (`"tornado"`, `"skewed-3"`, ...).
     /// Unused (and conventionally empty) when `workload` is set.
     pub traffic: String,
@@ -133,6 +141,7 @@ impl ScenarioSpec {
     pub fn new(architecture: impl Into<String>, traffic: impl Into<String>) -> Self {
         Self {
             architecture: architecture.into(),
+            arch_params: ArchParams::new(),
             traffic: traffic.into(),
             bandwidth_set: BandwidthSet::Set1,
             effort: Effort::Quick,
@@ -155,6 +164,21 @@ impl ScenarioSpec {
     pub fn with_workload(mut self, workload_ref: impl Into<String>) -> Self {
         let workload_ref = workload_ref.into();
         self.workload = (!workload_ref.is_empty()).then_some(workload_ref);
+        self
+    }
+
+    /// Replaces the architecture-parameter overrides wholesale.
+    #[must_use]
+    pub fn with_arch_params(mut self, params: ArchParams) -> Self {
+        self.arch_params = params;
+        self
+    }
+
+    /// Sets one architecture-parameter override (validated against the
+    /// architecture's schema at resolve time).
+    #[must_use]
+    pub fn with_arch_param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.arch_params.insert(key, value);
         self
     }
 
@@ -188,14 +212,17 @@ impl ScenarioSpec {
     }
 
     /// Parses the `ARCH:TRAFFIC[:SET[:EFFORT]]` shorthand used by
-    /// `repro --scenario` (e.g. `d-hetpnoc:tornado:set2`). Omitted parts
-    /// default as in [`ScenarioSpec::new`].
+    /// `repro --scenario` (e.g. `d-hetpnoc:tornado:set2`). The architecture
+    /// part may carry parameter overrides — `firefly{radix=8}:uniform` —
+    /// which land in [`ScenarioSpec::arch_params`]. Omitted parts default
+    /// as in [`ScenarioSpec::new`].
     ///
     /// # Errors
     ///
     /// Returns [`ScenarioError::Malformed`] on a wrong number of `:`-separated
-    /// parts or an unknown bandwidth-set / effort label. Registry names are
-    /// *not* validated here — that is [`ScenarioSpec::resolve`]'s job.
+    /// parts, a malformed parameter block, or an unknown bandwidth-set /
+    /// effort label. Registry names and parameter values are *not* validated
+    /// here — that is [`ScenarioSpec::resolve`]'s job.
     pub fn parse_shorthand(text: &str) -> Result<Self, ScenarioError> {
         let malformed = |reason: &str| ScenarioError::Malformed {
             input: text.to_string(),
@@ -207,7 +234,12 @@ impl ScenarioSpec {
                 "expected ARCH:TRAFFIC[:SET[:EFFORT]] with non-empty parts",
             ));
         }
-        let mut spec = ScenarioSpec::new(parts[0], parts[1]);
+        let (architecture, arch_params) =
+            ArchParams::split_spec(parts[0]).map_err(|error| ScenarioError::Malformed {
+                input: text.to_string(),
+                reason: error.to_string(),
+            })?;
+        let mut spec = ScenarioSpec::new(architecture, parts[1]).with_arch_params(arch_params);
         if let Some(&set) = parts.get(2) {
             spec.bandwidth_set = BandwidthSet::from_short_name(set)
                 .ok_or_else(|| malformed("bandwidth set must be one of set1, set2, set3"))?;
@@ -220,23 +252,38 @@ impl ScenarioSpec {
     }
 
     /// The compact `arch:traffic:set:effort` identifier used in reports and
-    /// log lines. For open-loop scenarios this is exactly the shorthand
-    /// accepted by [`ScenarioSpec::parse_shorthand`]; workload scenarios
-    /// render their `NAME[:SIZE]` reference with the size separator as `@`
+    /// log lines; parameter overrides render inline in the architecture
+    /// part (`firefly{radix=8}:uniform-random:set1:quick`). For open-loop
+    /// scenarios this is exactly the shorthand accepted by
+    /// [`ScenarioSpec::parse_shorthand`]; workload scenarios render their
+    /// `NAME[:SIZE]` reference with the size separator as `@`
     /// (`d-hetpnoc:allreduce@64:set1:quick`) — unambiguous in the
     /// `:`-separated structure, but **not** parseable back through
     /// `parse_shorthand` (re-run a workload with `--workload NAME[:SIZE]`
     /// or a serialized spec instead).
     #[must_use]
     pub fn id(&self) -> String {
+        // The architecture field may itself embed a param block; merge it
+        // with the explicit overrides (explicit wins, as in resolve()) so
+        // the id renders exactly one brace block and stays re-parseable.
+        let arch = match ArchParams::split_spec(&self.architecture) {
+            Ok((name, embedded)) => {
+                let mut merged = embedded;
+                for (key, value) in self.arch_params.iter() {
+                    merged.insert(key, value);
+                }
+                merged.render_spec(&name)
+            }
+            // A malformed architecture field cannot resolve anyway; render
+            // it verbatim so the error context still shows what was asked.
+            Err(_) => self.arch_params.render_spec(&self.architecture),
+        };
         let middle = match &self.workload {
             Some(workload) => workload.replace(':', "@"),
             None => self.traffic.clone(),
         };
         format!(
-            "{}:{}:{}:{}",
-            self.architecture,
-            middle,
+            "{arch}:{middle}:{}:{}",
             self.bandwidth_set.short_name(),
             self.effort.label()
         )
@@ -278,6 +325,10 @@ impl ScenarioSpec {
     ///   / [`ScenarioError::UnknownWorkload`] when a name is not registered —
     ///   the error lists the registered catalogue and suggests the nearest
     ///   name,
+    /// * [`ScenarioError::InvalidArchParams`] when the architecture
+    ///   parameters are malformed or do not validate against the declared
+    ///   schema (unknown key / bad value / out of bounds — the message lists
+    ///   the declared keys and suggests the nearest one),
     /// * [`ScenarioError::Malformed`] when a workload reference does not
     ///   parse as `NAME[:SIZE]`,
     /// * [`ScenarioError::WorkloadTooLarge`] when a workload's participant
@@ -285,7 +336,18 @@ impl ScenarioSpec {
     /// * [`ScenarioError::InvalidLoad`] when an explicit ladder entry is not
     ///   a positive finite load.
     pub fn resolve(&self) -> Result<Scenario, ScenarioError> {
-        let architecture = lookup_architecture(&self.architecture)?;
+        // The architecture field may itself be a `name{key=value,...}` spec
+        // (hand-built specs, matrix axis entries); embedded overrides merge
+        // under the explicit `arch_params` field.
+        let (arch_name, embedded) = ArchParams::split_spec(&self.architecture)?;
+        let mut overrides = embedded;
+        for (key, value) in self.arch_params.iter() {
+            overrides.insert(key, value);
+        }
+        let architecture = lookup_architecture(&arch_name)?;
+        let params = architecture
+            .param_schema()
+            .validate(&arch_name, &overrides)?;
         let payload = match &self.workload {
             Some(reference) => {
                 // A scenario is either open- or closed-loop: a spec naming
@@ -339,6 +401,7 @@ impl ScenarioSpec {
         Ok(Scenario {
             spec: self.clone(),
             architecture,
+            params,
             payload,
         })
     }
@@ -359,6 +422,9 @@ pub enum ScenarioError {
     UnknownTraffic(UnknownPatternError),
     /// The workload name is not in the workload registry.
     UnknownWorkload(UnknownWorkloadError),
+    /// The architecture parameters are malformed or do not validate against
+    /// the architecture's declared schema.
+    InvalidArchParams(ArchParamError),
     /// A workload's participant count does not fit the topology (or is
     /// below the 2-node minimum of every collective).
     WorkloadTooLarge {
@@ -391,6 +457,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::UnknownArchitecture(e) => e.fmt(f),
             ScenarioError::UnknownTraffic(e) => e.fmt(f),
             ScenarioError::UnknownWorkload(e) => e.fmt(f),
+            ScenarioError::InvalidArchParams(e) => e.fmt(f),
             ScenarioError::WorkloadTooLarge {
                 scenario,
                 size,
@@ -432,6 +499,12 @@ impl From<UnknownWorkloadError> for ScenarioError {
     }
 }
 
+impl From<ArchParamError> for ScenarioError {
+    fn from(error: ArchParamError) -> Self {
+        ScenarioError::InvalidArchParams(error)
+    }
+}
+
 /// What a resolved scenario simulates: an open-loop traffic factory swept
 /// over the load ladder, or a closed-loop workload DAG run to drain.
 #[derive(Clone)]
@@ -443,11 +516,13 @@ enum ScenarioPayload {
     Workload(Arc<Workload>),
 }
 
-/// A validated scenario: the spec plus the registry entries it resolved to.
+/// A validated scenario: the spec plus the registry entries it resolved to
+/// and the schema-validated architecture parameters.
 #[derive(Clone)]
 pub struct Scenario {
     spec: ScenarioSpec,
     architecture: Arc<dyn ArchitectureBuilder>,
+    params: ResolvedParams,
     payload: ScenarioPayload,
 }
 
@@ -470,6 +545,13 @@ impl Scenario {
     #[must_use]
     pub fn architecture(&self) -> &Arc<dyn ArchitectureBuilder> {
         &self.architecture
+    }
+
+    /// The schema-validated architecture parameters (overrides applied,
+    /// defaults filled in).
+    #[must_use]
+    pub fn arch_params(&self) -> &ResolvedParams {
+        &self.params
     }
 
     /// Runs the scenario's saturation sweep with the ladder points in
@@ -502,11 +584,19 @@ impl Scenario {
             ScenarioPayload::Traffic(factory) => {
                 let factory = Arc::clone(factory);
                 let make = move |point: &SweepPointSpec| build_traffic(factory.as_ref(), point);
-                run_sweep(self.architecture.as_ref(), &make, &config, &loads, mode)
+                run_sweep(
+                    self.architecture.as_ref(),
+                    &self.params,
+                    &make,
+                    &config,
+                    &loads,
+                    mode,
+                )
             }
             ScenarioPayload::Workload(workload) => SaturationResult {
                 points: vec![run_workload_point(
                     self.architecture.as_ref(),
+                    &self.params,
                     &point_spec(&config, 0, loads[0]),
                     workload,
                 )],
@@ -621,6 +711,7 @@ impl ScenarioResult {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioMatrix {
     architectures: Vec<String>,
+    arch_param_axes: Vec<(String, Vec<String>)>,
     traffics: Vec<String>,
     workloads: Vec<String>,
     bandwidth_sets: Vec<BandwidthSet>,
@@ -643,6 +734,7 @@ impl ScenarioMatrix {
     pub fn new() -> Self {
         Self {
             architectures: Vec::new(),
+            arch_param_axes: Vec::new(),
             traffics: Vec::new(),
             workloads: Vec::new(),
             bandwidth_sets: vec![BandwidthSet::Set1],
@@ -667,6 +759,37 @@ impl ScenarioMatrix {
     #[must_use]
     pub fn all_architectures(mut self) -> Self {
         self.architectures = crate::registry::registered_architectures();
+        self
+    }
+
+    /// Adds an architecture-parameter axis: every expanded scenario crosses
+    /// the given values of `key` (raw value strings, validated against each
+    /// architecture's schema at resolve time). Calling the method again with
+    /// another key adds a further axis; the cross-product of all axes
+    /// applies to **every** entry of the architecture axis, so a matrix
+    /// mixing architectures whose schemas do not all declare `key` fails
+    /// fast at [`ScenarioMatrix::run`]. Axis values override any override
+    /// of the same key embedded in an architecture entry
+    /// (`"firefly{radix=8}"`).
+    ///
+    /// ```
+    /// use pnoc_sim::scenario::{Effort, ScenarioMatrix};
+    ///
+    /// let matrix = ScenarioMatrix::new()
+    ///     .architectures(["uniform-fabric"])
+    ///     .arch_params("wavelengths", ["16", "64"])
+    ///     .traffics(["uniform-random"])
+    ///     .effort(Effort::Smoke);
+    /// assert_eq!(matrix.specs().len(), 2);
+    /// ```
+    #[must_use]
+    pub fn arch_params<I, S>(mut self, key: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.arch_param_axes
+            .push((key.into(), values.into_iter().map(Into::into).collect()));
         self
     }
 
@@ -740,11 +863,29 @@ impl ScenarioMatrix {
     }
 
     /// Expands the cross-product into scenario specs (architecture-major,
-    /// then traffic, then bandwidth set; closed-loop workload scenarios
-    /// follow the open-loop block, in the same axis order), dropping exact
-    /// duplicates.
+    /// then parameter combination, then traffic, then bandwidth set;
+    /// closed-loop workload scenarios follow each parameter combination's
+    /// open-loop block, in the same axis order), dropping exact duplicates.
+    ///
+    /// Architecture entries may embed parameter overrides
+    /// (`"firefly{radix=8}"`); an entry whose parameter block does not parse
+    /// is kept verbatim so that [`ScenarioMatrix::run`] fails fast with the
+    /// parse error instead of silently dropping the entry.
     #[must_use]
     pub fn specs(&self) -> Vec<ScenarioSpec> {
+        // Cross-product of the parameter axes, in declaration order
+        // (no axes → one empty combination).
+        let mut combos: Vec<ArchParams> = vec![ArchParams::new()];
+        for (key, values) in &self.arch_param_axes {
+            combos = combos
+                .iter()
+                .flat_map(|combo| {
+                    values
+                        .iter()
+                        .map(move |value| combo.clone().set(key, value))
+                })
+                .collect();
+        }
         let mut out: Vec<ScenarioSpec> = Vec::new();
         let mut push = |spec: ScenarioSpec| {
             if !out.contains(&spec) {
@@ -752,27 +893,37 @@ impl ScenarioMatrix {
             }
         };
         for architecture in &self.architectures {
-            for traffic in &self.traffics {
-                for &set in &self.bandwidth_sets {
-                    push(ScenarioSpec {
-                        architecture: architecture.clone(),
-                        traffic: traffic.clone(),
-                        bandwidth_set: set,
-                        effort: self.effort,
-                        seed: self.seed,
-                        ladder: self.ladder.clone(),
-                        workload: None,
-                    });
+            let (name, embedded) = ArchParams::split_spec(architecture)
+                .unwrap_or_else(|_| (architecture.clone(), ArchParams::new()));
+            for combo in &combos {
+                let mut arch_params = embedded.clone();
+                for (key, value) in combo.iter() {
+                    arch_params.insert(key, value);
                 }
-            }
-            for workload in &self.workloads {
-                for &set in &self.bandwidth_sets {
-                    push(
-                        ScenarioSpec::closed_loop(architecture.clone(), workload.clone())
-                            .with_bandwidth_set(set)
-                            .with_effort(self.effort)
-                            .with_seed(self.seed),
-                    );
+                for traffic in &self.traffics {
+                    for &set in &self.bandwidth_sets {
+                        push(ScenarioSpec {
+                            architecture: name.clone(),
+                            arch_params: arch_params.clone(),
+                            traffic: traffic.clone(),
+                            bandwidth_set: set,
+                            effort: self.effort,
+                            seed: self.seed,
+                            ladder: self.ladder.clone(),
+                            workload: None,
+                        });
+                    }
+                }
+                for workload in &self.workloads {
+                    for &set in &self.bandwidth_sets {
+                        push(
+                            ScenarioSpec::closed_loop(name.clone(), workload.clone())
+                                .with_arch_params(arch_params.clone())
+                                .with_bandwidth_set(set)
+                                .with_effort(self.effort)
+                                .with_seed(self.seed),
+                        );
+                    }
                 }
             }
         }
@@ -822,6 +973,7 @@ fn resolve_all(specs: &[ScenarioSpec]) -> Result<Vec<Scenario>, ScenarioError> {
 /// scenario — an open-loop ladder point or a closed-loop DAG-drain run.
 struct PointJob {
     architecture: Arc<dyn ArchitectureBuilder>,
+    params: ResolvedParams,
     payload: ScenarioPayload,
     point: SweepPointSpec,
 }
@@ -831,12 +983,16 @@ impl PointJob {
         match &self.payload {
             ScenarioPayload::Traffic(factory) => run_point(
                 self.architecture.as_ref(),
+                &self.params,
                 &self.point,
                 build_traffic(factory.as_ref(), &self.point),
             ),
-            ScenarioPayload::Workload(workload) => {
-                run_workload_point(self.architecture.as_ref(), &self.point, workload)
-            }
+            ScenarioPayload::Workload(workload) => run_workload_point(
+                self.architecture.as_ref(),
+                &self.params,
+                &self.point,
+                workload,
+            ),
         }
     }
 }
@@ -859,12 +1015,21 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
     for scenario in &scenarios {
         let config = scenario.spec.config();
         let loads = scenario.spec.loads();
-        // Key on the *resolved* registry names, not the spec spellings:
-        // alias spellings (e.g. "uniform" vs "uniform-random", or
+        // Key on the *resolved* registry names and parameters, not the spec
+        // spellings: alias spellings (e.g. "uniform" vs "uniform-random", or
         // "allreduce:16" vs "ring-allreduce:16") resolve to the same
         // factory-built payload and must share one simulation. Generated
         // workload names encode size and per-node bytes, so two workload
-        // scenarios dedup exactly when their DAGs are identical.
+        // scenarios dedup exactly when their DAGs are identical. The
+        // architecture component includes the canonical rendering of the
+        // *resolved* parameters — defaults filled in — so a spec naming a
+        // default explicitly (`firefly{radix=16}`) dedups onto the bare
+        // name, while a genuine override gets its own simulations.
+        let arch_key = format!(
+            "{}{}",
+            scenario.architecture.name(),
+            scenario.params.canonical()
+        );
         let payload_key = match &scenario.payload {
             ScenarioPayload::Traffic(factory) => format!("traffic/{}", factory.name()),
             ScenarioPayload::Workload(workload) => format!("workload/{}", workload.name()),
@@ -873,7 +1038,7 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
         for (index, &load) in loads.iter().enumerate() {
             let point = point_spec(&config, index, load);
             let key = (
-                scenario.architecture.name().to_string(),
+                arch_key.clone(),
                 payload_key.clone(),
                 format!("{:?}", point.config),
                 load.to_bits(),
@@ -883,6 +1048,7 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
             if job_index == next {
                 jobs.push(PointJob {
                     architecture: Arc::clone(&scenario.architecture),
+                    params: scenario.params.clone(),
                     payload: scenario.payload.clone(),
                     point,
                 });
@@ -1301,6 +1467,177 @@ mod tests {
         assert_eq!(outcome.total_points, 2);
         assert_eq!(outcome.unique_points, 1, "identical DAGs must dedup");
         assert_eq!(outcome.scenarios[0].result, outcome.scenarios[1].result);
+    }
+
+    #[test]
+    fn parameterized_specs_identify_parse_and_resolve() {
+        let spec = ScenarioSpec::new("uniform-fabric", "uniform-random")
+            .with_effort(Effort::Smoke)
+            .with_arch_param("wavelengths", 32);
+        assert_eq!(
+            spec.id(),
+            "uniform-fabric{wavelengths=32}:uniform-random:set1:smoke"
+        );
+        // The id is itself a parseable shorthand that recovers the spec.
+        let reparsed = ScenarioSpec::parse_shorthand(&spec.id()).unwrap();
+        assert_eq!(reparsed, spec);
+
+        let scenario = spec.resolve().expect("valid override");
+        assert_eq!(scenario.arch_params().int("wavelengths"), 32);
+
+        // Embedded overrides in the architecture field also resolve; the
+        // explicit arch_params field wins on conflicts.
+        let embedded = ScenarioSpec::new("uniform-fabric{wavelengths=16}", "uniform-random")
+            .with_effort(Effort::Smoke);
+        assert_eq!(
+            embedded
+                .resolve()
+                .expect("embedded override")
+                .arch_params()
+                .int("wavelengths"),
+            16
+        );
+        let overridden = embedded.with_arch_param("wavelengths", 64);
+        assert_eq!(
+            overridden
+                .resolve()
+                .expect("explicit wins")
+                .arch_params()
+                .int("wavelengths"),
+            64
+        );
+        // The id merges embedded and explicit overrides into ONE brace
+        // block (explicit wins) and stays re-parseable.
+        assert_eq!(
+            overridden.id(),
+            "uniform-fabric{wavelengths=64}:uniform-random:set1:smoke"
+        );
+        let reparsed = ScenarioSpec::parse_shorthand(&overridden.id()).expect("id is a shorthand");
+        assert_eq!(reparsed.architecture, "uniform-fabric");
+        assert_eq!(reparsed.arch_params.get("wavelengths"), Some("64"));
+    }
+
+    #[test]
+    fn invalid_arch_params_fail_resolution_with_suggestions() {
+        let unknown_key = ScenarioSpec::new("uniform-fabric", "uniform-random")
+            .with_arch_param("wavelenths", 8)
+            .resolve()
+            .expect_err("misspelled key");
+        match &unknown_key {
+            ScenarioError::InvalidArchParams(e) => {
+                assert_eq!(e.suggestion(), Some("wavelengths"));
+            }
+            other => panic!("expected InvalidArchParams, got {other:?}"),
+        }
+        assert!(
+            unknown_key
+                .to_string()
+                .contains("did you mean 'wavelengths'?"),
+            "{unknown_key}"
+        );
+
+        let out_of_bounds = ScenarioSpec::new("uniform-fabric{wavelengths=100000}", "uniform")
+            .resolve()
+            .expect_err("outside bounds");
+        assert!(matches!(
+            out_of_bounds,
+            ScenarioError::InvalidArchParams(ArchParamError::OutOfBounds { .. })
+        ));
+        assert!(out_of_bounds.to_string().contains("0..=4096"));
+
+        let malformed = ScenarioSpec::new("uniform-fabric{wavelengths", "uniform")
+            .resolve()
+            .expect_err("unbalanced brace");
+        assert!(matches!(
+            malformed,
+            ScenarioError::InvalidArchParams(ArchParamError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn parameterized_scenario_changes_results_and_stays_deterministic() {
+        rayon::set_thread_count(4);
+        let narrow = ScenarioSpec::new("uniform-fabric", "uniform-random")
+            .with_effort(Effort::Smoke)
+            .with_arch_param("wavelengths", 16)
+            .resolve()
+            .expect("valid");
+        let parallel = narrow.run_with_mode(SweepMode::Parallel);
+        let sequential = narrow.run_with_mode(SweepMode::Sequential);
+        assert!(
+            parallel.bitwise_eq(&sequential),
+            "parameterized sweeps must stay bitwise-deterministic"
+        );
+        // A quarter of the wavelength budget must change the measured sweep.
+        let default = smoke_spec().resolve().expect("valid").run();
+        assert_ne!(
+            parallel.result, default.result,
+            "the wavelengths override must affect results"
+        );
+    }
+
+    #[test]
+    fn matrix_param_axis_cross_products_and_dedups_defaults() {
+        let matrix = ScenarioMatrix::new()
+            .architectures(["uniform-fabric"])
+            .arch_params("wavelengths", ["16", "64"])
+            .traffics(["tornado", "uniform-random"])
+            .effort(Effort::Smoke);
+        let specs = matrix.specs();
+        // 1 architecture × 2 param values × 2 traffics × 1 set.
+        assert_eq!(specs.len(), 4);
+        assert!(specs
+            .iter()
+            .all(|s| s.arch_params.get("wavelengths").is_some()));
+
+        rayon::set_thread_count(4);
+        let batched = matrix.run().expect("all names and params valid");
+        let sequential = matrix.run_sequential().expect("all names and params valid");
+        assert!(
+            batched.bitwise_eq(&sequential),
+            "param-swept matrix must be bitwise-identical to sequential runs"
+        );
+        // Distinct parameter values must not dedup onto each other.
+        assert_eq!(batched.unique_points, batched.total_points);
+
+        // A spec naming the default value explicitly dedups onto the bare
+        // name: both resolve to the same canonical parameter set.
+        let outcome = run_specs(&[smoke_spec(), smoke_spec().with_arch_param("wavelengths", 0)])
+            .expect("default override resolves");
+        assert_eq!(outcome.scenarios.len(), 2);
+        assert_eq!(outcome.total_points, 2 * outcome.unique_points);
+        assert_eq!(outcome.scenarios[0].result, outcome.scenarios[1].result);
+    }
+
+    #[test]
+    fn matrix_fails_fast_on_invalid_params_and_embedded_specs() {
+        let error = ScenarioMatrix::new()
+            .architectures(["uniform-fabric"])
+            .arch_params("warp-factor", ["9"])
+            .traffics(["tornado"])
+            .effort(Effort::Smoke)
+            .run()
+            .expect_err("no architecture declares warp-factor");
+        assert!(matches!(error, ScenarioError::InvalidArchParams(_)));
+
+        // Embedded overrides in architecture axis entries are honoured.
+        let matrix = ScenarioMatrix::new()
+            .architectures(["uniform-fabric{wavelengths=16}"])
+            .traffics(["tornado"])
+            .effort(Effort::Smoke);
+        let specs = matrix.specs();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].architecture, "uniform-fabric");
+        assert_eq!(specs[0].arch_params.get("wavelengths"), Some("16"));
+
+        // A malformed embedded spec fails at run, not silently.
+        let error = ScenarioMatrix::new()
+            .architectures(["uniform-fabric{wavelengths"])
+            .traffics(["tornado"])
+            .effort(Effort::Smoke)
+            .run()
+            .expect_err("unbalanced brace");
+        assert!(matches!(error, ScenarioError::InvalidArchParams(_)));
     }
 
     #[test]

@@ -50,6 +50,7 @@
 use crate::config::SimConfig;
 use crate::engine::run_to_completion_with;
 use crate::metrics::{MetricReport, MetricsProbe, Probe as _};
+use crate::params::ResolvedParams;
 use crate::registry::ArchitectureBuilder;
 use crate::stats::SimStats;
 use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
@@ -280,10 +281,11 @@ pub(crate) fn attach_power_gauges(report: &mut MetricReport, config: &SimConfig,
 /// [`MetricsProbe`] instrumentation alongside the legacy snapshot.
 pub(crate) fn run_point(
     architecture: &dyn ArchitectureBuilder,
+    params: &ResolvedParams,
     spec: &SweepPointSpec,
     traffic: Box<dyn TrafficModel + Send>,
 ) -> SweepPoint {
-    let mut network = architecture.build(spec.config, traffic);
+    let mut network = architecture.build(spec.config, params, traffic);
     let mut probe = MetricsProbe::for_config(&spec.config);
     let stats = run_to_completion_with(&mut *network, &mut [&mut probe]);
     let mut metrics = probe.report();
@@ -300,6 +302,7 @@ pub(crate) fn run_point(
 /// builder.
 pub(crate) fn run_sweep(
     architecture: &dyn ArchitectureBuilder,
+    params: &ResolvedParams,
     make_traffic: &(dyn Fn(&SweepPointSpec) -> Box<dyn TrafficModel + Send> + Sync),
     config: &SimConfig,
     loads: &[f64],
@@ -313,11 +316,11 @@ pub(crate) fn run_sweep(
     let points: Vec<SweepPoint> = match mode {
         SweepMode::Sequential => specs
             .iter()
-            .map(|spec| run_point(architecture, spec, make_traffic(spec)))
+            .map(|spec| run_point(architecture, params, spec, make_traffic(spec)))
             .collect(),
         SweepMode::Parallel => specs
             .par_iter()
-            .map(|spec| run_point(architecture, spec, make_traffic(spec)))
+            .map(|spec| run_point(architecture, params, spec, make_traffic(spec)))
             .collect(),
     };
     SaturationResult { points }
@@ -485,8 +488,10 @@ mod tests {
         let config = sweep_config();
         let loads = [1.0 / 400.0, 1.0 / 200.0, 1.0 / 100.0, 1.0 / 50.0];
         let architecture = UniformFabricArchitecture;
+        let params = architecture.default_params();
         let sequential = run_sweep(
             &architecture,
+            &params,
             &make_seeded,
             &config,
             &loads,
@@ -494,6 +499,7 @@ mod tests {
         );
         let parallel = run_sweep(
             &architecture,
+            &params,
             &make_seeded,
             &config,
             &loads,
@@ -516,6 +522,7 @@ mod tests {
         let architecture = UniformFabricArchitecture;
         let result = run_sweep(
             &architecture,
+            &architecture.default_params(),
             &make_seeded,
             &config,
             &loads,

@@ -40,6 +40,7 @@
 use crate::config::SimConfig;
 use crate::engine::run_until_with;
 use crate::metrics::{MetricReport, MetricValue, MetricsProbe, Probe, QuantileSketch, SimEvent};
+use crate::params::ResolvedParams;
 use crate::registry::ArchitectureBuilder;
 use crate::sweep::{SweepPoint, SweepPointSpec};
 use pnoc_noc::ids::{ClusterId, CoreId};
@@ -534,13 +535,14 @@ impl Probe for FlowProbe {
 #[must_use]
 pub fn run_workload_point(
     architecture: &dyn ArchitectureBuilder,
+    params: &ResolvedParams,
     spec: &SweepPointSpec,
     workload: &Arc<Workload>,
 ) -> SweepPoint {
     let mut config = spec.config;
     config.warmup_cycles = 0;
     let driver = WorkloadDriver::new(Arc::clone(workload), &config);
-    let mut network = architecture.build(config, driver.traffic());
+    let mut network = architecture.build(config, params, driver.traffic());
     let mut metrics_probe = MetricsProbe::for_config(&config);
     let mut flow_probe = driver.probe();
     let max_cycles = driver.max_cycles();
@@ -590,6 +592,7 @@ mod tests {
         let config = smoke_config();
         run_workload_point(
             &UniformFabricArchitecture,
+            &UniformFabricArchitecture.default_params(),
             &point_spec_for(&config),
             &Arc::new(workload),
         )

@@ -262,7 +262,38 @@ fn demand_matrix_round_trips_through_the_fabric() {
             let (src, dst) = (ClusterId(s), ClusterId(d));
             assert_eq!(fabric.demand().class(src, dst), matrix.class(src, dst));
             let w = fabric.wavelengths_for(src, dst);
-            assert!(w >= 1 && w <= config.bandwidth_set.dhet_max_channel_wavelengths());
+            assert!(w >= 1 && w <= DhetFabric::default_max_channel_wavelengths(&config));
         }
     }
+}
+
+#[test]
+fn parameterized_specs_run_end_to_end_across_architectures() {
+    d_hetpnoc_repro::install_architectures();
+    // One batch sweeping a Firefly geometry knob and a d-HetPNoC
+    // provisioning knob next to the paper defaults; everything runs through
+    // the same deduplicated queue and stays bitwise-deterministic.
+    let matrix = ScenarioMatrix::new()
+        .architectures([
+            "firefly",
+            "firefly{radix=32}",
+            "d-hetpnoc{policy=paper-max}",
+        ])
+        .traffics(["skewed-2"])
+        .effort(Effort::Smoke);
+    let first = matrix.run().expect("all specs valid");
+    let second = matrix.run().expect("all specs valid");
+    assert_eq!(first.scenarios.len(), 3);
+    assert!(
+        first.bitwise_eq(&second),
+        "param-swept batches must be reproducible run-to-run"
+    );
+    // The radix override must actually change Firefly's measured sweep.
+    let default_firefly = &first.scenarios[0];
+    let narrow_firefly = &first.scenarios[1];
+    assert_eq!(narrow_firefly.spec.arch_params.get("radix"), Some("32"));
+    assert_ne!(
+        default_firefly.result, narrow_firefly.result,
+        "radix=32 halves every channel and must move the sweep"
+    );
 }
