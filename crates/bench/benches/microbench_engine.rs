@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the simulation engine core: per-cycle step cost at
+//! zero, mid and saturation load for both architectures (where the idle
+//! switch/cluster gating and scratch-buffer reuse show up directly), and a
+//! closed-loop DAG-drain run through the event-aware scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnoc_bench::runner::ensure_registered;
+use pnoc_dhetpnoc::fabric::DhetFabric;
+use pnoc_firefly::fabric::FireflyFabric;
+use pnoc_noc::topology::ClusterTopology;
+use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
+use pnoc_sim::config::{BandwidthSet, SimConfig};
+use pnoc_sim::engine::CycleNetwork;
+use pnoc_sim::scenario::{Effort, ScenarioSpec};
+use pnoc_sim::sweep::SweepMode;
+use pnoc_sim::system::{PhotonicFabric, PhotonicSystem};
+use pnoc_traffic::demand::DemandMatrix;
+use pnoc_traffic::pattern::{PacketShape, SkewLevel};
+use pnoc_traffic::skewed::SkewedTraffic;
+use std::hint::black_box;
+
+fn traffic(load: f64) -> SkewedTraffic {
+    SkewedTraffic::new(
+        ClusterTopology::paper_default(),
+        PacketShape::new(64, 32),
+        SkewLevel::Skewed3,
+        OfferedLoad::new(load),
+        7,
+    )
+}
+
+/// Steps `system` forever from cycle 0, one cycle per benchmark iteration.
+fn bench_steps<F, T>(c: &mut Criterion, id: &str, mut system: PhotonicSystem<F, T>)
+where
+    F: PhotonicFabric,
+    T: TrafficModel,
+{
+    let mut cycle = 0u64;
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            system.step(cycle);
+            cycle += 1;
+            black_box(&system);
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let config = SimConfig::paper_default(BandwidthSet::Set1);
+
+    // Zero load: every switch and cluster is idle, so a step should be
+    // little more than the occupancy-counter scan.
+    for (label, load) in [("zero", 0.0), ("mid", 0.01), ("saturation", 0.08)] {
+        let firefly = PhotonicSystem::new(config, FireflyFabric::new(&config), traffic(load));
+        bench_steps(c, &format!("engine/step_firefly_{label}_load"), firefly);
+
+        let demand = DemandMatrix::from_model(&traffic(load), 16);
+        let dhet = PhotonicSystem::new(config, DhetFabric::new(&config, demand), traffic(load));
+        bench_steps(c, &format!("engine/step_dhetpnoc_{label}_load"), dhet);
+    }
+
+    // Closed-loop DAG drain: a full allreduce workload run to completion
+    // under the event-aware scheduler (release gaps and the drained tail go
+    // through the fast-forward path).
+    ensure_registered();
+    let scenario = ScenarioSpec::closed_loop("d-hetpnoc", "allreduce:8")
+        .with_effort(Effort::Quick)
+        .resolve()
+        .expect("allreduce workload scenario");
+    c.bench_function("engine/dag_drain_allreduce_8", |b| {
+        b.iter(|| black_box(scenario.run_with_mode(SweepMode::Sequential)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

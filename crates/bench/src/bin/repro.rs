@@ -60,6 +60,15 @@
 //!                            # registered architecture and write
 //!                            # BENCH_sweep.json (wall-clock + peak bandwidth)
 //! repro --bench-sweep=FILE   # same, custom output path
+//! repro --threads 4          # force the parallel-sweep worker count
+//!                            # (overrides RAYON_NUM_THREADS and the
+//!                            # detected parallelism)
+//! repro --cross-engine-check # run every registered architecture plus
+//!                            # closed-loop workloads under both the
+//!                            # per-cycle and the event-driven executor,
+//!                            # assert bitwise-identical results, and write
+//!                            # the metric stream to
+//!                            # CROSS_ENGINE_metrics.jsonl (or =FILE)
 //! ```
 
 use pnoc_bench::experiments::{run_by_name, ExperimentReport, ALL_EXPERIMENTS};
@@ -355,20 +364,22 @@ fn print_workload_table(outcome: &MatrixResult) {
 /// machine-readable JSON, so future changes can track the performance
 /// trajectory. Also asserts, on every run, that the parallel sweep is
 /// bitwise-identical to the sequential one.
-fn run_bench_sweep(effort: EffortLevel, path: &str) {
+///
+/// Beyond the whole-ladder timings, the report carries per-ladder-point
+/// sequential wall clocks (the lowest-load point is where idle-cycle gating
+/// pays off most) and a worker-thread scaling curve (1/2/4/8 threads on the
+/// d-HetPNoC ladder). `thread_override` is the `--threads` value (0 = none);
+/// the scaling curve restores it when done.
+fn run_bench_sweep(effort: EffortLevel, path: &str, thread_override: usize) {
     ensure_registered();
     let kind = TrafficKind::named("skewed-3");
     let set = BandwidthSet::Set1;
     let config = effort.config(set);
     let loads = EffortLevel::Paper.load_ladder(&config);
-    let threads = std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
+    // The worker count the parallel sweeps below actually use: the --threads
+    // override, then RAYON_NUM_THREADS, then the detected parallelism —
+    // capped at the number of ladder points.
+    let threads = rayon::current_thread_count(loads.len());
     let mut entries = Vec::new();
     for architecture in Architecture::all() {
         eprintln!(
@@ -391,10 +402,28 @@ fn run_bench_sweep(effort: EffortLevel, path: &str) {
         );
         let sequential_seconds = sequential.wall_clock_seconds;
         let parallel_seconds = parallel.wall_clock_seconds;
+        // Per-point sequential cost: one single-load scenario per ladder
+        // point, so the low-load end (where switch gating leaves almost
+        // nothing to step) is visible instead of being averaged away.
+        let mut point_seconds = Vec::with_capacity(loads.len());
+        for &load in &loads {
+            let point = ScenarioSpec::new(architecture.name(), kind.name())
+                .with_bandwidth_set(set)
+                .with_effort(effort)
+                .with_ladder(vec![load])
+                .resolve()
+                .unwrap_or_else(|error| panic!("{error}"));
+            point_seconds.push(
+                point
+                    .run_with_mode(SweepMode::Sequential)
+                    .wall_clock_seconds,
+            );
+        }
         eprintln!(
             "[repro]   sequential {sequential_seconds:.2}s, parallel {parallel_seconds:.2}s \
-             (speedup {:.2}x), peak {:.1} Gb/s",
+             (speedup {:.2}x), lowest point {:.3}s, peak {:.1} Gb/s",
             sequential_seconds / parallel_seconds.max(1e-9),
+            point_seconds.first().copied().unwrap_or(0.0),
             parallel.result.peak_bandwidth_gbps()
         );
         entries.push(Json::obj(vec![
@@ -407,6 +436,14 @@ fn run_bench_sweep(effort: EffortLevel, path: &str) {
                 Json::Num(sequential_seconds / parallel_seconds.max(1e-9)),
             ),
             (
+                "lowest_load_point_seconds",
+                Json::Num(point_seconds.first().copied().unwrap_or(0.0)),
+            ),
+            (
+                "ladder_point_seconds",
+                Json::Arr(point_seconds.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+            (
                 "peak_bandwidth_gbps",
                 Json::Num(parallel.result.peak_bandwidth_gbps()),
             ),
@@ -417,6 +454,42 @@ fn run_bench_sweep(effort: EffortLevel, path: &str) {
             ("sweep_points", Json::Num(loads.len() as f64)),
         ]));
     }
+    // Worker-thread scaling curve: the same d-HetPNoC ladder swept in
+    // parallel mode at forced thread counts. Results are asserted bitwise
+    // against the 1-thread run, so the curve doubles as a determinism check.
+    let scaling_scenario = ScenarioSpec::new("d-hetpnoc", kind.name())
+        .with_bandwidth_set(set)
+        .with_effort(effort)
+        .with_ladder(loads.clone())
+        .resolve()
+        .unwrap_or_else(|error| panic!("{error}"));
+    let mut scaling = Vec::new();
+    let mut baseline: Option<(f64, pnoc_sim::scenario::ScenarioResult)> = None;
+    for count in [1usize, 2, 4, 8] {
+        rayon::set_thread_count(count);
+        let run = scaling_scenario.run_with_mode(SweepMode::Parallel);
+        let seconds = run.wall_clock_seconds;
+        let speedup = match &baseline {
+            None => 1.0,
+            Some((one_thread_seconds, reference)) => {
+                assert!(
+                    reference.bitwise_eq(&run),
+                    "thread count {count} changed the sweep results"
+                );
+                one_thread_seconds / seconds.max(1e-9)
+            }
+        };
+        eprintln!("[repro]   scaling: {count} thread(s) {seconds:.2}s ({speedup:.2}x vs 1)");
+        scaling.push(Json::obj(vec![
+            ("threads", Json::Num(count as f64)),
+            ("seconds", Json::Num(seconds)),
+            ("speedup_vs_1_thread", Json::Num(speedup)),
+        ]));
+        if baseline.is_none() {
+            baseline = Some((seconds, run));
+        }
+    }
+    rayon::set_thread_count(thread_override);
     let doc = Json::obj(vec![
         ("generated_by", Json::str("repro --bench-sweep")),
         ("effort", Json::str(effort.label())),
@@ -424,9 +497,88 @@ fn run_bench_sweep(effort: EffortLevel, path: &str) {
         ("traffic", Json::str(kind.label())),
         ("threads", Json::Num(threads as f64)),
         ("architectures", Json::Arr(entries)),
+        ("thread_scaling", Json::Arr(scaling)),
     ]);
     write_file(path, &(doc.render() + "\n"));
     eprintln!("[repro] wrote {path}");
+}
+
+/// The scenario batch of `--cross-engine-check`: every registered
+/// architecture on an open-loop ladder, plus closed-loop collective
+/// workloads, so both `run_to_completion_with` and `run_until_with` paths
+/// are exercised under both executors.
+fn cross_engine_specs(effort: EffortLevel) -> Vec<ScenarioSpec> {
+    ensure_registered();
+    let mut specs = Vec::new();
+    for architecture in Architecture::all() {
+        specs.push(
+            ScenarioSpec::new(architecture.name(), "skewed-3")
+                .with_bandwidth_set(BandwidthSet::Set1)
+                .with_effort(effort),
+        );
+    }
+    for workload in ["allreduce:8", "incast:16"] {
+        specs.push(ScenarioSpec::closed_loop("d-hetpnoc", workload).with_effort(effort));
+        specs.push(ScenarioSpec::closed_loop("firefly", workload).with_effort(effort));
+    }
+    specs
+}
+
+/// Runs the cross-engine determinism gate: the full check batch once under
+/// the per-cycle reference executor and once under the event-driven
+/// scheduler, asserting bitwise-identical results and byte-identical
+/// rendered metric streams. The event-driven metrics are written to `path`
+/// as the CI artifact.
+fn run_cross_engine_check(effort: EffortLevel, path: &str) {
+    let specs = cross_engine_specs(effort);
+    eprintln!(
+        "[repro] cross-engine check: {} scenario(s) under both executors ...",
+        specs.len()
+    );
+    pnoc_sim::engine::set_event_driven(false);
+    let started = Instant::now();
+    let per_cycle = run_specs(&specs).unwrap_or_else(|error| {
+        pnoc_sim::engine::set_event_driven(true);
+        eprintln!("{error}");
+        std::process::exit(2);
+    });
+    let per_cycle_seconds = started.elapsed().as_secs_f64();
+    pnoc_sim::engine::set_event_driven(true);
+    let started = Instant::now();
+    let event = run_specs(&specs).unwrap_or_else(|error| {
+        eprintln!("{error}");
+        std::process::exit(2);
+    });
+    let event_seconds = started.elapsed().as_secs_f64();
+    if !per_cycle.bitwise_eq(&event) {
+        eprintln!("::error::event-driven engine diverged from the per-cycle reference executor");
+        std::process::exit(1);
+    }
+    let render = |outcome: &MatrixResult| -> Vec<u8> {
+        let mut bytes = Vec::new();
+        outcome
+            .write_metrics(&mut JsonlSink::new(&mut bytes))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot render metrics: {e}");
+                std::process::exit(1);
+            });
+        bytes
+    };
+    let per_cycle_bytes = render(&per_cycle);
+    let event_bytes = render(&event);
+    if per_cycle_bytes != event_bytes {
+        eprintln!("::error::metric streams differ between executors (results matched)");
+        std::process::exit(1);
+    }
+    std::fs::write(path, &event_bytes).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[repro] cross-engine check passed: {} scenario(s) byte-identical \
+         (per-cycle {per_cycle_seconds:.2}s, event-driven {event_seconds:.2}s); wrote {path}",
+        specs.len()
+    );
 }
 
 fn main() {
@@ -435,6 +587,8 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
     let mut bench_sweep_path: Option<String> = None;
+    let mut cross_engine_path: Option<String> = None;
+    let mut thread_override: usize = 0;
     let mut matrix_path: Option<String> = None;
     let mut dump_path: Option<String> = None;
     let mut batch_json_path: Option<String> = None;
@@ -610,9 +764,32 @@ fn main() {
             other if other.starts_with("--bench-sweep=") => {
                 bench_sweep_path = Some(other["--bench-sweep=".len()..].to_string());
             }
+            "--cross-engine-check" => {
+                cross_engine_path = Some("CROSS_ENGINE_metrics.jsonl".to_string());
+            }
+            other if other.starts_with("--cross-engine-check=") => {
+                cross_engine_path = Some(other["--cross-engine-check=".len()..].to_string());
+            }
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => thread_override = n,
+                _ => {
+                    eprintln!("--threads requires a positive worker count");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--threads=") => {
+                match other["--threads=".len()..].parse::<usize>() {
+                    Ok(n) if n > 0 => thread_override = n,
+                    _ => {
+                        eprintln!("--threads requires a positive worker count");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick|--paper] [--json FILE] [--bench-sweep[=FILE]]\n\
+                     \x20            [--cross-engine-check[=FILE]] [--threads N]\n\
                      \x20            [--scenario ARCH[{{k=v,...}}]:TRAFFIC[:SET[:EFFORT]]]...\n\
                      \x20            [--matrix[=FILE]] [--arch SPEC]... [--arch-params K=V1,V2]...\n\
                      \x20            [--workload NAME[:SIZE]]... [--batch-json FILE]\n\
@@ -632,6 +809,10 @@ fn main() {
             other => names.push(other.to_string()),
         }
     }
+
+    // Apply the worker-count override before any parallel sweep runs; 0
+    // (no --threads flag) keeps RAYON_NUM_THREADS / detected parallelism.
+    rayon::set_thread_count(thread_override);
 
     if !describe_args.is_empty() {
         for name in &describe_args {
@@ -722,7 +903,11 @@ fn main() {
         };
         write_file(path, &render_scenarios(&dumped));
         eprintln!("[repro] wrote {} scenario spec(s) to {path}", dumped.len());
-        if names.is_empty() && json_path.is_none() && bench_sweep_path.is_none() {
+        if names.is_empty()
+            && json_path.is_none()
+            && bench_sweep_path.is_none()
+            && cross_engine_path.is_none()
+        {
             return;
         }
     }
@@ -749,13 +934,19 @@ fn main() {
         true
     };
 
-    if let Some(path) = &bench_sweep_path {
-        run_bench_sweep(effort, path);
+    if let Some(path) = &cross_engine_path {
+        run_cross_engine_check(effort, path);
     }
-    // Scenario batches and --bench-sweep on their own only run what they
-    // name; experiments run too when named explicitly or when a --json
-    // report was requested.
-    if (ran_scenarios || bench_sweep_path.is_some()) && names.is_empty() && json_path.is_none() {
+    if let Some(path) = &bench_sweep_path {
+        run_bench_sweep(effort, path, thread_override);
+    }
+    // Scenario batches, --bench-sweep and --cross-engine-check on their own
+    // only run what they name; experiments run too when named explicitly or
+    // when a --json report was requested.
+    if (ran_scenarios || bench_sweep_path.is_some() || cross_engine_path.is_some())
+        && names.is_empty()
+        && json_path.is_none()
+    {
         return;
     }
 

@@ -1,0 +1,71 @@
+//! Cross-engine determinism: the event-driven scheduler must be an
+//! unobservable optimisation. Every registered architecture (open-loop
+//! ladder) and closed-loop workloads are run under both the per-cycle
+//! reference executor and the event-driven one, and the full
+//! `MetricReport`s — including quantile sketches and windowed-throughput
+//! samples — must be bitwise identical, down to the rendered metric bytes.
+//!
+//! This test owns the process-global engine flag, so it lives alone in its
+//! own integration-test binary (each Rust integration test file is a
+//! separate process; unit tests elsewhere must not toggle the flag).
+
+use pnoc_bench::runner::ensure_registered;
+use pnoc_sim::engine::set_event_driven;
+use pnoc_sim::metrics::JsonlSink;
+use pnoc_sim::registry::registered_architectures;
+use pnoc_sim::scenario::{run_specs, Effort, MatrixResult, ScenarioSpec};
+
+fn check_specs() -> Vec<ScenarioSpec> {
+    ensure_registered();
+    let architectures = registered_architectures();
+    assert!(
+        architectures.len() >= 3,
+        "expected the full architecture registry, got {architectures:?}"
+    );
+    let mut specs = Vec::new();
+    // Open-loop ladder on every registered architecture.
+    for name in &architectures {
+        specs.push(ScenarioSpec::new(name, "skewed-3").with_effort(Effort::Smoke));
+    }
+    // Closed-loop workloads: a collective and an incast, on both main
+    // architectures, so the DAG-drain path is covered too.
+    for workload in ["allreduce:8", "incast:16"] {
+        specs.push(ScenarioSpec::closed_loop("d-hetpnoc", workload).with_effort(Effort::Smoke));
+        specs.push(ScenarioSpec::closed_loop("firefly", workload).with_effort(Effort::Smoke));
+    }
+    specs
+}
+
+fn rendered_metrics(outcome: &MatrixResult) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    outcome
+        .write_metrics(&mut JsonlSink::new(&mut bytes))
+        .expect("rendering metrics to a Vec cannot fail");
+    bytes
+}
+
+#[test]
+fn event_driven_engine_is_bitwise_identical_to_per_cycle() {
+    let specs = check_specs();
+
+    set_event_driven(false);
+    let per_cycle = run_specs(&specs);
+    set_event_driven(true);
+    let per_cycle = per_cycle.expect("per-cycle reference batch failed");
+    let event = run_specs(&specs).expect("event-driven batch failed");
+
+    assert!(
+        per_cycle.bitwise_eq(&event),
+        "event-driven engine diverged from the per-cycle reference executor"
+    );
+    let per_cycle_bytes = rendered_metrics(&per_cycle);
+    let event_bytes = rendered_metrics(&event);
+    assert!(
+        !event_bytes.is_empty(),
+        "metric stream is empty — the batch ran nothing"
+    );
+    assert_eq!(
+        per_cycle_bytes, event_bytes,
+        "rendered metric streams differ between executors"
+    );
+}

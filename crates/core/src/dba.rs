@@ -178,8 +178,7 @@ impl DbaController {
             let acquired = self.token.allocate(want);
             state.current.acquire(&acquired);
         }
-        let request = state.request.clone();
-        state.current.refresh(&request);
+        state.current.refresh(&state.request);
     }
 
     /// Advances one cycle of token circulation; when the token arrives at a
@@ -189,6 +188,33 @@ impl DbaController {
         let arrived = self.ring.tick()?;
         self.on_token(arrived);
         Some(arrived)
+    }
+
+    /// The next cycle (`> now`) at which a token arrival — the only event
+    /// that can change the allocation — fires, assuming `now` is the cycle
+    /// of the most recent [`DbaController::tick`].
+    #[must_use]
+    pub fn next_token_cycle(&self, now: u64) -> u64 {
+        now + self.ring.cycles_until_arrival()
+    }
+
+    /// Fast-forwards `span` cycles, equivalent to calling
+    /// [`DbaController::tick`] `span` times: every token arrival inside the
+    /// span is processed in order, so the allocation state (and
+    /// [`DbaController::token_visits`]) ends up exactly as if the controller
+    /// had been ticked cycle by cycle.
+    pub fn skip_cycles(&mut self, mut span: u64) {
+        while span > 0 {
+            let until_arrival = self.ring.cycles_until_arrival();
+            if span < until_arrival {
+                self.ring.skip(span);
+                return;
+            }
+            span -= until_arrival;
+            self.ring.skip(until_arrival - 1);
+            let arrived = self.ring.tick().expect("token arrival is due this cycle");
+            self.on_token(arrived);
+        }
     }
 
     /// Circulates the token for up to `max_rotations` full rotations or until
@@ -364,5 +390,36 @@ mod tests {
             "some wavelengths must have been acquired"
         );
         assert!(c.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn skip_cycles_is_bitwise_identical_to_repeated_ticks() {
+        // Hop latency 3 so spans start and end mid-hop, exercising the
+        // partial skips on both sides of an arrival.
+        for span in [1u64, 2, 3, 5, 48, 97] {
+            let mut ticked = DbaController::new(16, 48, 1, 8, 3);
+            ticked.set_targets(&[8; 16]);
+            let mut skipped = ticked.clone();
+            for _ in 0..span {
+                let _ = ticked.tick();
+            }
+            skipped.skip_cycles(span);
+            assert_eq!(ticked, skipped, "span {span}");
+            assert!(skipped.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn next_token_cycle_predicts_the_next_arrival() {
+        let mut c = DbaController::new(4, 8, 1, 4, 3);
+        let mut now = 0u64;
+        let predicted = c.next_token_cycle(now);
+        loop {
+            now += 1;
+            if c.tick().is_some() {
+                break;
+            }
+        }
+        assert_eq!(now, predicted);
     }
 }

@@ -269,6 +269,12 @@ impl PhotonicFabric for DhetFabric {
         let _ = self.controller.tick();
     }
 
+    fn skip_cycles(&mut self, from: u64, to: u64) {
+        // The controller processes every token arrival inside the span
+        // through the same `on_token` path a per-cycle run would take.
+        self.controller.skip_cycles(to - from);
+    }
+
     fn pool_size(&self, src: ClusterId) -> usize {
         self.controller.pool(src)
     }

@@ -185,6 +185,32 @@ impl TokenRing {
             None
         }
     }
+
+    /// Cycles until the token arrives at the next router (≥ 1): the number
+    /// of [`TokenRing::tick`] calls after which the next arrival fires. This
+    /// is the ring's next-deadline accessor for the event-driven engine.
+    #[must_use]
+    pub fn cycles_until_arrival(&self) -> u64 {
+        self.cycles_until_next_hop
+    }
+
+    /// Fast-forwards `cycles` ticks **strictly within** the current hop:
+    /// equivalent to calling [`TokenRing::tick`] `cycles` times, all of
+    /// which would have returned `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the skip would reach or cross the next arrival
+    /// (`cycles >= cycles_until_arrival()`); arrivals must go through
+    /// [`TokenRing::tick`] so the holder rotation is observed.
+    pub fn skip(&mut self, cycles: u64) {
+        assert!(
+            cycles < self.cycles_until_next_hop,
+            "skip of {cycles} cycles would cross the token arrival due in {}",
+            self.cycles_until_next_hop
+        );
+        self.cycles_until_next_hop -= cycles;
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +272,26 @@ mod tests {
         }
         assert_eq!(arrivals, vec![1, 2, 3, 0, 1, 2, 3, 0]);
         assert_eq!(ring.worst_case_repossession_cycles(), 8);
+    }
+
+    #[test]
+    fn skip_matches_repeated_idle_ticks() {
+        let mut ticked = TokenRing::new(4, 5);
+        let mut skipped = ticked.clone();
+        assert_eq!(ticked.cycles_until_arrival(), 5);
+        for _ in 0..4 {
+            assert_eq!(ticked.tick(), None);
+        }
+        skipped.skip(4);
+        assert_eq!(ticked, skipped);
+        assert_eq!(skipped.cycles_until_arrival(), 1);
+        assert_eq!(skipped.tick(), Some(ClusterId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cross the token arrival")]
+    fn skip_across_an_arrival_is_rejected() {
+        let mut ring = TokenRing::new(4, 3);
+        ring.skip(3);
     }
 }

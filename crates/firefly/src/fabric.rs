@@ -76,6 +76,10 @@ impl PhotonicFabric for FireflyFabric {
 
     fn pre_cycle(&mut self, _cycle: u64) {}
 
+    fn skip_cycles(&mut self, _from: u64, _to: u64) {
+        // Firefly has no per-cycle control-plane state to advance.
+    }
+
     fn pool_size(&self, _src: ClusterId) -> usize {
         self.wavelengths_per_channel
     }

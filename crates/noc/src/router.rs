@@ -97,6 +97,12 @@ pub struct ElectricalRouter {
     route_fn: Option<RouteFn>,
     forwarded_flits: u64,
     forwarded_bits: u64,
+    /// Per-cycle working storage, kept across cycles so [`Self::step`] never
+    /// allocates: one nomination slot per input port, one request flag per VC
+    /// (stage 1) and one per input port (stage 3).
+    scratch_nominations: Vec<Option<(VcId, PortId)>>,
+    scratch_vc_requests: Vec<bool>,
+    scratch_port_requests: Vec<bool>,
 }
 
 impl fmt::Debug for ElectricalRouter {
@@ -129,6 +135,9 @@ impl ElectricalRouter {
             route_fn: None,
             forwarded_flits: 0,
             forwarded_bits: 0,
+            scratch_nominations: vec![None; spec.num_ports],
+            scratch_vc_requests: vec![false; spec.num_vcs],
+            scratch_port_requests: vec![false; spec.num_ports],
         }
     }
 
@@ -243,11 +252,24 @@ impl ElectricalRouter {
     ///
     /// Panics if no routing function has been installed and a head flit needs
     /// routing.
+    pub fn step<F>(&mut self, cycle: u64, can_send: F) -> Vec<OutputGrant>
+    where
+        F: FnMut(PortId, VcId, &Flit) -> bool,
+    {
+        let mut grants = Vec::new();
+        self.step_into(cycle, can_send, &mut grants);
+        grants
+    }
+
+    /// Allocation-free variant of [`Self::step`]: appends this cycle's output
+    /// grants to `grants` instead of returning a fresh `Vec`. The buffer is
+    /// **not** cleared — the hot loop of `pnoc-sim` reuses one buffer across
+    /// all switches of a cycle.
     // Index-based loops: the bodies index several parallel per-port /
     // per-VC structures while mutably borrowing `self.inputs`, which
     // iterator adapters cannot express.
     #[allow(clippy::needless_range_loop)]
-    pub fn step<F>(&mut self, cycle: u64, mut can_send: F) -> Vec<OutputGrant>
+    pub fn step_into<F>(&mut self, cycle: u64, mut can_send: F, grants: &mut Vec<OutputGrant>)
     where
         F: FnMut(PortId, VcId, &Flit) -> bool,
     {
@@ -259,10 +281,10 @@ impl ElectricalRouter {
         // For every input port pick one candidate VC whose head-of-line flit
         // is eligible (pipeline latency satisfied), routed, and whose
         // downstream buffer can take it.
-        let mut nominations: Vec<Option<(VcId, PortId)>> = vec![None; num_ports];
+        self.scratch_nominations.fill(None);
         for p in 0..num_ports {
             // Route any head flit that does not have an output assignment yet.
-            let mut requests = vec![false; self.spec.num_vcs];
+            self.scratch_vc_requests.fill(false);
             for v in 0..self.spec.num_vcs {
                 let set = &mut self.inputs[p];
                 let vc = set.vc_mut(VcId(v)).expect("vc index in range");
@@ -296,31 +318,33 @@ impl ElectricalRouter {
                 }
                 let out = vc.assigned_output().expect("just assigned");
                 if can_send(out, VcId(v), &flit) && self.crossbar.output_free(out) {
-                    requests[v] = true;
+                    self.scratch_vc_requests[v] = true;
                 }
             }
-            if let Some(winner) = self.input_arbiters[p].grant(&requests) {
+            if let Some(winner) = self.input_arbiters[p].grant(&self.scratch_vc_requests) {
                 let out = self.inputs[p]
                     .vc(VcId(winner))
                     .expect("vc in range")
                     .assigned_output()
                     .expect("candidate has assignment");
-                nominations[p] = Some((VcId(winner), out));
+                self.scratch_nominations[p] = Some((VcId(winner), out));
             }
         }
 
         // Stage 3: output arbitration — each output port picks one nominating
         // input port; the crossbar connection is established and the flit
         // leaves the router.
-        let mut grants = Vec::new();
         for out in 0..num_ports {
-            let requests: Vec<bool> = (0..num_ports)
-                .map(|p| nominations[p].map(|(_, o)| o.0 == out).unwrap_or(false))
-                .collect();
-            let Some(winner_port) = self.output_arbiters[out].grant(&requests) else {
+            for p in 0..num_ports {
+                self.scratch_port_requests[p] = self.scratch_nominations[p]
+                    .map(|(_, o)| o.0 == out)
+                    .unwrap_or(false);
+            }
+            let Some(winner_port) = self.output_arbiters[out].grant(&self.scratch_port_requests)
+            else {
                 continue;
             };
-            let (vc, _) = nominations[winner_port].expect("winner nominated");
+            let (vc, _) = self.scratch_nominations[winner_port].expect("winner nominated");
             if self
                 .crossbar
                 .connect(PortId(winner_port), PortId(out))
@@ -341,7 +365,6 @@ impl ElectricalRouter {
                 flit,
             });
         }
-        grants
     }
 }
 

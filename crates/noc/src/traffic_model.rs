@@ -70,6 +70,23 @@ pub trait TrafficModel {
 
     /// Human-readable name used in reports ("uniform-random", "skewed-3", ...).
     fn name(&self) -> String;
+
+    /// The earliest future cycle (`> now`) at which this model could generate
+    /// a packet, or `None` if it will never generate again. Consulted by the
+    /// event-driven engine **only while the network is otherwise idle**, to
+    /// decide how far the clock may fast-forward.
+    ///
+    /// The default — `Some(now + 1)` — is always safe and must be kept by
+    /// models whose generation decision consumes RNG state per poll (they
+    /// cannot look ahead without perturbing their stream). Only models with a
+    /// deterministic release schedule (paced workload flows, periodic test
+    /// generators) should override this; an override must guarantee that
+    /// `next_packet` returns `None` for every core at every cycle strictly
+    /// before the returned one, and that the skipped polls would not have
+    /// mutated observable model state.
+    fn next_generation_cycle(&self, now: u64) -> Option<u64> {
+        Some(now + 1)
+    }
 }
 
 /// Blanket implementation so that boxed traffic models can be used wherever a
@@ -101,6 +118,10 @@ impl<T: TrafficModel + ?Sized> TrafficModel for Box<T> {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn next_generation_cycle(&self, now: u64) -> Option<u64> {
+        (**self).next_generation_cycle(now)
     }
 }
 
@@ -169,5 +190,7 @@ mod tests {
             boxed.demand_class(ClusterId(0), ClusterId(1)),
             BandwidthClass::MediumHigh
         );
+        // Default lookahead: always the very next cycle.
+        assert_eq!(boxed.next_generation_cycle(41), Some(42));
     }
 }

@@ -1,22 +1,28 @@
-//! The simulation driver.
-//!
-//! A network implementation (the [`crate::system::PhotonicSystem`], or any
-//! other model implementing [`CycleNetwork`]) is driven for
-//! `warmup_cycles + sim_cycles` cycles; statistics and energy accounting are
-//! reset at the end of the warm-up window so that only steady-state behaviour
-//! is measured, matching the paper's "10000 [cycles] with 1000 reset cycle"
-//! methodology (Table 3-3).
-//!
-//! Observability is push-based: [`run_to_completion_with`] drives any number
-//! of [`Probe`]s, forwarding the [`SimEvent`]s the network emits through
-//! [`CycleNetwork::step_observed`] during the measurement window. The legacy
-//! pull-only [`CycleNetwork::stats`] snapshot remains the compatibility
-//! currency (every probe run still returns it), but new metrics belong in
-//! [`crate::metrics`] probes — see [`crate::metrics::MetricsProbe`].
+#![doc = include_str!("engine.md")]
 
 use crate::config::SimConfig;
 use crate::metrics::{EventSink, NullSink, Probe, SimEvent};
 use crate::stats::SimStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide executor selector: `true` (the default) lets the engine act
+/// on [`CycleNetwork::next_event_cycle`]; `false` forces the per-cycle
+/// reference executor used by cross-engine determinism checks.
+static EVENT_DRIVEN: AtomicBool = AtomicBool::new(true);
+
+/// Selects the executor for subsequent engine runs: `true` (the default)
+/// enables idle-gap fast-forwarding, `false` forces stepping every cycle.
+/// Both executors produce bitwise-identical results; the per-cycle mode
+/// exists as the reference for cross-engine determinism diffs.
+pub fn set_event_driven(enabled: bool) {
+    EVENT_DRIVEN.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the event-driven executor is currently enabled.
+#[must_use]
+pub fn event_driven_enabled() -> bool {
+    EVENT_DRIVEN.load(Ordering::Relaxed)
+}
 
 /// A network that can be advanced cycle by cycle.
 pub trait CycleNetwork {
@@ -43,7 +49,8 @@ pub trait CycleNetwork {
     /// This is the legacy pull-only surface; it stays because [`SimStats`]
     /// remains the workspace's compatibility currency, but new metrics
     /// should be observed through [`Probe`]s instead of growing this
-    /// snapshot.
+    /// snapshot. The engine takes this snapshot exactly once, after the last
+    /// cycle of a run — it is never on the per-cycle hot path.
     fn stats(&self) -> SimStats;
 
     /// The configuration the network was built with.
@@ -51,6 +58,30 @@ pub trait CycleNetwork {
 
     /// Architecture name used in reports.
     fn architecture(&self) -> &str;
+
+    /// The earliest cycle `> now` at which stepping this network could
+    /// differ from doing nothing, or `None` if no future step will ever
+    /// change anything.
+    ///
+    /// The default — `Some(now + 1)` — declares every cycle potentially
+    /// eventful and preserves pure per-cycle execution. An implementation
+    /// may only answer a later cycle when every step in between would be a
+    /// bitwise no-op (no state change, no event, no RNG draw); it must then
+    /// also override [`CycleNetwork::skip_cycles`] if it has any per-cycle
+    /// bookkeeping. See `engine.md` for the full scheduler contract.
+    fn next_event_cycle(&mut self, now: u64) -> Option<u64> {
+        Some(now + 1)
+    }
+
+    /// Fast-forwards the network across the provably idle cycles
+    /// `from..to` (exclusive of `to`, which the engine steps normally).
+    /// Must leave the network bitwise-identical to stepping each skipped
+    /// cycle. Only called for gaps this network itself announced through
+    /// [`CycleNetwork::next_event_cycle`]; the default is a no-op, matching
+    /// the default `next_event_cycle` that never opens a gap.
+    fn skip_cycles(&mut self, from: u64, to: u64) {
+        let _ = (from, to);
+    }
 }
 
 /// Fans one event stream out to a probe slice, gated on the measurement
@@ -68,6 +99,36 @@ impl EventSink for ProbeFanout<'_, '_> {
             }
         }
     }
+}
+
+/// After stepping `cycle`, decides how far the clock may jump (never past
+/// `limit`) and performs the fast-forward: the network skips the gap in one
+/// call and, when measuring, every probe sees `on_cycle_end` once per
+/// skipped cycle so windowed metrics close at exactly the same cycles as
+/// under per-cycle execution. Returns the next cycle to step.
+fn advance_clock<N: CycleNetwork + ?Sized>(
+    network: &mut N,
+    fanout: &mut ProbeFanout<'_, '_>,
+    cycle: u64,
+    limit: u64,
+) -> u64 {
+    let next = if event_driven_enabled() {
+        network.next_event_cycle(cycle)
+    } else {
+        Some(cycle + 1)
+    };
+    let target = next.unwrap_or(limit).clamp(cycle + 1, limit);
+    if target > cycle + 1 {
+        network.skip_cycles(cycle + 1, target);
+        if fanout.measuring {
+            for skipped in cycle + 1..target {
+                for probe in fanout.probes.iter_mut() {
+                    probe.on_cycle_end(skipped);
+                }
+            }
+        }
+    }
+    target
 }
 
 /// Runs a network for its configured warm-up + measurement window while
@@ -89,7 +150,8 @@ pub fn run_to_completion_with<N: CycleNetwork + ?Sized>(
         probes,
         measuring: false,
     };
-    for cycle in 0..total {
+    let mut cycle = 0;
+    while cycle < total {
         if cycle == warmup {
             network.begin_measurement(cycle);
             fanout.measuring = true;
@@ -103,6 +165,10 @@ pub fn run_to_completion_with<N: CycleNetwork + ?Sized>(
                 probe.on_cycle_end(cycle);
             }
         }
+        // Fast-forwarding must land exactly on the warm-up boundary so
+        // `begin_measurement` fires at the configured cycle.
+        let limit = if cycle < warmup { warmup } else { total };
+        cycle = advance_clock(network, &mut fanout, cycle, limit);
     }
     let stats = network.stats();
     for probe in probes.iter_mut() {
@@ -141,7 +207,8 @@ pub fn run_until_with<N: CycleNetwork + ?Sized>(
     for probe in fanout.probes.iter_mut() {
         probe.on_measurement_begin(0);
     }
-    for cycle in 0..max_cycles {
+    let mut cycle = 0;
+    while cycle < max_cycles {
         network.step_observed(cycle, &mut fanout);
         for probe in fanout.probes.iter_mut() {
             probe.on_cycle_end(cycle);
@@ -149,6 +216,9 @@ pub fn run_until_with<N: CycleNetwork + ?Sized>(
         if drained(cycle) {
             break;
         }
+        // Drain state can only change on a stepped cycle (it is driven by
+        // deliveries), so it cannot flip inside a skipped gap.
+        cycle = advance_clock(network, &mut fanout, cycle, max_cycles);
     }
     let stats = network.stats();
     for probe in probes.iter_mut() {
@@ -326,5 +396,200 @@ mod tests {
         let _ = run_to_completion_with(&mut net, &mut [&mut a, &mut b]);
         assert_eq!(a.events, b.events);
         assert_eq!(a.events, 50);
+    }
+
+    /// A network with one event every `period` cycles and nothing in
+    /// between: the event-driven engine can skip the gaps, the per-cycle
+    /// engine steps through them. Both must agree on every observable.
+    struct Pulsed {
+        config: SimConfig,
+        period: u64,
+        steps: u64,
+        skips: u64,
+        measured: u64,
+        measured_from: Option<u64>,
+    }
+
+    impl Pulsed {
+        fn new(warmup: u64, sim: u64, period: u64) -> Self {
+            let mut config = SimConfig::fast(BandwidthSet::Set1);
+            config.warmup_cycles = warmup;
+            config.sim_cycles = sim;
+            Pulsed {
+                config,
+                period,
+                steps: 0,
+                skips: 0,
+                measured: 0,
+                measured_from: None,
+            }
+        }
+    }
+
+    impl CycleNetwork for Pulsed {
+        fn step(&mut self, cycle: u64) {
+            self.step_observed(cycle, &mut NullSink);
+        }
+
+        fn step_observed(&mut self, cycle: u64, sink: &mut dyn EventSink) {
+            self.steps += 1;
+            self.measured += 1;
+            if cycle.is_multiple_of(self.period) {
+                sink.emit(
+                    cycle,
+                    SimEvent::PacketDelivered {
+                        src: CoreId(0),
+                        dst: CoreId(1),
+                        latency: cycle,
+                    },
+                );
+            }
+        }
+
+        fn begin_measurement(&mut self, cycle: u64) {
+            self.measured_from = Some(cycle);
+            self.measured = 0;
+        }
+
+        fn stats(&self) -> SimStats {
+            let mut s = SimStats::new("pulsed", "none", 0.0, Clock::paper_default());
+            s.measured_cycles = self.measured;
+            s
+        }
+
+        fn config(&self) -> &SimConfig {
+            &self.config
+        }
+
+        fn architecture(&self) -> &str {
+            "pulsed"
+        }
+
+        fn next_event_cycle(&mut self, now: u64) -> Option<u64> {
+            Some(((now / self.period) + 1) * self.period)
+        }
+
+        fn skip_cycles(&mut self, from: u64, to: u64) {
+            self.skips += 1;
+            self.measured += to - from;
+        }
+    }
+
+    /// One test owns every toggle of the process-wide executor flag, so the
+    /// other tests of this binary never race against a temporarily forced
+    /// per-cycle mode (they are bitwise-identical under both anyway).
+    #[test]
+    fn event_driven_skips_idle_gaps_and_matches_per_cycle_bitwise() {
+        let run = |net: &mut Pulsed| {
+            let mut probe = LifecycleProbe::default();
+            let stats = run_to_completion_with(net, &mut [&mut probe]);
+            (
+                stats.measured_cycles,
+                probe.events,
+                probe.cycle_ends,
+                probe.measurement_begun_at,
+                probe.first_event_cycle,
+            )
+        };
+
+        assert!(event_driven_enabled(), "event mode is the default");
+        let mut event_net = Pulsed::new(100, 400, 10);
+        let event_obs = run(&mut event_net);
+        assert_eq!(event_net.measured_from, Some(100));
+        assert!(
+            event_net.skips > 0,
+            "period-10 pulses must open skippable gaps"
+        );
+        assert!(
+            event_net.steps < 100,
+            "only ~one step per pulse expected, got {}",
+            event_net.steps
+        );
+
+        set_event_driven(false);
+        let mut reference_net = Pulsed::new(100, 400, 10);
+        let reference_obs = run(&mut reference_net);
+        set_event_driven(true);
+
+        assert_eq!(reference_net.steps, 500, "per-cycle mode steps every cycle");
+        assert_eq!(reference_net.skips, 0);
+        assert_eq!(event_obs, reference_obs);
+        // Both saw the full 400 measured cycles and every in-window pulse.
+        assert_eq!(event_obs.0, 400);
+        assert_eq!(event_obs.2, 400);
+        assert_eq!(event_obs.3, Some(100));
+        assert_eq!(event_obs.4, Some(100));
+    }
+
+    #[test]
+    fn fast_forward_lands_exactly_on_the_warmup_boundary() {
+        // Warm-up 105 is not a pulse multiple: the jump from cycle 100's
+        // pulse toward 110 must be clamped to 105 so measurement starts
+        // there, not after it.
+        let mut net = Pulsed::new(105, 95, 10);
+        let stats = run_to_completion(&mut net);
+        assert_eq!(net.measured_from, Some(105));
+        assert_eq!(stats.measured_cycles, 95);
+    }
+
+    #[test]
+    fn run_until_with_fast_forwards_to_the_cycle_cap() {
+        // Never drains: the engine should skip straight across each idle
+        // gap and still report exactly `max_cycles` measured cycles.
+        let mut net = Pulsed::new(0, 0, 25);
+        let stats = run_until_with(&mut net, &mut [], |_| false, 101);
+        assert_eq!(stats.measured_cycles, 101);
+        assert!(net.steps < 10, "expected ~5 pulse steps, got {}", net.steps);
+    }
+
+    #[test]
+    fn none_from_next_event_cycle_jumps_to_the_horizon() {
+        /// A network that dies after cycle 3: no event will ever fire again.
+        struct Dead {
+            config: SimConfig,
+            steps: u64,
+            measured: u64,
+        }
+        impl CycleNetwork for Dead {
+            fn step(&mut self, _cycle: u64) {
+                self.steps += 1;
+                self.measured += 1;
+            }
+            fn begin_measurement(&mut self, _cycle: u64) {
+                self.measured = 0;
+            }
+            fn stats(&self) -> SimStats {
+                let mut s = SimStats::new("dead", "none", 0.0, Clock::paper_default());
+                s.measured_cycles = self.measured;
+                s
+            }
+            fn config(&self) -> &SimConfig {
+                &self.config
+            }
+            fn architecture(&self) -> &str {
+                "dead"
+            }
+            fn next_event_cycle(&mut self, now: u64) -> Option<u64> {
+                if now < 3 {
+                    Some(now + 1)
+                } else {
+                    None
+                }
+            }
+            fn skip_cycles(&mut self, from: u64, to: u64) {
+                self.measured += to - from;
+            }
+        }
+        let mut config = SimConfig::fast(BandwidthSet::Set1);
+        config.warmup_cycles = 0;
+        config.sim_cycles = 1_000;
+        let mut net = Dead {
+            config,
+            steps: 0,
+            measured: 0,
+        };
+        let stats = run_to_completion(&mut net);
+        assert_eq!(stats.measured_cycles, 1_000);
+        assert_eq!(net.steps, 4, "cycles 0..=3 step, the rest is one skip");
     }
 }

@@ -398,6 +398,24 @@ impl TrafficModel for FlowTraffic {
     fn name(&self) -> String {
         format!("workload:{}", self.workload.name())
     }
+
+    fn next_generation_cycle(&self, now: u64) -> Option<u64> {
+        let state = self.state.lock().expect("flow state poisoned");
+        // A released flow can emit on its very next poll.
+        if state.ready.iter().any(|q| !q.is_empty()) {
+            return Some(now + 1);
+        }
+        // Otherwise the earliest timed release bounds the next emission; the
+        // engine lands exactly on `due`, so `released_at = cycle.max(due)`
+        // matches a per-cycle run bitwise. With no timed flow left either,
+        // only a delivery could release work — and the engine only consults
+        // this answer when the network is fully drained, so nothing will
+        // ever happen again (a wedged DAG fast-forwards to the cycle cap).
+        state
+            .timed
+            .peek()
+            .map(|&Reverse((due, _))| due.max(now + 1))
+    }
 }
 
 /// The flow-observing [`Probe`]: closes the loop (pacing window, delivery

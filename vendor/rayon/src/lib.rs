@@ -38,6 +38,16 @@ pub fn set_thread_count(threads: usize) {
     THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
 }
 
+/// Number of worker threads a parallel pipeline over `jobs` items would use
+/// right now, resolving the same precedence as the pipelines themselves:
+/// [`set_thread_count`] override, then `RAYON_NUM_THREADS`, then the detected
+/// parallelism — capped at the job count. Lets callers report the actual
+/// worker count instead of guessing.
+#[must_use]
+pub fn current_thread_count(jobs: usize) -> usize {
+    thread_count(jobs)
+}
+
 /// Number of worker threads to use for `jobs` items.
 fn thread_count(jobs: usize) -> usize {
     let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
