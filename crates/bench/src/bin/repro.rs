@@ -56,9 +56,27 @@
 //! repro --from-scenarios FILE  # load scenario specs from a JSON file and
 //!                              # run them as one batch
 //!
+//! repro --quick --matrix --cache-dir cache/
+//!                            # content-addressed result cache: points whose
+//!                            # (scenario, seed, load, engine fingerprint) key
+//!                            # is already in cache/ are served without
+//!                            # simulating; misses are simulated and stored.
+//!                            # Caching is OFF unless --cache-dir is given.
+//! repro --no-cache           # force caching off (overrides --cache-dir)
+//! repro --serve 127.0.0.1:9119 --cache-dir cache/
+//!                            # simulation-as-a-service: POST a scenario
+//!                            # document (--dump-scenarios format) to /run and
+//!                            # stream back one summary line plus the JSONL
+//!                            # metric rows; GET /health and /stats also
+//!                            # answer. Cached points are answered without
+//!                            # invoking the simulation engine.
+//! repro --serve-requests N   # with --serve: exit after N connections
+//!                            # (smoke tests / CI)
+//!
 //! repro --bench-sweep        # time sequential vs parallel sweeps for every
 //!                            # registered architecture and write
-//!                            # BENCH_sweep.json (wall-clock + peak bandwidth)
+//!                            # BENCH_sweep.json (wall-clock + peak bandwidth
+//!                            # + cold/warm result-cache timings)
 //! repro --bench-sweep=FILE   # same, custom output path
 //! repro --threads 4          # force the parallel-sweep worker count
 //!                            # (overrides RAYON_NUM_THREADS and the
@@ -77,12 +95,16 @@ use pnoc_bench::runner::{
     ensure_registered, latency_percentiles_at_saturation, Architecture, EffortLevel, TrafficKind,
 };
 use pnoc_bench::scenario_io::{matrix_json, parse_scenarios, render_scenarios};
+use pnoc_bench::server::{serve, ServerOptions};
 use pnoc_sim::config::BandwidthSet;
 use pnoc_sim::metrics::{CsvSink, JsonlSink, MetricValue};
 use pnoc_sim::params::ArchParams;
 use pnoc_sim::report::{fmt_f, Table};
-use pnoc_sim::scenario::{run_specs, MatrixResult, ScenarioMatrix, ScenarioSpec};
+use pnoc_sim::scenario::{
+    run_specs, run_specs_with_cache, MatrixResult, PointCache, ScenarioMatrix, ScenarioSpec,
+};
 use pnoc_sim::sweep::SweepMode;
+use pnoc_store::ResultStore;
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -231,14 +253,20 @@ fn parse_param_axis(text: &str) -> Result<(String, Vec<String>), String> {
 /// Runs a batch of scenario specs through the flattened matrix engine and
 /// prints the per-scenario summary table. With `percentiles`, the table
 /// gains p50/p95/p99 latency columns read from the streamed per-point
-/// metric reports (at each scenario's saturation point).
-fn run_scenario_batch(specs: &[ScenarioSpec], percentiles: bool) -> MatrixResult {
+/// metric reports (at each scenario's saturation point). With a `cache`,
+/// already-stored points are served without simulating and fresh points are
+/// stored back.
+fn run_scenario_batch(
+    specs: &[ScenarioSpec],
+    percentiles: bool,
+    cache: Option<&dyn PointCache>,
+) -> MatrixResult {
     ensure_registered();
     eprintln!(
         "[repro] running {} scenario(s) through the batch engine ...",
         specs.len()
     );
-    let outcome = run_specs(specs).unwrap_or_else(|error| {
+    let outcome = run_specs_with_cache(specs, cache).unwrap_or_else(|error| {
         eprintln!("{error}");
         std::process::exit(2);
     });
@@ -282,6 +310,12 @@ fn run_scenario_batch(specs: &[ScenarioSpec], percentiles: bool) -> MatrixResult
         outcome.unique_points,
         outcome.wall_clock_seconds
     );
+    if cache.is_some() {
+        eprintln!(
+            "[repro] cache: {} hit(s), {} miss(es), {} stored",
+            outcome.cache.hits, outcome.cache.misses, outcome.cache.stored
+        );
+    }
     outcome
 }
 
@@ -357,6 +391,74 @@ fn print_workload_table(outcome: &MatrixResult) {
             .expect("row built from the header above");
     }
     println!("{table}");
+}
+
+/// Measures the result cache end-to-end for `BENCH_sweep.json`: runs the
+/// default quick matrix twice against a fresh temporary store — cold
+/// (everything simulated and stored) and warm (every point served from the
+/// cache) — asserting that the warm outcome is bitwise-identical and that
+/// both rendered documents (matrix JSON and JSONL metric stream) match
+/// byte-for-byte. Returns `(cold_seconds, warm_seconds, cached_points)`.
+///
+/// Always quick-effort, independent of the CLI flag: the measurement gates
+/// on the *ratio* (CI requires warm ≥ 5x faster), not on absolute time.
+fn run_cache_warm_measurement() -> (f64, f64, usize) {
+    let specs = default_matrix(EffortLevel::Quick, &[], &[]).specs();
+    let dir = std::env::temp_dir().join(format!("pnoc-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot open cache dir {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[repro] cache cold/warm: quick matrix, {} scenario(s) ...",
+        specs.len()
+    );
+    let run = |label: &str| -> (MatrixResult, f64) {
+        let started = Instant::now();
+        let outcome = run_specs_with_cache(&specs, Some(&store)).unwrap_or_else(|error| {
+            eprintln!("{label} cache run failed: {error}");
+            std::process::exit(2);
+        });
+        (outcome, started.elapsed().as_secs_f64())
+    };
+    let (cold, cold_seconds) = run("cold");
+    assert_eq!(cold.cache.hits, 0, "cold run hit a freshly created cache");
+    let (warm, warm_seconds) = run("warm");
+    assert_eq!(warm.cache.misses, 0, "warm run missed the cache");
+    assert_eq!(
+        warm.cache.hits, warm.unique_points,
+        "warm run did not serve every unique point from the cache"
+    );
+    assert!(
+        cold.bitwise_eq(&warm),
+        "cache round-trip changed simulation results"
+    );
+    let render_rows = |outcome: &MatrixResult| -> Vec<u8> {
+        let mut sink = JsonlSink::new(Vec::new());
+        outcome
+            .write_metrics(&mut sink)
+            .expect("rendering into memory cannot fail");
+        sink.into_inner()
+    };
+    assert_eq!(
+        matrix_json(&cold).render(),
+        matrix_json(&warm).render(),
+        "matrix documents differ between cold and warm runs"
+    );
+    assert_eq!(
+        render_rows(&cold),
+        render_rows(&warm),
+        "metric streams differ between cold and warm runs"
+    );
+    eprintln!(
+        "[repro]   cache: cold {cold_seconds:.2}s, warm {warm_seconds:.2}s ({:.1}x), \
+         {} point(s) served warm",
+        cold_seconds / warm_seconds.max(1e-9),
+        warm.cache.hits
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    (cold_seconds, warm_seconds, warm.cache.hits)
 }
 
 /// Times sequential vs parallel saturation sweeps for every registered
@@ -490,6 +592,7 @@ fn run_bench_sweep(effort: EffortLevel, path: &str, thread_override: usize) {
         }
     }
     rayon::set_thread_count(thread_override);
+    let (cache_cold_seconds, cache_warm_seconds, cache_points) = run_cache_warm_measurement();
     let doc = Json::obj(vec![
         ("generated_by", Json::str("repro --bench-sweep")),
         ("effort", Json::str(effort.label())),
@@ -498,6 +601,13 @@ fn run_bench_sweep(effort: EffortLevel, path: &str, thread_override: usize) {
         ("threads", Json::Num(threads as f64)),
         ("architectures", Json::Arr(entries)),
         ("thread_scaling", Json::Arr(scaling)),
+        ("cache_cold_seconds", Json::Num(cache_cold_seconds)),
+        ("cache_warm_seconds", Json::Num(cache_warm_seconds)),
+        (
+            "cache_warm_speedup",
+            Json::Num(cache_cold_seconds / cache_warm_seconds.max(1e-9)),
+        ),
+        ("cache_points", Json::Num(cache_points as f64)),
     ]);
     write_file(path, &(doc.render() + "\n"));
     eprintln!("[repro] wrote {path}");
@@ -601,6 +711,10 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut metrics_format = MetricsFormat::Jsonl;
     let mut percentiles = false;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
+    let mut serve_addr: Option<String> = None;
+    let mut serve_requests: Option<u64> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -760,6 +874,43 @@ fn main() {
                 }
             }
             "--percentiles" => percentiles = true,
+            "--cache-dir" => match iter.next() {
+                Some(dir) => cache_dir = Some(dir),
+                None => {
+                    eprintln!("--cache-dir requires a directory path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--cache-dir=") => {
+                cache_dir = Some(other["--cache-dir=".len()..].to_string());
+            }
+            "--no-cache" => no_cache = true,
+            "--serve" => match iter.next() {
+                Some(addr) => serve_addr = Some(addr),
+                None => {
+                    eprintln!("--serve requires a listen address (e.g. 127.0.0.1:9119)");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--serve=") => {
+                serve_addr = Some(other["--serve=".len()..].to_string());
+            }
+            "--serve-requests" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => serve_requests = Some(n),
+                _ => {
+                    eprintln!("--serve-requests requires a positive request count");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--serve-requests=") => {
+                match other["--serve-requests=".len()..].parse::<u64>() {
+                    Ok(n) if n > 0 => serve_requests = Some(n),
+                    _ => {
+                        eprintln!("--serve-requests requires a positive request count");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--bench-sweep" => bench_sweep_path = Some("BENCH_sweep.json".to_string()),
             other if other.starts_with("--bench-sweep=") => {
                 bench_sweep_path = Some(other["--bench-sweep=".len()..].to_string());
@@ -794,6 +945,8 @@ fn main() {
                      \x20            [--matrix[=FILE]] [--arch SPEC]... [--arch-params K=V1,V2]...\n\
                      \x20            [--workload NAME[:SIZE]]... [--batch-json FILE]\n\
                      \x20            [--metrics FILE] [--metrics-format jsonl|csv] [--percentiles]\n\
+                     \x20            [--cache-dir DIR] [--no-cache]\n\
+                     \x20            [--serve ADDR] [--serve-requests N]\n\
                      \x20            [--dump-scenarios FILE] [--from-scenarios FILE]\n\
                      \x20            [--describe-arch NAME] [--list-architectures]\n\
                      \x20            [--list-traffic] [--list-workloads] [EXPERIMENT ...]\n\
@@ -818,6 +971,60 @@ fn main() {
         for name in &describe_args {
             describe_architecture(name);
         }
+        return;
+    }
+
+    // The result cache is strictly opt-in: no --cache-dir (or an explicit
+    // --no-cache) means every point simulates, exactly as before PR 7.
+    let store: Option<ResultStore> = match (&cache_dir, no_cache) {
+        (Some(dir), false) => {
+            let store = ResultStore::open(dir).unwrap_or_else(|error| {
+                eprintln!("cannot open cache directory {dir}: {error}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "[repro] result cache at {dir} ({} entr{})",
+                store.entry_count(),
+                if store.entry_count() == 1 { "y" } else { "ies" }
+            );
+            Some(store)
+        }
+        _ => None,
+    };
+    let cache: Option<&dyn PointCache> = store.as_ref().map(|s| s as &dyn PointCache);
+
+    if let Some(addr) = &serve_addr {
+        let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|error| {
+            eprintln!("cannot listen on {addr}: {error}");
+            std::process::exit(1);
+        });
+        let local = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        eprintln!(
+            "[repro] serving on http://{local} (POST /run, GET /health, GET /stats){}",
+            match serve_requests {
+                Some(n) => format!(", exiting after {n} request(s)"),
+                None => String::new(),
+            }
+        );
+        let report = serve(
+            &listener,
+            &ServerOptions {
+                cache,
+                max_requests: serve_requests,
+                quiet: false,
+            },
+        )
+        .unwrap_or_else(|error| {
+            eprintln!("server failed: {error}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[repro] served {} request(s): {} run(s), {} point(s), \
+             {} cache hit(s), {} cache miss(es)",
+            report.requests, report.runs, report.points, report.cache_hits, report.cache_misses
+        );
         return;
     }
 
@@ -919,7 +1126,7 @@ fn main() {
     let ran_scenarios = if specs.is_empty() {
         false
     } else {
-        let outcome = run_scenario_batch(&specs, percentiles);
+        let outcome = run_scenario_batch(&specs, percentiles, cache);
         if let Some(path) = &matrix_path {
             write_file(path, &(matrix_json(&outcome).render() + "\n"));
             eprintln!("[repro] wrote {path}");

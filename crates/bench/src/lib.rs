@@ -24,6 +24,7 @@ pub mod experiments;
 pub mod json;
 pub mod runner;
 pub mod scenario_io;
+pub mod server;
 
 pub use experiments::ExperimentReport;
 pub use runner::{Architecture, ComparisonRow, EffortLevel, TrafficKind};

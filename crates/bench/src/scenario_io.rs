@@ -413,9 +413,17 @@ mod tests {
             total_points: 6,
             unique_points: 5,
             wall_clock_seconds: 1.25,
+            cache: pnoc_sim::scenario::CacheStats {
+                hits: 3,
+                misses: 2,
+                stored: 2,
+            },
         };
         let text = matrix_json(&result).render();
         assert!(!text.contains("wall_clock"), "{text}");
+        // Cache accounting varies between cold and warm runs of the same
+        // matrix, so it must stay out of the deterministic document too.
+        assert!(!text.contains("cache"), "{text}");
         assert!(text.contains("\"unique_points\": 5"));
     }
 }

@@ -1,0 +1,264 @@
+//! Simulation-as-a-service: a std-only, hand-rolled HTTP/1.1 server.
+//!
+//! `repro --serve ADDR` turns the batch CLI into a long-running service:
+//! clients POST a scenario document (the same JSON `repro
+//! --from-scenarios` reads, parsed by [`crate::scenario_io`]), the server
+//! runs the batch through the shared matrix executor — consulting the
+//! result cache first when one is attached, so previously simulated points
+//! are answered **without simulating** — and streams the metric rows back
+//! as JSONL, byte-identical to what `repro --metrics` would have written
+//! for the same specs.
+//!
+//! The workspace builds offline against vendored shims (`vendor/README.md`),
+//! so there is no HTTP library to lean on; the protocol subset here
+//! (request line, `Content-Length` bodies, `Connection: close` responses)
+//! is deliberately small and fully under test.
+//!
+//! ## Endpoints
+//!
+//! | request | response |
+//! |---------|----------|
+//! | `POST /run` | `200 application/x-ndjson`: one summary object line (scenario/point/cache counts), then one JSONL metric row per point |
+//! | `GET /health` | `200 application/json`: status + engine fingerprint |
+//! | `GET /stats` | `200 application/json`: lifetime request/point/cache counters |
+//!
+//! Malformed requests get `400`, unknown paths `404`, other methods `405`;
+//! the connection is always closed after one response.
+
+use crate::json::Json;
+use crate::runner::ensure_registered;
+use crate::scenario_io::parse_scenarios;
+use pnoc_sim::metrics::JsonlSink;
+use pnoc_sim::scenario::{engine_fingerprint, run_specs_with_cache, PointCache};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// How a server instance runs.
+#[derive(Default)]
+pub struct ServerOptions<'a> {
+    /// The cross-run result cache to consult (hits bypass simulation).
+    pub cache: Option<&'a dyn PointCache>,
+    /// Stop after this many connections (smoke tests and CI); `None` serves
+    /// until the process is killed.
+    pub max_requests: Option<u64>,
+    /// Suppress per-request stderr logging.
+    pub quiet: bool,
+}
+
+/// Lifetime counters of one [`serve`] call, also exposed at `GET /stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Connections handled (any method, any outcome).
+    pub requests: u64,
+    /// Successful `POST /run` batches.
+    pub runs: u64,
+    /// Sweep points returned across all batches (before deduplication).
+    pub points: u64,
+    /// Deduplicated points answered from the cache without simulating.
+    pub cache_hits: u64,
+    /// Deduplicated points that had to be simulated.
+    pub cache_misses: u64,
+}
+
+/// Serves connections on `listener` until `options.max_requests` connections
+/// have been handled (forever when `None`). Connections are handled one at a
+/// time: the simulation executor already fans each batch out across the
+/// worker pool, so serialized request handling keeps results deterministic
+/// without a scheduling story.
+///
+/// # Errors
+///
+/// Propagates accept failures; per-connection I/O errors are logged and do
+/// not stop the server.
+pub fn serve(listener: &TcpListener, options: &ServerOptions<'_>) -> io::Result<ServerReport> {
+    ensure_registered();
+    let mut report = ServerReport::default();
+    while options.max_requests.is_none_or(|max| report.requests < max) {
+        let (stream, peer) = listener.accept()?;
+        report.requests += 1;
+        if let Err(error) = handle_connection(stream, options, &mut report) {
+            if !options.quiet {
+                eprintln!("[serve] connection from {peer} failed: {error}");
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    options: &ServerOptions<'_>,
+    report: &mut ServerReport,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(reason) => {
+            return write_response(
+                reader.into_inner(),
+                400,
+                "Bad Request",
+                "text/plain",
+                &format!("{reason}\n"),
+            );
+        }
+    };
+    let (status, reason, content_type, body) =
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/run") => match run_batch(&request.body, options, report) {
+                Ok(body) => (200, "OK", "application/x-ndjson", body),
+                Err(reason) => (400, "Bad Request", "text/plain", format!("{reason}\n")),
+            },
+            ("GET", "/health") => (
+                200,
+                "OK",
+                "application/json",
+                Json::obj(vec![
+                    ("status", Json::str("ok")),
+                    ("engine_fingerprint", Json::str(engine_fingerprint())),
+                ])
+                .render()
+                    + "\n",
+            ),
+            ("GET", "/stats") => (
+                200,
+                "OK",
+                "application/json",
+                Json::obj(vec![
+                    ("requests", Json::Num(report.requests as f64)),
+                    ("runs", Json::Num(report.runs as f64)),
+                    ("points", Json::Num(report.points as f64)),
+                    ("cache_hits", Json::Num(report.cache_hits as f64)),
+                    ("cache_misses", Json::Num(report.cache_misses as f64)),
+                ])
+                .render()
+                    + "\n",
+            ),
+            ("POST" | "GET", _) => (
+                404,
+                "Not Found",
+                "text/plain",
+                "unknown path (use POST /run, GET /health, GET /stats)\n".to_string(),
+            ),
+            _ => (
+                405,
+                "Method Not Allowed",
+                "text/plain",
+                "unsupported method\n".to_string(),
+            ),
+        };
+    if !options.quiet {
+        eprintln!(
+            "[serve] {} {} -> {status} ({} bytes)",
+            request.method,
+            request.path,
+            body.len()
+        );
+    }
+    write_response(reader.into_inner(), status, reason, content_type, &body)
+}
+
+/// Runs one posted scenario document and renders the ndjson response body:
+/// a summary line, then the metric rows in deterministic batch order.
+fn run_batch(
+    body: &str,
+    options: &ServerOptions<'_>,
+    report: &mut ServerReport,
+) -> Result<String, String> {
+    let specs = parse_scenarios(body)?;
+    if specs.is_empty() {
+        return Err("scenario document contains no scenarios".to_string());
+    }
+    let result = run_specs_with_cache(&specs, options.cache).map_err(|error| error.to_string())?;
+    report.runs += 1;
+    report.points += result.total_points as u64;
+    report.cache_hits += result.cache.hits as u64;
+    report.cache_misses += result.cache.misses as u64;
+
+    // Compact one-line summary first — a streaming client learns the batch
+    // shape (and whether the cache answered everything) before any row.
+    let mut out = format!(
+        "{{\"scenarios\":{},\"total_points\":{},\"unique_points\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"simulated\":{}}}\n",
+        result.scenarios.len(),
+        result.total_points,
+        result.unique_points,
+        result.cache.hits,
+        result.cache.misses,
+        result.cache.misses,
+    );
+    let mut sink = JsonlSink::new(Vec::new());
+    result
+        .write_metrics(&mut sink)
+        .map_err(|error| format!("rendering metric rows failed: {error}"))?;
+    out.push_str(std::str::from_utf8(&sink.into_inner()).expect("JSONL rows are UTF-8"));
+    Ok(out)
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request (request line, headers, `Content-Length`
+/// body). Returns a human-readable reason on anything malformed.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+    let mut request_line = String::new();
+    reader
+        .read_line(&mut request_line)
+        .map_err(|error| format!("reading request line failed: {error}"))?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!("malformed request line '{}'", request_line.trim()));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol '{version}'"));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|error| format!("reading headers failed: {error}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad Content-Length '{}'", value.trim()))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|error| format!("reading {content_length}-byte body failed: {error}"))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?,
+    })
+}
+
+fn write_response(
+    mut stream: TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,141 @@
+//! In-process smoke test of the `--serve` HTTP server: a scenario document
+//! POSTed to `/run` streams back a summary line plus JSONL metric rows that
+//! are byte-identical to a batch run of the same specs, a second identical
+//! request is answered entirely from the cache (zero points simulated,
+//! asserted via the hit counters), and the small endpoints behave.
+
+use pnoc_bench::scenario_io::render_scenarios;
+use pnoc_bench::server::{serve, ServerOptions, ServerReport};
+use pnoc_sim::metrics::JsonlSink;
+use pnoc_sim::scenario::{run_specs_with_cache, Effort, ScenarioSpec};
+use pnoc_store::ResultStore;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+fn specs() -> Vec<ScenarioSpec> {
+    vec![ScenarioSpec::new("uniform-fabric", "uniform-random").with_effort(Effort::Smoke)]
+}
+
+/// Starts a server on an ephemeral port that exits after `requests`
+/// connections; returns the address and the join handle yielding the
+/// final counters.
+fn start_server(
+    store: ResultStore,
+    requests: u64,
+) -> (String, std::thread::JoinHandle<ServerReport>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let address = listener.local_addr().expect("bound").to_string();
+    let handle = std::thread::spawn(move || {
+        serve(
+            &listener,
+            &ServerOptions {
+                cache: Some(&store),
+                max_requests: Some(requests),
+                quiet: true,
+            },
+        )
+        .expect("server runs to completion")
+    });
+    (address, handle)
+}
+
+/// Sends one HTTP/1.1 request and returns `(status line, body)`.
+fn request(address: &str, method: &str, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(address).expect("server accepts");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {address}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request writes");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response reads");
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body separator");
+    let status = head.lines().next().expect("status line").to_string();
+    (status, payload.to_string())
+}
+
+/// Splits an ndjson `/run` response into the summary line and the rows.
+fn split_run_response(body: &str) -> (&str, &str) {
+    body.split_once('\n').expect("summary line is terminated")
+}
+
+#[test]
+fn posted_scenarios_stream_rows_identical_to_a_batch_run() {
+    let dir = std::env::temp_dir().join(format!("pnoc-server-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let document = render_scenarios(&specs());
+
+    let (address, handle) = start_server(ResultStore::open(&dir).expect("store opens"), 4);
+
+    let (status, body) = request(&address, "GET", "/health", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"status\": \"ok\""), "{body}");
+
+    // First run: everything simulates (the cache is empty).
+    let (status, body) = request(&address, "POST", "/run", &document);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let (summary, rows) = split_run_response(&body);
+    assert!(summary.contains("\"cache_hits\":0"), "{summary}");
+
+    // Second identical run: answered entirely from the cache — zero points
+    // simulated — and byte-identical to the first response.
+    let (status, second_body) = request(&address, "POST", "/run", &document);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let (second_summary, second_rows) = split_run_response(&second_body);
+    assert!(
+        second_summary.contains("\"cache_misses\":0"),
+        "{second_summary}"
+    );
+    assert!(
+        second_summary.contains("\"simulated\":0"),
+        "{second_summary}"
+    );
+    assert_eq!(rows, second_rows, "cached response must be byte-identical");
+
+    let (status, body) = request(&address, "GET", "/stats", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"runs\": 2"), "{body}");
+
+    let report = handle.join().expect("server thread joins");
+    assert_eq!(report.requests, 4);
+    assert_eq!(report.runs, 2);
+    assert!(report.cache_hits > 0, "the second run must hit the cache");
+    assert_eq!(
+        report.cache_hits, report.cache_misses,
+        "every point the first run simulated is a hit in the second"
+    );
+
+    // The streamed rows equal a batch run of the same document, byte for
+    // byte — the server is the batch engine behind a socket, not a variant.
+    let batch = run_specs_with_cache(&specs(), None).expect("batch run");
+    let mut sink = JsonlSink::new(Vec::new());
+    batch.write_metrics(&mut sink).expect("rows render");
+    assert_eq!(rows.as_bytes(), &sink.into_inner()[..]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_errors_not_crashes() {
+    let dir = std::env::temp_dir().join(format!("pnoc-server-errors-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (address, handle) = start_server(ResultStore::open(&dir).expect("store opens"), 3);
+
+    let (status, body) = request(&address, "POST", "/run", "this is not json");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request", "{body}");
+
+    let (status, _) = request(&address, "GET", "/nope", "");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    let (status, _) = request(&address, "DELETE", "/run", "");
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+
+    let report = handle.join().expect("server thread joins");
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.runs, 0, "no malformed request may reach the engine");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -80,7 +80,8 @@ pub mod prelude {
     };
     pub use crate::report::Table;
     pub use crate::scenario::{
-        run_specs, Effort, MatrixResult, Scenario, ScenarioError, ScenarioMatrix, ScenarioResult,
+        engine_fingerprint, point_cache_key, run_specs, run_specs_with_cache, CacheStats, Effort,
+        MatrixResult, PointCache, Scenario, ScenarioError, ScenarioMatrix, ScenarioResult,
         ScenarioSpec,
     };
     pub use crate::stats::SimStats;

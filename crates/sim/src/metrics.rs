@@ -265,6 +265,54 @@ impl QuantileSketch {
             .map(|(idx, &count)| (idx, count))
             .collect()
     }
+
+    /// Reassembles a sketch from the `(bucket index, count)` pairs of
+    /// [`QuantileSketch::nonzero_bins`] plus the tracked aggregates — the
+    /// inverse of the wire representation used by the JSONL sink and the
+    /// result store. Returns `None` when the parts are inconsistent
+    /// (unsorted or zero-count pairs, counts not summing to `count`, or
+    /// extrema missing / mis-ordered), so decoders reject tampered documents
+    /// instead of building a sketch that violates the "no trailing zero
+    /// bins" structural-equality invariant.
+    #[must_use]
+    pub fn from_parts(
+        nonzero_bins: &[(usize, u64)],
+        count: u64,
+        sum: u64,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Option<Self> {
+        let mut total = 0u64;
+        let mut last: Option<usize> = None;
+        for &(idx, bin) in nonzero_bins {
+            if bin == 0 || last.is_some_and(|prev| idx <= prev) {
+                return None;
+            }
+            last = Some(idx);
+            total = total.checked_add(bin)?;
+        }
+        if total != count {
+            return None;
+        }
+        if count == 0 {
+            return (min.is_none() && max.is_none() && sum == 0).then(Self::new);
+        }
+        let (min, max) = match (min, max) {
+            (Some(lo), Some(hi)) if lo <= hi => (lo, hi),
+            _ => return None,
+        };
+        let mut bins = vec![0u64; last.map_or(0, |idx| idx + 1)];
+        for &(idx, bin) in nonzero_bins {
+            bins[idx] = bin;
+        }
+        Some(Self {
+            bins,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------

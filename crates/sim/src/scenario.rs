@@ -561,6 +561,34 @@ impl Scenario {
         self.run_with_mode(SweepMode::Parallel)
     }
 
+    /// The canonical identity of this scenario after registry resolution:
+    /// the resolved architecture name with the **full** resolved parameter
+    /// set (defaults filled in), the resolved payload name (the registry's
+    /// canonical traffic name, or the generated workload name with its size
+    /// separator rendered as `@`), the bandwidth set and the effort level.
+    ///
+    /// Unlike [`ScenarioSpec::id`], which echoes the spec as written, two
+    /// spellings that simulate identically (aliases such as `uniform` vs
+    /// `uniform-random`, or a default named explicitly such as
+    /// `firefly{radix=16}`) render the **same** canonical id. This is the
+    /// scenario component of every cache key (see [`point_cache_key`]), so
+    /// its exact rendering is pinned by golden tests in `pnoc-bench` — a
+    /// drift must fail a test, not poison the cache.
+    #[must_use]
+    pub fn canonical_id(&self) -> String {
+        let payload = match &self.payload {
+            ScenarioPayload::Traffic(factory) => factory.name().to_string(),
+            ScenarioPayload::Workload(workload) => workload.name().replace(':', "@"),
+        };
+        format!(
+            "{}{}:{payload}:{}:{}",
+            self.architecture.name(),
+            self.params.canonical(),
+            self.spec.bandwidth_set.short_name(),
+            self.spec.effort.label()
+        )
+    }
+
     /// The resolved closed-loop workload, when this is a workload scenario.
     #[must_use]
     pub fn workload(&self) -> Option<&Arc<Workload>> {
@@ -961,6 +989,7 @@ impl ScenarioMatrix {
             total_points,
             unique_points: total_points,
             wall_clock_seconds: started.elapsed().as_secs_f64(),
+            cache: CacheStats::default(),
         })
     }
 }
@@ -997,10 +1026,80 @@ impl PointJob {
     }
 }
 
+/// A pluggable cross-run cache of simulated sweep points, keyed by
+/// [`point_cache_key`] strings.
+///
+/// Implemented by `pnoc-store`'s on-disk `ResultStore`. The matrix engine
+/// ([`run_specs_with_cache`]) consults the cache once per deduplicated
+/// *(scenario, ladder point)* job before enqueueing work — a hit bypasses
+/// simulation entirely — and offers every freshly simulated point back for
+/// storage, making matrices resumable and incremental across processes.
+pub trait PointCache {
+    /// Returns the cached point for `key`, or `None` on a miss. A corrupt or
+    /// unreadable entry must degrade to a miss, never a panic: the engine
+    /// re-simulates misses, so the only acceptable failure mode is extra
+    /// work.
+    fn lookup(&self, key: &str) -> Option<SweepPoint>;
+
+    /// Offers a freshly simulated point for storage. `wall_clock_seconds` is
+    /// sidecar timing metadata only: implementations must keep it out of the
+    /// cached payload so a cache hit is byte-identical to a fresh run.
+    fn store(&self, key: &str, point: &SweepPoint, wall_clock_seconds: f64);
+}
+
+/// The engine fingerprint baked into every cache key: the workspace version
+/// plus the execution-engine flavour (event-driven or per-cycle stepping).
+///
+/// Both components change the bytes a simulation *could* produce — a version
+/// bump may change the engine, and the two stepping modes are only believed
+/// bitwise-identical because CI checks it — so either change invalidates
+/// every previously stored entry rather than risking a stale hit.
+#[must_use]
+pub fn engine_fingerprint() -> String {
+    let stepping = if crate::engine::event_driven_enabled() {
+        "event"
+    } else {
+        "per-cycle"
+    };
+    format!("v{}+{stepping}", env!("CARGO_PKG_VERSION"))
+}
+
+/// The full cache key of one *(scenario, ladder point)* pair:
+/// `canonical_id|seed=S|load=HEXBITS|fingerprint`, where `canonical_id` is
+/// [`Scenario::canonical_id`], `S` is the derived per-point seed (decimal),
+/// the offered load is rendered as its exact IEEE-754 bit pattern (hex, so
+/// `0.1`-style ladder values never round-trip through decimal), and the
+/// fingerprint is [`engine_fingerprint`].
+#[must_use]
+pub fn point_cache_key(canonical_id: &str, seed: u64, load: f64, fingerprint: &str) -> String {
+    format!(
+        "{canonical_id}|seed={seed}|load={:016x}|{fingerprint}",
+        load.to_bits()
+    )
+}
+
 /// Runs a batch of already-expanded specs through the flattened work queue
 /// (the engine behind [`ScenarioMatrix::run`], also used for replaying specs
 /// loaded from a file).
 pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> {
+    run_specs_with_cache(specs, None)
+}
+
+/// [`run_specs`] with an optional cross-run [`PointCache`].
+///
+/// With a cache, every deduplicated *(scenario, ladder point)* job is looked
+/// up before the parallel queue is built: hits skip simulation, only misses
+/// are enqueued, and each miss is offered back to the cache (with its own
+/// wall-clock as sidecar metadata) after the batch completes. The assembled
+/// [`MatrixResult`] is **bitwise-identical** to an uncached run — the cache
+/// stores exact simulation output and the per-point seed/load/engine
+/// fingerprint in the key guarantee a hit could only ever have been produced
+/// by the same simulation — and [`MatrixResult::cache`] reports the
+/// hit/miss/stored counts.
+pub fn run_specs_with_cache(
+    specs: &[ScenarioSpec],
+    cache: Option<&dyn PointCache>,
+) -> Result<MatrixResult, ScenarioError> {
     let scenarios = resolve_all(specs)?;
     let started = Instant::now();
 
@@ -1010,11 +1109,14 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
     // per-point configuration (which includes the derived seed) and same
     // offered load.
     let mut jobs: Vec<PointJob> = Vec::new();
+    let mut job_keys: Vec<String> = Vec::new();
     let mut index_of: BTreeMap<(String, String, String, u64), usize> = BTreeMap::new();
     let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(scenarios.len());
+    let fingerprint = cache.is_some().then(engine_fingerprint);
     for scenario in &scenarios {
         let config = scenario.spec.config();
         let loads = scenario.spec.loads();
+        let canonical_id = fingerprint.is_some().then(|| scenario.canonical_id());
         // Key on the *resolved* registry names and parameters, not the spec
         // spellings: alias spellings (e.g. "uniform" vs "uniform-random", or
         // "allreduce:16" vs "ring-allreduce:16") resolve to the same
@@ -1046,6 +1148,9 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
             let next = jobs.len();
             let job_index = *index_of.entry(key).or_insert(next);
             if job_index == next {
+                if let (Some(id), Some(fp)) = (&canonical_id, &fingerprint) {
+                    job_keys.push(point_cache_key(id, point.seed, load, fp));
+                }
                 jobs.push(PointJob {
                     architecture: Arc::clone(&scenario.architecture),
                     params: scenario.params.clone(),
@@ -1060,9 +1165,44 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
     let total_points: usize = assignments.iter().map(Vec::len).sum();
     let unique_points = jobs.len();
 
+    // Consult the cache once per deduplicated job; hits never reach the
+    // work queue. Lookups and stores stay on this thread — the cache sees
+    // strictly sequential, deterministic-order access.
+    let mut points: Vec<Option<SweepPoint>> = vec![None; jobs.len()];
+    if let Some(cache) = cache {
+        for (slot, key) in points.iter_mut().zip(&job_keys) {
+            *slot = cache.lookup(key);
+        }
+    }
+    let cache_hits = points.iter().filter(|point| point.is_some()).count();
+    let miss_indices: Vec<usize> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, point)| point.is_none())
+        .map(|(index, _)| index)
+        .collect();
+
     // One flat rayon queue across every scenario: workers stay busy across
-    // scenario boundaries instead of idling at each per-sweep barrier.
-    let points: Vec<SweepPoint> = jobs.par_iter().map(PointJob::run).collect();
+    // scenario boundaries instead of idling at each per-sweep barrier. Each
+    // miss carries its own wall-clock so the cache can keep timing as
+    // sidecar metadata next to the (timing-free) point payload.
+    let fresh: Vec<(SweepPoint, f64)> = miss_indices
+        .par_iter()
+        .map(|&index| {
+            let point_started = Instant::now();
+            let point = jobs[index].run();
+            (point, point_started.elapsed().as_secs_f64())
+        })
+        .collect();
+
+    let mut cache_stored = 0usize;
+    for (&index, (point, point_seconds)) in miss_indices.iter().zip(fresh) {
+        if let Some(cache) = cache {
+            cache.store(&job_keys[index], &point, point_seconds);
+            cache_stored += 1;
+        }
+        points[index] = Some(point);
+    }
 
     let wall_clock_seconds = started.elapsed().as_secs_f64();
     let results: Vec<ScenarioResult> = scenarios
@@ -1073,7 +1213,10 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
             ScenarioResult {
                 spec: scenario.spec.clone(),
                 result: SaturationResult {
-                    points: point_jobs.iter().map(|&i| points[i].clone()).collect(),
+                    points: point_jobs
+                        .iter()
+                        .map(|&i| points[i].clone().expect("every job resolved"))
+                        .collect(),
                 },
                 point_seeds: (0..point_jobs.len())
                     .map(|i| derive_point_seed(config.seed, i))
@@ -1087,7 +1230,25 @@ pub fn run_specs(specs: &[ScenarioSpec]) -> Result<MatrixResult, ScenarioError> 
         total_points,
         unique_points,
         wall_clock_seconds,
+        cache: CacheStats {
+            hits: cache_hits,
+            misses: miss_indices.len(),
+            stored: cache_stored,
+        },
     })
+}
+
+/// Cross-run cache accounting of one matrix run (all zero when no cache was
+/// attached). Counts are over **deduplicated** jobs:
+/// `hits + misses == unique_points`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Deduplicated points served from the cache without simulating.
+    pub hits: usize,
+    /// Deduplicated points that had to be simulated.
+    pub misses: usize,
+    /// Freshly simulated points offered to the cache for storage.
+    pub stored: usize,
 }
 
 /// The outcome of a matrix run: one [`ScenarioResult`] per expanded spec (in
@@ -1098,10 +1259,14 @@ pub struct MatrixResult {
     pub scenarios: Vec<ScenarioResult>,
     /// Number of (scenario, ladder point) pairs before deduplication.
     pub total_points: usize,
-    /// Number of simulations actually run after deduplication.
+    /// Number of distinct simulations after deduplication (with a cache
+    /// attached, `cache.misses` of them actually ran).
     pub unique_points: usize,
     /// Wall-clock seconds of the whole batch.
     pub wall_clock_seconds: f64,
+    /// Cross-run cache accounting (zero without a cache). Bookkeeping only —
+    /// excluded from [`MatrixResult::bitwise_eq`] like the wall-clock.
+    pub cache: CacheStats,
 }
 
 impl MatrixResult {

@@ -67,6 +67,26 @@ impl LatencyHistogram {
         &self.bins
     }
 
+    /// The bin width in cycles.
+    #[must_use]
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Reassembles a histogram from its serialized parts (the inverse of
+    /// reading [`LatencyHistogram::bin_width`], [`LatencyHistogram::bins`]
+    /// and [`LatencyHistogram::overflow`]). Returns `None` when the parts
+    /// violate the constructor invariants (zero bin width or no bins), so a
+    /// decoder can reject a tampered document instead of panicking.
+    #[must_use]
+    pub fn from_parts(bin_width: u64, bins: Vec<u64>, overflow: u64) -> Option<Self> {
+        (bin_width > 0 && !bins.is_empty()).then_some(Self {
+            bin_width,
+            bins,
+            overflow,
+        })
+    }
+
     /// Approximate latency below which percentile `p` (0..=100) of samples
     /// fall (`percentile(95.0) == quantile(0.95)`). Returns `None` when the
     /// histogram is empty.

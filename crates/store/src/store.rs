@@ -1,0 +1,362 @@
+#![doc = include_str!("store.md")]
+
+use crate::codec;
+use crate::json::Json;
+use pnoc_sim::scenario::PointCache;
+use pnoc_sim::sweep::SweepPoint;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Format tag of one cache entry document.
+pub const ENTRY_FORMAT: &str = "d-hetpnoc-store/v1";
+
+/// Format tag of the index document.
+pub const INDEX_FORMAT: &str = "d-hetpnoc-store-index/v1";
+
+/// The 16-hex-digit FNV-1a content address of a cache key. Entry files are
+/// named by this hash; the full key text is stored *inside* each entry and
+/// re-verified on load, so a (vanishingly unlikely) hash collision degrades
+/// to a cache miss instead of serving the wrong point.
+#[must_use]
+pub fn content_hash(key: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Counters of one store's lifetime (since `open`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that decoded a valid entry.
+    pub hits: u64,
+    /// Lookups that found nothing usable (absent, corrupt, or key mismatch).
+    pub misses: u64,
+    /// Entries written.
+    pub writes: u64,
+}
+
+/// A content-addressed on-disk store of simulated sweep points.
+///
+/// Layout under the root directory:
+///
+/// * `entries/<hash>.json` — one entry per cache key, named by
+///   [`content_hash`]; holds the format tag, the full key text, a
+///   `sidecar` object (wall-clock timing, **excluded** from the cached
+///   payload) and the losslessly encoded point,
+/// * `index.json` — hash → key map for humans and CI artifacts, rewritten
+///   atomically after every insert.
+///
+/// All writes are atomic (temp file in the same directory + rename), and all
+/// reads are corruption-tolerant: a truncated, tampered or alien file is a
+/// logged **miss**, never a crash. See `store.md` for the key scheme and the
+/// invalidation story.
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    entries_dir: PathBuf,
+    index: Mutex<BTreeMap<String, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `root`. An existing
+    /// index is loaded tolerantly: a corrupt index is treated as empty and
+    /// rebuilt as entries are written (entry files remain the source of
+    /// truth, so cached points stay reachable either way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        let entries_dir = root.join("entries");
+        fs::create_dir_all(&entries_dir)?;
+        let index = load_index(&root.join("index.json"));
+        Ok(Self {
+            root,
+            entries_dir,
+            index: Mutex::new(index),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of entry files currently on disk.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        fs::read_dir(&self.entries_dir)
+            .map(|dir| {
+                dir.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// This store's lifetime hit/miss/write counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.entries_dir.join(format!("{}.json", content_hash(key)))
+    }
+
+    /// Loads the point stored under `key`, or `None` on a miss. Every
+    /// failure mode — absent file, unreadable file, malformed JSON, wrong
+    /// format tag, key mismatch (hash collision or tampering), codec
+    /// rejection — is a miss; the non-trivial ones log a warning to stderr.
+    #[must_use]
+    pub fn load(&self, key: &str) -> Option<SweepPoint> {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) => {
+                if error.kind() != io::ErrorKind::NotFound {
+                    eprintln!(
+                        "[pnoc-store] warning: unreadable cache entry {}: {error}",
+                        path.display()
+                    );
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry(&text, key) {
+            Ok(point) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(point)
+            }
+            Err(reason) => {
+                eprintln!(
+                    "[pnoc-store] warning: ignoring cache entry {}: {reason}",
+                    path.display()
+                );
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `point` under `key`, atomically (temp file + rename), then
+    /// rewrites the index. `wall_clock_seconds` goes into the entry's
+    /// sidecar object only — the `point` payload stays byte-identical no
+    /// matter how long the simulation took.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (the entry is either fully written or absent;
+    /// a failed write never leaves a partial entry under its final name).
+    pub fn save(&self, key: &str, point: &SweepPoint, wall_clock_seconds: f64) -> io::Result<()> {
+        let document = Json::obj(vec![
+            ("format", Json::str(ENTRY_FORMAT)),
+            ("key", Json::str(key)),
+            (
+                "sidecar",
+                Json::obj(vec![("wall_clock_seconds", Json::Num(wall_clock_seconds))]),
+            ),
+            ("point", codec::point_json(point)),
+        ]);
+        let path = self.entry_path(key);
+        write_atomically(&path, &(document.render() + "\n"))?;
+        {
+            let mut index = self.index.lock().expect("store index lock");
+            index.insert(content_hash(key), key.to_string());
+            let rendered = render_index(&index);
+            write_atomically(&self.root.join("index.json"), &rendered)?;
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl PointCache for ResultStore {
+    fn lookup(&self, key: &str) -> Option<SweepPoint> {
+        self.load(key)
+    }
+
+    fn store(&self, key: &str, point: &SweepPoint, wall_clock_seconds: f64) {
+        // The cache is an accelerator: a failed write costs a future
+        // re-simulation, so warn and carry on instead of failing the run.
+        if let Err(error) = self.save(key, point, wall_clock_seconds) {
+            eprintln!("[pnoc-store] warning: failed to store cache entry for '{key}': {error}");
+        }
+    }
+}
+
+/// Writes `text` to `path` atomically: a temp file next to the target (same
+/// filesystem, so the rename cannot cross devices) is written fully, then
+/// renamed over the target.
+fn write_atomically(path: &Path, text: &str) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|name| name.to_str())
+        .unwrap_or("entry");
+    let tmp = path.with_file_name(format!(".{file_name}.tmp{}", std::process::id()));
+    fs::write(&tmp, text)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(error) => {
+            let _ = fs::remove_file(&tmp);
+            Err(error)
+        }
+    }
+}
+
+fn decode_entry(text: &str, expected_key: &str) -> Result<SweepPoint, String> {
+    let document = Json::parse(text).map_err(|error| error.to_string())?;
+    match document.get("format").and_then(Json::as_str) {
+        Some(ENTRY_FORMAT) => {}
+        Some(other) => return Err(format!("unsupported entry format '{other}'")),
+        None => return Err("entry has no 'format' tag".to_string()),
+    }
+    match document.get("key").and_then(Json::as_str) {
+        Some(stored) if stored == expected_key => {}
+        Some(stored) => {
+            return Err(format!(
+                "key mismatch (hash collision or tampering): stored '{stored}', \
+                 requested '{expected_key}'"
+            ));
+        }
+        None => return Err("entry has no 'key' field".to_string()),
+    }
+    let point = document
+        .get("point")
+        .ok_or_else(|| "entry has no 'point' payload".to_string())?;
+    codec::point_from_json(point).map_err(|error| error.to_string())
+}
+
+fn render_index(index: &BTreeMap<String, String>) -> String {
+    Json::obj(vec![
+        ("format", Json::str(INDEX_FORMAT)),
+        ("entry_count", Json::Num(index.len() as f64)),
+        (
+            "entries",
+            Json::Obj(
+                index
+                    .iter()
+                    .map(|(hash, key)| (hash.clone(), Json::str(key)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
+        + "\n"
+}
+
+fn load_index(path: &Path) -> BTreeMap<String, String> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let Ok(document) = Json::parse(&text) else {
+        eprintln!(
+            "[pnoc-store] warning: corrupt index {}, rebuilding as entries are written",
+            path.display()
+        );
+        return BTreeMap::new();
+    };
+    let mut index = BTreeMap::new();
+    if let Some(Json::Obj(fields)) = document.get("entries") {
+        for (hash, key) in fields {
+            if let Some(key) = key.as_str() {
+                index.insert(hash.clone(), key.to_string());
+            }
+        }
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnoc_sim::clock::Clock;
+    use pnoc_sim::stats::SimStats;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("pnoc-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    fn sample_point() -> SweepPoint {
+        let mut stats = SimStats::new("firefly", "tornado", 0.25, Clock::paper_default());
+        stats.measured_cycles = 600;
+        stats.record_packet_delivery(42);
+        SweepPoint {
+            offered_load: 0.25,
+            stats,
+            metrics: pnoc_sim::metrics::MetricReport::new(),
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_and_counters() {
+        let root = temp_root("roundtrip");
+        let store = ResultStore::open(&root).unwrap();
+        let point = sample_point();
+        assert!(store.load("key-a").is_none(), "empty store misses");
+        store.save("key-a", &point, 1.5).unwrap();
+        assert_eq!(store.load("key-a"), Some(point));
+        assert_eq!(store.entry_count(), 1);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        // The index survives a reopen.
+        let reopened = ResultStore::open(&root).unwrap();
+        assert_eq!(reopened.entry_count(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wall_clock_lives_in_the_sidecar_not_the_payload() {
+        let root = temp_root("sidecar");
+        let store = ResultStore::open(&root).unwrap();
+        let point = sample_point();
+        store.save("key-a", &point, 1.25).unwrap();
+        let fast = fs::read_to_string(store.entry_path("key-a")).unwrap();
+        store.save("key-a", &point, 99.75).unwrap();
+        let slow = fs::read_to_string(store.entry_path("key-a")).unwrap();
+        assert_ne!(fast, slow, "sidecar timing differs");
+        let payload = |text: &str| Json::parse(text).unwrap().get("point").unwrap().render();
+        assert_eq!(
+            payload(&fast),
+            payload(&slow),
+            "the cached point payload must not depend on timing"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss() {
+        let root = temp_root("mismatch");
+        let store = ResultStore::open(&root).unwrap();
+        let point = sample_point();
+        store.save("key-a", &point, 0.1).unwrap();
+        // Forge a colliding file: copy key-a's entry under key-b's hash.
+        let text = fs::read_to_string(store.entry_path("key-a")).unwrap();
+        fs::write(store.entry_path("key-b"), text).unwrap();
+        assert!(store.load("key-b").is_none(), "stored key text must match");
+        let _ = fs::remove_dir_all(&root);
+    }
+}
