@@ -19,6 +19,15 @@
 //!                            # repeatable, on the d-hetpnoc architecture) to
 //!                            # DAG-drain and report flow-completion-time
 //!                            # p50/p95/p99 and per-collective makespans
+//! repro --faults single-link --workload allreduce:8
+//!                            # inject a fault plan (preset name or literal
+//!                            # plan text, repeatable) into every --scenario
+//!                            # and --workload run; with --matrix it becomes
+//!                            # a fault-plan axis crossing every scenario.
+//!                            # Scenario shorthands may pin their own plan
+//!                            # with a '#faults=PLAN' suffix instead.
+//! repro --list-faults        # print the fault-plan presets (with their
+//!                            # literal expansions) and the fault-kind grammar
 //! repro --list-workloads     # print the workload registry catalogue
 //! repro --list-architectures # print the architecture registry catalogue
 //!                            # (with each architecture's parameter count)
@@ -173,6 +182,7 @@ fn default_matrix(
     effort: EffortLevel,
     archs: &[String],
     param_axes: &[(String, Vec<String>)],
+    fault_plans: &[String],
 ) -> ScenarioMatrix {
     ensure_registered();
     let mut matrix = ScenarioMatrix::new()
@@ -187,7 +197,45 @@ fn default_matrix(
     for (key, values) in param_axes {
         matrix = matrix.arch_params(key, values.iter().cloned());
     }
+    if !fault_plans.is_empty() {
+        matrix = matrix.fault_plans(fault_plans.iter().cloned());
+    }
     matrix
+}
+
+/// Prints the fault-plan preset catalogue and the fault-kind grammar
+/// (`repro --list-faults`).
+fn list_faults() {
+    println!("fault-plan presets (use with --faults or a '#faults=' suffix):");
+    for name in pnoc_faults::PRESET_PLANS {
+        let plan = pnoc_faults::preset_plan(name).expect("catalogue names resolve");
+        if plan.is_empty() {
+            println!("  {name:<14} (healthy run)");
+        } else {
+            println!("  {name:<14} {}", plan.render());
+        }
+    }
+    println!();
+    println!("fault kinds (literal plans are comma-separated KIND@cONSET[-REPAIR]:TARGET[/SEV]):");
+    for kind in pnoc_faults::FaultKind::ALL {
+        let severity = if kind.has_severity() {
+            ", takes a /severity divisor"
+        } else {
+            ""
+        };
+        println!(
+            "  {:<20} targets {}{severity}",
+            kind.name(),
+            match kind {
+                pnoc_faults::FaultKind::LinkFail | pnoc_faults::FaultKind::RingStuck => "swN",
+                pnoc_faults::FaultKind::WavelengthDegrade =>
+                    "class-{low,medium-low,medium-high,high}",
+                pnoc_faults::FaultKind::LaserDim => "fabric",
+            }
+        );
+    }
+    println!();
+    println!("example: repro --quick --faults single-link --workload allreduce:8");
 }
 
 /// Prints one architecture's parameter schema (`repro --describe-arch`):
@@ -403,7 +451,7 @@ fn print_workload_table(outcome: &MatrixResult) {
 /// Always quick-effort, independent of the CLI flag: the measurement gates
 /// on the *ratio* (CI requires warm ≥ 5x faster), not on absolute time.
 fn run_cache_warm_measurement() -> (f64, f64, usize) {
-    let specs = default_matrix(EffortLevel::Quick, &[], &[]).specs();
+    let specs = default_matrix(EffortLevel::Quick, &[], &[], &[]).specs();
     let dir = std::env::temp_dir().join(format!("pnoc-store-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let store = ResultStore::open(&dir).unwrap_or_else(|e| {
@@ -707,6 +755,7 @@ fn main() {
     let mut describe_args: Vec<String> = Vec::new();
     let mut arch_args: Vec<String> = Vec::new();
     let mut param_axes: Vec<(String, Vec<String>)> = Vec::new();
+    let mut fault_args: Vec<String> = Vec::new();
     let mut from_paths: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
     let mut metrics_format = MetricsFormat::Jsonl;
@@ -776,6 +825,20 @@ fn main() {
                         std::process::exit(2);
                     }
                 }
+            }
+            "--faults" => match iter.next() {
+                Some(plan) => fault_args.push(plan),
+                None => {
+                    eprintln!("--faults requires a preset name or plan text (try --list-faults)");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--faults=") => {
+                fault_args.push(other["--faults=".len()..].to_string());
+            }
+            "--list-faults" => {
+                list_faults();
+                return;
             }
             "--list-traffic" => {
                 for name in pnoc_traffic::factory::registered_traffic_patterns() {
@@ -944,6 +1007,7 @@ fn main() {
                      \x20            [--scenario ARCH[{{k=v,...}}]:TRAFFIC[:SET[:EFFORT]]]...\n\
                      \x20            [--matrix[=FILE]] [--arch SPEC]... [--arch-params K=V1,V2]...\n\
                      \x20            [--workload NAME[:SIZE]]... [--batch-json FILE]\n\
+                     \x20            [--faults PLAN]... [--list-faults]\n\
                      \x20            [--metrics FILE] [--metrics-format jsonl|csv] [--percentiles]\n\
                      \x20            [--cache-dir DIR] [--no-cache]\n\
                      \x20            [--serve ADDR] [--serve-requests N]\n\
@@ -1046,10 +1110,32 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if !fault_args.is_empty()
+        && !builds_matrix
+        && scenario_args.is_empty()
+        && workload_args.is_empty()
+    {
+        eprintln!(
+            "--faults injects a fault plan into scenario runs; combine it with --scenario, \
+             --workload, --matrix or --dump-scenarios (try --list-faults for the catalogue)"
+        );
+        std::process::exit(2);
+    }
 
     // Assemble the scenario batch: explicit --scenario shorthands, specs
     // loaded from files, and (with --matrix) the default evaluation matrix.
     let mut specs: Vec<ScenarioSpec> = Vec::new();
+    // Crosses one assembled spec with every --faults plan (a spec that pinned
+    // its own plan via a '#faults=' suffix keeps it and is not crossed).
+    let cross_faults = |specs: &mut Vec<ScenarioSpec>, spec: ScenarioSpec| {
+        if fault_args.is_empty() || spec.faults.is_some() {
+            specs.push(spec);
+        } else {
+            for plan in &fault_args {
+                specs.push(spec.clone().with_faults(plan.clone()));
+            }
+        }
+    };
     for text in &scenario_args {
         let mut spec = ScenarioSpec::parse_shorthand(text).unwrap_or_else(|error| {
             eprintln!("{error}");
@@ -1060,7 +1146,7 @@ fn main() {
         if text.split(':').count() < 4 {
             spec = spec.with_effort(effort);
         }
-        specs.push(spec);
+        cross_faults(&mut specs, spec);
     }
     // Workloads run on the --arch spec(s) when given (crossing every
     // workload with every architecture), on d-hetpnoc otherwise.
@@ -1075,7 +1161,8 @@ fn main() {
                 eprintln!("{error}");
                 std::process::exit(2);
             });
-            specs.push(
+            cross_faults(
+                &mut specs,
                 ScenarioSpec::closed_loop(name, reference.clone())
                     .with_arch_params(params)
                     .with_effort(effort),
@@ -1091,7 +1178,7 @@ fn main() {
         specs.extend(loaded);
     }
     if matrix_path.is_some() {
-        specs.extend(default_matrix(effort, &arch_args, &param_axes).specs());
+        specs.extend(default_matrix(effort, &arch_args, &param_axes, &fault_args).specs());
     }
 
     if dump_path.is_some() && metrics_path.is_some() {
@@ -1104,7 +1191,7 @@ fn main() {
         // Other explicitly requested work — --bench-sweep, named experiments,
         // --json reports — still runs below.
         let dumped = if specs.is_empty() {
-            default_matrix(effort, &arch_args, &param_axes).specs()
+            default_matrix(effort, &arch_args, &param_axes, &fault_args).specs()
         } else {
             std::mem::take(&mut specs)
         };

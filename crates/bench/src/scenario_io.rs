@@ -49,6 +49,10 @@ pub fn spec_json(spec: &ScenarioSpec) -> Json {
             "workload",
             spec.workload.as_deref().map_or(Json::Null, Json::str),
         ),
+        (
+            "faults",
+            spec.faults.as_deref().map_or(Json::Null, Json::str),
+        ),
     ])
 }
 
@@ -108,6 +112,15 @@ pub fn spec_from_json(value: &Json) -> Result<ScenarioSpec, String> {
             return Err("scenario field 'workload' must be a string or null".to_string());
         }
     };
+    // Optional (absent in pre-0.8 documents): the fault plan — a preset
+    // name or canonical plan text, `null` or missing for healthy runs.
+    let faults = match value.get("faults") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(plan)) => Some(plan.clone()),
+        Some(_) => {
+            return Err("scenario field 'faults' must be a string or null".to_string());
+        }
+    };
     // Optional (absent in pre-0.6 documents): architecture-parameter
     // overrides as a string→string object.
     let mut arch_params = ArchParams::new();
@@ -136,6 +149,7 @@ pub fn spec_from_json(value: &Json) -> Result<ScenarioSpec, String> {
         seed,
         ladder,
         workload,
+        faults,
     })
 }
 
@@ -391,6 +405,40 @@ mod tests {
         }
         let error = spec_from_json(&bad).unwrap_err();
         assert!(error.contains("'radix' must be a string"), "{error}");
+    }
+
+    #[test]
+    fn fault_plans_round_trip_and_old_documents_still_parse() {
+        let spec = example_spec().with_faults("single-link");
+        let rendered = spec_json(&spec).render();
+        let parsed = spec_from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.faults.as_deref(), Some("single-link"));
+
+        // Pre-0.8 documents have no 'faults' field: they parse as healthy
+        // scenarios.
+        let mut old = spec_json(&example_spec());
+        if let Json::Obj(fields) = &mut old {
+            fields.retain(|(k, _)| k != "faults");
+        }
+        let parsed = spec_from_json(&old).unwrap();
+        assert_eq!(parsed, example_spec());
+        assert!(parsed.faults.is_none());
+
+        // Non-string fault plans are rejected with a clear message.
+        let mut bad = spec_json(&spec);
+        if let Json::Obj(fields) = &mut bad {
+            for (k, v) in fields.iter_mut() {
+                if k == "faults" {
+                    *v = Json::Num(1.0);
+                }
+            }
+        }
+        let error = spec_from_json(&bad).unwrap_err();
+        assert!(
+            error.contains("'faults' must be a string or null"),
+            "{error}"
+        );
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! End-to-end tests of the fault-injection subsystem under the batch
+//! engine: fault-free runs are bitwise-identical to pre-fault behaviour
+//! (absent plan, `"none"` and the empty string all collapse onto the same
+//! simulation), faulted sweeps stay bitwise-deterministic across both real
+//! architectures in parallel and sequential mode, injected faults measurably
+//! degrade closed-loop completion times on the same seed, and the result
+//! cache never serves a healthy point for a faulted scenario (or vice
+//! versa).
+
+use pnoc_bench::runner::ensure_registered;
+use pnoc_sim::scenario::{run_specs, run_specs_with_cache, Effort, ScenarioMatrix, ScenarioSpec};
+use pnoc_store::ResultStore;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pnoc-faults-it-{}-{tag}", std::process::id()))
+}
+
+#[test]
+fn healthy_spellings_are_identical_to_a_fault_free_run_and_share_points() {
+    ensure_registered();
+    let base = ScenarioSpec::new("firefly", "tornado").with_effort(Effort::Smoke);
+    let specs = vec![
+        base.clone(),
+        base.clone().with_faults("none"),
+        base.clone().with_faults(""),
+    ];
+    let outcome = run_specs(&specs).expect("all spellings resolve");
+    // `with_faults("")` normalises to the absent plan and `"none"` resolves
+    // to the empty plan, so all three spellings dedup onto one set of
+    // simulated points...
+    assert_eq!(outcome.scenarios.len(), 3);
+    assert_eq!(outcome.total_points, 3 * outcome.unique_points);
+    // ...and produce the same results as running the fault-free spec alone
+    // (the pre-fault behaviour).
+    let alone = run_specs(&[base]).expect("resolves");
+    assert!(
+        outcome.scenarios[0].bitwise_eq(&alone.scenarios[0]),
+        "a fault-free run must be bitwise-identical to pre-fault behaviour"
+    );
+    // The 'none' spec echoes its spelling, but its simulated points and
+    // seeds are the healthy ones.
+    assert_eq!(outcome.scenarios[1].spec.faults.as_deref(), Some("none"));
+    assert_eq!(
+        outcome.scenarios[1].result, alone.scenarios[0].result,
+        "faults='none' must reuse the exact healthy simulation"
+    );
+    assert_eq!(
+        outcome.scenarios[1].point_seeds,
+        alone.scenarios[0].point_seeds
+    );
+    // Healthy reports carry no fault metrics at all — the exact pre-fault
+    // bytes.
+    for point in &outcome.scenarios[0].result.points {
+        assert!(point.metrics.gauge("faults_applied").is_none());
+        assert!(point.metrics.counter("fault_applied_events").is_none());
+    }
+}
+
+#[test]
+fn faulted_presets_sweep_both_architectures_deterministically() {
+    rayon::set_thread_count(4);
+    ensure_registered();
+    let matrix = ScenarioMatrix::new()
+        .architectures(["firefly", "d-hetpnoc"])
+        .traffics(["tornado"])
+        .fault_plans(["single-link", "ring-drift"])
+        .effort(Effort::Smoke);
+    assert_eq!(matrix.specs().len(), 4, "2 architectures × 2 presets");
+    let parallel = matrix.run().expect("registered");
+    let sequential = matrix.run_sequential().expect("registered");
+    assert!(
+        parallel.bitwise_eq(&sequential),
+        "faulted sweeps must be bitwise-identical in parallel and sequential mode"
+    );
+    for scenario in &parallel.scenarios {
+        for point in &scenario.result.points {
+            assert!(
+                point.metrics.gauge("faults_applied").unwrap() >= 1.0,
+                "{}: the plan must actually fire",
+                scenario.spec.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn faults_measurably_degrade_closed_loop_completion_on_the_same_seed() {
+    ensure_registered();
+    let run = |faults: Option<&str>| {
+        let mut spec =
+            ScenarioSpec::closed_loop("d-hetpnoc", "allreduce:8").with_effort(Effort::Quick);
+        if let Some(plan) = faults {
+            spec = spec.with_faults(plan);
+        }
+        let outcome = run_specs(&[spec]).expect("resolves");
+        let point = &outcome.scenarios[0].result.points[0];
+        assert_eq!(
+            point.metrics.gauge("workload_drained"),
+            Some(1.0),
+            "transient faults must not wedge the workload short of draining"
+        );
+        point.metrics.gauge("workload_makespan_cycles").unwrap()
+    };
+    let healthy = run(None);
+    let faulted = run(Some("single-link"));
+    assert!(
+        faulted > healthy,
+        "a failed link must lengthen the allreduce makespan \
+         (healthy {healthy}, faulted {faulted})"
+    );
+}
+
+#[test]
+fn the_cache_never_serves_healthy_points_for_faulted_scenarios() {
+    ensure_registered();
+    let dir = scratch_dir("separation");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).expect("store opens");
+    let healthy = ScenarioSpec::new("firefly", "tornado").with_effort(Effort::Smoke);
+    let faulted = healthy.clone().with_faults("single-link");
+
+    // Warm the cache with the healthy scenario, then run the faulted one:
+    // every faulted point must miss (the canonical id differs), simulate
+    // fresh, and store under its own keys.
+    let cold =
+        run_specs_with_cache(std::slice::from_ref(&healthy), Some(&store)).expect("healthy run");
+    assert_eq!(cold.cache.stored, cold.unique_points);
+    let fault_run =
+        run_specs_with_cache(std::slice::from_ref(&faulted), Some(&store)).expect("faulted run");
+    assert_eq!(
+        fault_run.cache.hits, 0,
+        "a faulted scenario must never be served a cached healthy point"
+    );
+    assert_eq!(fault_run.cache.stored, fault_run.unique_points);
+    assert!(
+        !cold.scenarios[0].bitwise_eq(&fault_run.scenarios[0]),
+        "the faulted sweep must actually differ from the healthy one"
+    );
+
+    // Both populations now coexist: warm re-runs of each hit only their own
+    // entries and reproduce their own results bitwise.
+    let warm_healthy = run_specs_with_cache(&[healthy], Some(&store)).expect("warm healthy");
+    assert_eq!(warm_healthy.cache.misses, 0);
+    assert!(cold.bitwise_eq(&warm_healthy));
+    let warm_faulted = run_specs_with_cache(&[faulted], Some(&store)).expect("warm faulted");
+    assert_eq!(warm_faulted.cache.misses, 0);
+    assert!(fault_run.bitwise_eq(&warm_faulted));
+    let _ = std::fs::remove_dir_all(&dir);
+}

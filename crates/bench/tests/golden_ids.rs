@@ -69,6 +69,64 @@ fn parameter_overrides_render_resolved_and_sorted() {
 }
 
 #[test]
+fn fault_plans_render_as_a_pinned_canonical_suffix() {
+    ensure_registered();
+    // A faulted scenario's id carries the *rendered* plan, never the preset
+    // name, so a preset and its literal expansion share cache entries...
+    let preset = canonical(
+        ScenarioSpec::new("firefly", "uniform-random")
+            .with_effort(Effort::Quick)
+            .with_faults("single-link"),
+    );
+    assert_eq!(
+        preset,
+        "firefly{radix=16,reservation_cycles=1}:uniform-random:set1:quick#faults=link-fail@c150-450:sw1"
+    );
+    assert_eq!(
+        preset,
+        canonical(
+            ScenarioSpec::new("firefly", "uniform-random")
+                .with_effort(Effort::Quick)
+                .with_faults("link-fail@c150-450:sw1")
+        )
+    );
+    // ...while a healthy plan ('none' or absent) renders no suffix at all:
+    // a faulted scenario can never be served a healthy cached point and
+    // vice versa.
+    assert_eq!(
+        canonical(
+            ScenarioSpec::new("firefly", "uniform-random")
+                .with_effort(Effort::Quick)
+                .with_faults("none")
+        ),
+        "firefly{radix=16,reservation_cycles=1}:uniform-random:set1:quick"
+    );
+    // Multi-event plans keep their validated order in the rendering.
+    assert_eq!(
+        canonical(
+            ScenarioSpec::closed_loop("d-hetpnoc", "allreduce:8")
+                .with_effort(Effort::Quick)
+                .with_faults("ring-drift")
+        ),
+        "d-hetpnoc{max_wavelengths=0,policy=proportional}:ring-allreduce@8x16384B:set1:quick\
+         #faults=ring-stuck@c100-500:sw0,wavelength-degrade@c200:class-high/2"
+    );
+}
+
+#[test]
+fn the_engine_fingerprint_is_pinned_and_keys_stale_caches_out() {
+    // The fingerprint is the other half of every cache key: bumping the
+    // workspace version (as this change did, 0.7.0 → 0.8.0) must retire
+    // every pre-fault cache entry, so a store written before fault
+    // injection existed can never satisfy a faulted (or healthy) lookup.
+    assert_eq!(
+        pnoc_sim::scenario::engine_fingerprint(),
+        "v0.8.0+event",
+        "fingerprint changed — deliberate cache invalidation only"
+    );
+}
+
+#[test]
 fn workload_payloads_render_with_the_size_separator_rewritten() {
     ensure_registered();
     // The payload component is the *resolved* workload's self-description

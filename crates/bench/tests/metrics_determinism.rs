@@ -107,6 +107,54 @@ fn sink_output_is_byte_identical_across_execution_strategies() {
 }
 
 #[test]
+fn faulted_matrix_metrics_stay_bitwise_deterministic_and_expose_fault_counters() {
+    rayon::set_thread_count(4);
+    let matrix = smoke_matrix().fault_plans(["none", "single-link", "ring-drift"]);
+    let parallel = matrix.run().expect("registered");
+    let sequential = matrix.run_sequential().expect("registered");
+    assert!(
+        parallel.bitwise_eq(&sequential),
+        "faulted matrix must be bitwise-identical to sequential runs"
+    );
+    // Double-run byte-compare: fault transitions land on exact cycles, so
+    // the rendered stream reproduces exactly.
+    let bytes = render_jsonl(&parallel);
+    assert_eq!(bytes, render_jsonl(&matrix.run().expect("registered")));
+
+    // Faulted points carry the fault gauges and the FaultApplied /
+    // FaultRepaired event counters; healthy points carry none of them, so
+    // fault-free reports keep their exact pre-fault bytes.
+    for scenario in &parallel.scenarios {
+        let faulted = scenario.spec.faults.is_some();
+        for point in &scenario.result.points {
+            assert_eq!(
+                point.metrics.gauge("faults_applied").is_some(),
+                faulted,
+                "{}: fault gauges must appear exactly on faulted points",
+                scenario.spec.id()
+            );
+            assert_eq!(
+                point.metrics.counter("fault_applied_events").is_some(),
+                faulted
+            );
+            if faulted {
+                let applied = point.metrics.gauge("faults_applied").unwrap();
+                let active = point.metrics.gauge("faults_active").unwrap();
+                assert!(applied >= 1.0, "the plan's onsets must all have fired");
+                assert!(active <= applied, "repairs can only retire applied faults");
+                // The probe's event counters agree with the controller's
+                // gauges: onsets minus repairs leaves the still-active set
+                // ('ring-drift' ends with its permanent degrade active).
+                let applied_events = point.metrics.counter("fault_applied_events").unwrap();
+                let repaired_events = point.metrics.counter("fault_repaired_events").unwrap();
+                assert_eq!(applied_events as f64, applied);
+                assert_eq!(applied_events - repaired_events, active as u64);
+            }
+        }
+    }
+}
+
+#[test]
 fn jsonl_rows_expose_percentiles_and_per_node_series() {
     ensure_registered();
     let outcome = smoke_matrix().run().expect("registered");

@@ -34,6 +34,8 @@ proptest! {
         ),
         knobs in (0usize..3, 0usize..3, 0u64..=u64::MAX, any::<bool>()),
         ladder in prop::collection::vec(1e-9f64..10.0, 0..5),
+        fault_codes in prop::collection::vec(1u32..0x250, 1..12),
+        with_faults in any::<bool>(),
     ) {
         let (set_index, effort_index, seed, closed_loop) = knobs;
         // JSON carries arch_params as a string map, so keys and values may
@@ -52,6 +54,9 @@ proptest! {
             seed,
             ladder,
             workload: closed_loop.then(|| name_from(&workload_codes)),
+            // The wire format carries the fault plan verbatim (resolution
+            // happens at run time), so arbitrary text must survive too.
+            faults: with_faults.then(|| name_from(&fault_codes)),
         };
         let rendered = render_scenarios(std::slice::from_ref(&spec));
         let parsed = parse_scenarios(&rendered)

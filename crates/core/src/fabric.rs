@@ -16,6 +16,7 @@ use crate::dba::{AllocationPolicy, DbaController};
 use crate::reservation::ReservationTiming;
 use crate::tables::{DemandTable, RequestTable};
 use crate::token::{token_hop_cycles, token_size_bits};
+use pnoc_faults::{FaultEvent, FaultKind, FaultSurface};
 use pnoc_noc::ids::ClusterId;
 use pnoc_photonics::dwdm::WavelengthGrid;
 use pnoc_sim::config::SimConfig;
@@ -31,6 +32,7 @@ pub struct DhetFabric {
     reservation: ReservationTiming,
     policy: AllocationPolicy,
     max_channel_wavelengths: usize,
+    faults: FaultSurface,
 }
 
 impl DhetFabric {
@@ -147,7 +149,48 @@ impl DhetFabric {
             reservation,
             policy,
             max_channel_wavelengths,
+            faults: FaultSurface::new(num_clusters),
         }
+    }
+
+    /// Re-derives the controller's request tables and targets from the
+    /// current demand matrix *and* fault surface, then re-converges the
+    /// allocation. Degraded wavelength classes shrink what each cluster
+    /// requests for affected flows; laser dimming derates every pool target
+    /// globally. Called on every degradation transition (apply and repair),
+    /// so a repaired fabric converges back to exactly the healthy requests.
+    fn reconverge_with_faults(&mut self) {
+        let set = self.config.bandwidth_set;
+        let num_clusters = self.config.topology.num_clusters();
+        for src in 0..num_clusters {
+            let mut table = DemandTable::new(num_clusters);
+            for dst in 0..num_clusters {
+                if src == dst {
+                    continue;
+                }
+                let class = self.demand.class(ClusterId(src), ClusterId(dst));
+                let healthy = set.class_wavelengths(class);
+                let derated = (healthy / self.faults.class_divisor(class) as usize).max(1);
+                table.set(ClusterId(dst), derated);
+            }
+            let mut request = RequestTable::new(num_clusters);
+            request.rebuild(std::slice::from_ref(&table));
+            self.controller.set_request_table(ClusterId(src), request);
+        }
+        let mut targets = Self::compute_targets(
+            &self.config,
+            &self.demand,
+            self.policy,
+            self.max_channel_wavelengths,
+        );
+        let laser = self.faults.laser_divisor() as usize;
+        if laser > 1 {
+            for target in &mut targets {
+                *target = (*target / laser).max(1);
+            }
+        }
+        self.controller.set_targets(&targets);
+        self.controller.converge(4 * num_clusters);
     }
 
     /// Computes per-cluster wavelength targets from the demand matrix,
@@ -244,16 +287,11 @@ impl DhetFabric {
     /// matrix (a task-mapping change: "this bandwidth allocation happens
     /// whenever there is a change in the task mapping on the chip").
     pub fn remap(&mut self, demand: DemandMatrix) {
-        let targets = Self::compute_targets(
-            &self.config,
-            &demand,
-            self.policy,
-            self.max_channel_wavelengths,
-        );
-        self.controller.set_targets(&targets);
-        self.controller
-            .converge(4 * self.config.topology.num_clusters());
         self.demand = demand;
+        // Rebuilding requests and targets through the fault-aware path keeps
+        // a remap under an active degradation honest; on a healthy surface it
+        // reproduces the original tables and targets exactly.
+        self.reconverge_with_faults();
     }
 }
 
@@ -280,9 +318,17 @@ impl PhotonicFabric for DhetFabric {
     }
 
     fn wavelengths_for(&self, src: ClusterId, dst: ClusterId) -> usize {
+        // A stuck/detuned MRR ring at either endpoint pins the transfer to a
+        // single wavelength, regardless of pool or class.
+        if self.faults.ring_stuck(src.0) || self.faults.ring_stuck(dst.0) {
+            return 1;
+        }
         let class = self.demand.class(src, dst);
         let demanded = self.config.bandwidth_set.class_wavelengths(class);
-        demanded.min(self.controller.pool(src)).max(1)
+        // Unlike Firefly, only the degraded class's transfers shrink: the
+        // DBA keeps steering healthy classes onto their full demand.
+        let derated = (demanded / self.faults.class_divisor(class) as usize).max(1);
+        derated.min(self.controller.pool(src)).max(1)
     }
 
     fn reservation_cycles(&self, _src: ClusterId, _dst: ClusterId) -> u64 {
@@ -295,6 +341,30 @@ impl PhotonicFabric for DhetFabric {
 
     fn allocation_snapshot(&self) -> Vec<usize> {
         self.controller.allocation_snapshot()
+    }
+
+    fn apply_fault(&mut self, event: &FaultEvent) {
+        self.faults.apply(event);
+        if matches!(
+            event.kind,
+            FaultKind::WavelengthDegrade | FaultKind::LaserDim
+        ) {
+            self.reconverge_with_faults();
+        }
+    }
+
+    fn clear_fault(&mut self, event: &FaultEvent) {
+        self.faults.clear(event);
+        if matches!(
+            event.kind,
+            FaultKind::WavelengthDegrade | FaultKind::LaserDim
+        ) {
+            self.reconverge_with_faults();
+        }
+    }
+
+    fn link_up(&self, cluster: ClusterId) -> bool {
+        self.faults.link_up(cluster.0)
     }
 }
 
@@ -473,6 +543,81 @@ mod tests {
                 < default.reservation_timing().identifier_payload_bits
         );
         capped.controller().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degradation_shrinks_only_the_damaged_class_and_repairs_restore_it() {
+        let cfg = config(BandwidthSet::Set1);
+        let demand = skewed_demand(BandwidthSet::Set1, SkewLevel::Skewed2, 9);
+        let mut fabric = DhetFabric::new(&cfg, demand.clone());
+        let healthy_alloc = fabric.allocation_snapshot();
+        // Find one high-class and one low-class pair to compare.
+        let mut high_pair = None;
+        let mut low_pair = None;
+        for s in 0..16 {
+            for d in 0..16 {
+                if s == d {
+                    continue;
+                }
+                let (src, dst) = (ClusterId(s), ClusterId(d));
+                match demand.class(src, dst) {
+                    pnoc_noc::packet::BandwidthClass::High if high_pair.is_none() => {
+                        high_pair = Some((src, dst));
+                    }
+                    pnoc_noc::packet::BandwidthClass::Low if low_pair.is_none() => {
+                        low_pair = Some((src, dst));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let (hs, hd) = high_pair.expect("skewed demand has a high-class flow");
+        let healthy_high = fabric.wavelengths_for(hs, hd);
+        let event = pnoc_faults::FaultPlan::parse("wavelength-degrade@c10-20:class-high/2")
+            .unwrap()
+            .events()[0];
+        fabric.apply_fault(&event);
+        // The degraded class's transfers shrink; a healthy class is untouched
+        // (the DBA keeps steering it onto its full demand).
+        assert!(fabric.wavelengths_for(hs, hd) < healthy_high);
+        if let Some((ls, ld)) = low_pair {
+            let w = fabric.wavelengths_for(ls, ld);
+            assert!(w >= 1);
+            assert!(w <= cfg.bandwidth_set.class_wavelengths(demand.class(ls, ld)));
+        }
+        fabric.controller().check_invariants().unwrap();
+        fabric.clear_fault(&event);
+        assert_eq!(fabric.wavelengths_for(hs, hd), healthy_high);
+        assert_eq!(fabric.allocation_snapshot(), healthy_alloc);
+
+        // Laser dimming derates every pool target globally.
+        let dim = pnoc_faults::FaultPlan::parse("laser-dim@c10-20:fabric/2")
+            .unwrap()
+            .events()[0];
+        fabric.apply_fault(&dim);
+        let dimmed = fabric.allocation_snapshot();
+        assert!(dimmed.iter().sum::<usize>() < healthy_alloc.iter().sum::<usize>());
+        fabric.clear_fault(&dim);
+        assert_eq!(fabric.allocation_snapshot(), healthy_alloc);
+
+        // A stuck ring pins transfers touching the switch to one wavelength.
+        let stuck = pnoc_faults::FaultPlan::parse("ring-stuck@c10-20:sw2")
+            .unwrap()
+            .events()[0];
+        fabric.apply_fault(&stuck);
+        assert_eq!(fabric.wavelengths_for(ClusterId(2), ClusterId(9)), 1);
+        assert_eq!(fabric.wavelengths_for(ClusterId(9), ClusterId(2)), 1);
+        fabric.clear_fault(&stuck);
+
+        // Link failure is reported through `link_up` for the system to gate.
+        let fail = pnoc_faults::FaultPlan::parse("link-fail@c10-20:sw4")
+            .unwrap()
+            .events()[0];
+        fabric.apply_fault(&fail);
+        assert!(!fabric.link_up(ClusterId(4)));
+        assert!(fabric.link_up(ClusterId(5)));
+        fabric.clear_fault(&fail);
+        assert!(fabric.link_up(ClusterId(4)));
     }
 
     #[test]

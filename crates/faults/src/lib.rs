@@ -1,0 +1,14 @@
+#![doc = include_str!("faults.md")]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod plan;
+pub mod presets;
+pub mod schedule;
+pub mod surface;
+
+pub use plan::{FaultError, FaultEvent, FaultKind, FaultPlan, FaultTarget};
+pub use presets::{preset_catalogue, preset_plan, PRESET_PLANS};
+pub use schedule::{FaultAction, FaultController};
+pub use surface::FaultSurface;

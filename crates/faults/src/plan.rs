@@ -1,0 +1,601 @@
+//! Typed fault plans and their canonical text grammar.
+//!
+//! A [`FaultPlan`] is an ordered schedule of [`FaultEvent`]s, each a fault
+//! kind × target × onset cycle × optional repair cycle. Plans have a
+//! canonical text form (see `faults.md`) with `parse`/`render` inverses,
+//! mirroring the architecture-parameter spec grammar: parsing the rendered
+//! text reproduces the plan exactly, and rendering is a fixed point.
+
+use pnoc_noc::packet::BandwidthClass;
+use pnoc_noc::suggest::nearest_name;
+use std::fmt;
+
+/// The kinds of faults the subsystem can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A photonic link fails: no new transmissions may start to or from the
+    /// targeted switch until repair (in-flight transfers complete).
+    LinkFail,
+    /// Wavelength degradation on one bandwidth class: every channel
+    /// provisioned for that class loses a factor of `severity` wavelengths.
+    WavelengthDegrade,
+    /// A stuck/detuned MRR ring at one switch: channels touching that switch
+    /// collapse to a single usable wavelength.
+    RingStuck,
+    /// Laser dimming: the whole fabric loses a factor of `severity`
+    /// wavelengths on every channel.
+    LaserDim,
+}
+
+impl FaultKind {
+    /// Every fault kind, in declaration order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::LinkFail,
+        FaultKind::WavelengthDegrade,
+        FaultKind::RingStuck,
+        FaultKind::LaserDim,
+    ];
+
+    /// The canonical grammar name of the kind.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::LinkFail => "link-fail",
+            FaultKind::WavelengthDegrade => "wavelength-degrade",
+            FaultKind::RingStuck => "ring-stuck",
+            FaultKind::LaserDim => "laser-dim",
+        }
+    }
+
+    /// Parses a canonical kind name.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|kind| kind.name() == text)
+    }
+
+    /// Whether this kind carries a `/severity` divisor in the grammar.
+    #[must_use]
+    pub fn has_severity(self) -> bool {
+        matches!(self, FaultKind::WavelengthDegrade | FaultKind::LaserDim)
+    }
+
+    /// The sorted kind catalogue rendered for error messages.
+    #[must_use]
+    pub fn catalogue() -> String {
+        let mut names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        format!("[{}]", names.join(", "))
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a fault event acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// One photonic switch (= one cluster's fabric port), `sw<N>`.
+    Switch(usize),
+    /// One bandwidth class of channels, `class-<label>`.
+    Class(BandwidthClass),
+    /// The whole fabric, `fabric`.
+    Fabric,
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::Switch(index) => write!(f, "sw{index}"),
+            FaultTarget::Class(class) => write!(f, "class-{class}"),
+            FaultTarget::Fabric => f.write_str("fabric"),
+        }
+    }
+}
+
+/// One scheduled fault: kind × target × onset cycle × optional repair cycle
+/// (`None` = permanent) × severity (a wavelength divisor, only meaningful
+/// for kinds where [`FaultKind::has_severity`] holds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// What it happens to.
+    pub target: FaultTarget,
+    /// Absolute cycle at which the fault is applied.
+    pub onset: u64,
+    /// Absolute cycle at which the fault is repaired (`None` = permanent).
+    pub repair: Option<u64>,
+    /// Wavelength divisor for degradation kinds (≥ 2); `1` otherwise.
+    pub severity: u32,
+}
+
+impl FaultEvent {
+    /// Renders the event in canonical grammar form
+    /// (`kind@cONSET[-REPAIR]:TARGET[/SEVERITY]`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut text = format!("{}@c{}", self.kind, self.onset);
+        if let Some(repair) = self.repair {
+            text.push_str(&format!("-{repair}"));
+        }
+        text.push_str(&format!(":{}", self.target));
+        if self.kind.has_severity() {
+            text.push_str(&format!("/{}", self.severity));
+        }
+        text
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Errors from parsing, resolving or validating fault plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// An event did not match the grammar.
+    Malformed {
+        /// The offending event text.
+        event: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// An unrecognised fault kind.
+    UnknownKind {
+        /// The unrecognised name.
+        name: String,
+        /// A close known kind, if the name looks like a typo.
+        suggestion: Option<String>,
+    },
+    /// An unrecognised preset plan name.
+    UnknownPlan {
+        /// The unrecognised name.
+        name: String,
+        /// A close preset name, if it looks like a typo.
+        suggestion: Option<String>,
+    },
+    /// An unrecognised bandwidth-class label.
+    UnknownClass {
+        /// The unrecognised label.
+        name: String,
+    },
+    /// The schedule is inconsistent (e.g. repair ≤ onset).
+    BadSchedule {
+        /// The offending event text.
+        event: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A switch target outside the topology.
+    TargetOutOfBounds {
+        /// The offending event (canonical rendering).
+        event: String,
+        /// The targeted switch index.
+        switch: usize,
+        /// How many switches the topology has.
+        num_switches: usize,
+    },
+}
+
+impl FaultError {
+    /// The "did you mean" candidate, when the error carries one.
+    #[must_use]
+    pub fn suggestion(&self) -> Option<&str> {
+        match self {
+            FaultError::UnknownKind { suggestion, .. }
+            | FaultError::UnknownPlan { suggestion, .. } => suggestion.as_deref(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Malformed { event, reason } => {
+                write!(f, "malformed fault event '{event}': {reason}")
+            }
+            FaultError::UnknownKind { name, suggestion } => {
+                write!(
+                    f,
+                    "unknown fault kind '{name}'; known kinds: {}",
+                    FaultKind::catalogue()
+                )?;
+                if let Some(candidate) = suggestion {
+                    write!(f, " — did you mean '{candidate}'?")?;
+                }
+                Ok(())
+            }
+            FaultError::UnknownPlan { name, suggestion } => {
+                write!(
+                    f,
+                    "unknown fault plan '{name}'; presets: {} \
+                     (or a literal plan like 'link-fail@c150-450:sw1')",
+                    crate::presets::preset_catalogue()
+                )?;
+                if let Some(candidate) = suggestion {
+                    write!(f, " — did you mean '{candidate}'?")?;
+                }
+                Ok(())
+            }
+            FaultError::UnknownClass { name } => {
+                write!(
+                    f,
+                    "unknown bandwidth class '{name}'; use one of \
+                     [class-low, class-medium-low, class-medium-high, class-high]"
+                )
+            }
+            FaultError::BadSchedule { event, reason } => {
+                write!(f, "invalid fault schedule in '{event}': {reason}")
+            }
+            FaultError::TargetOutOfBounds {
+                event,
+                switch,
+                num_switches,
+            } => {
+                write!(
+                    f,
+                    "fault event '{event}' targets switch {switch}, but the topology \
+                     has {num_switches} switches (sw0..sw{})",
+                    num_switches.saturating_sub(1)
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Suggests a known fault kind for a mistyped name.
+fn unknown_kind(name: &str) -> FaultError {
+    let suggestion =
+        nearest_name(name, FaultKind::ALL.iter().map(|k| k.name())).map(str::to_string);
+    FaultError::UnknownKind {
+        name: name.to_string(),
+        suggestion,
+    }
+}
+
+fn malformed(event: &str, reason: impl Into<String>) -> FaultError {
+    FaultError::Malformed {
+        event: event.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Parses a bandwidth-class target label (`class-high`, `classHigh` and bare
+/// `high` are all accepted; the canonical rendering is `class-high`).
+fn parse_class(label: &str) -> Result<BandwidthClass, FaultError> {
+    let lower = label.to_ascii_lowercase();
+    let body = lower
+        .strip_prefix("class-")
+        .or_else(|| lower.strip_prefix("class"))
+        .unwrap_or(&lower);
+    match body {
+        "low" => Ok(BandwidthClass::Low),
+        "medium-low" | "mediumlow" => Ok(BandwidthClass::MediumLow),
+        "medium-high" | "mediumhigh" => Ok(BandwidthClass::MediumHigh),
+        "high" => Ok(BandwidthClass::High),
+        _ => Err(FaultError::UnknownClass {
+            name: label.to_string(),
+        }),
+    }
+}
+
+/// Parses one event in canonical grammar form.
+fn parse_event(text: &str) -> Result<FaultEvent, FaultError> {
+    let (kind_text, rest) = text
+        .split_once('@')
+        .ok_or_else(|| malformed(text, "expected 'kind@cONSET[-REPAIR]:TARGET'"))?;
+    let kind = FaultKind::parse(kind_text.trim()).ok_or_else(|| unknown_kind(kind_text.trim()))?;
+    let (window, target_text) = rest
+        .split_once(':')
+        .ok_or_else(|| malformed(text, "expected ':TARGET' after the cycle window"))?;
+
+    let window = window.trim();
+    let window = window.strip_prefix('c').unwrap_or(window);
+    let (onset_text, repair_text) = match window.split_once('-') {
+        Some((onset, repair)) => (onset, Some(repair)),
+        None => (window, None),
+    };
+    let onset: u64 = onset_text
+        .parse()
+        .map_err(|_| malformed(text, format!("onset cycle '{onset_text}' is not a u64")))?;
+    let repair = match repair_text {
+        None => None,
+        Some(repair_text) => {
+            let repair: u64 = repair_text.parse().map_err(|_| {
+                malformed(text, format!("repair cycle '{repair_text}' is not a u64"))
+            })?;
+            if repair <= onset {
+                return Err(FaultError::BadSchedule {
+                    event: text.to_string(),
+                    reason: format!("repair cycle {repair} must be after onset cycle {onset}"),
+                });
+            }
+            Some(repair)
+        }
+    };
+
+    let target_text = target_text.trim();
+    let (target_body, severity_text) = match target_text.split_once('/') {
+        Some((body, severity)) => (body, Some(severity)),
+        None => (target_text, None),
+    };
+    let severity = match severity_text {
+        None => {
+            if kind.has_severity() {
+                2 // default wavelength divisor
+            } else {
+                1
+            }
+        }
+        Some(severity_text) => {
+            if !kind.has_severity() {
+                return Err(malformed(
+                    text,
+                    format!("'{kind}' does not take a /severity divisor"),
+                ));
+            }
+            let severity: u32 = severity_text
+                .parse()
+                .map_err(|_| malformed(text, format!("severity '{severity_text}' is not a u32")))?;
+            if severity < 2 {
+                return Err(malformed(text, "severity must be a divisor >= 2"));
+            }
+            severity
+        }
+    };
+
+    let target = match kind {
+        FaultKind::LinkFail | FaultKind::RingStuck => {
+            let index_text = target_body
+                .strip_prefix("sw")
+                .ok_or_else(|| malformed(text, format!("'{kind}' targets a switch, e.g. 'sw3'")))?;
+            let index: usize = index_text.parse().map_err(|_| {
+                malformed(text, format!("switch index '{index_text}' is not a number"))
+            })?;
+            FaultTarget::Switch(index)
+        }
+        FaultKind::WavelengthDegrade => FaultTarget::Class(parse_class(target_body)?),
+        FaultKind::LaserDim => {
+            if target_body != "fabric" {
+                return Err(malformed(text, "'laser-dim' targets the whole 'fabric'"));
+            }
+            FaultTarget::Fabric
+        }
+    };
+
+    Ok(FaultEvent {
+        kind,
+        target,
+        onset,
+        repair,
+        severity,
+    })
+}
+
+/// An ordered, validated schedule of fault events.
+///
+/// The empty plan is the healthy fabric: it injects nothing and is what
+/// `none` (or an absent `faults` field) resolves to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty (healthy) plan.
+    #[must_use]
+    pub fn empty() -> FaultPlan {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Builds a plan from explicit events (kept in the given order).
+    #[must_use]
+    pub fn from_events(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan { events }
+    }
+
+    /// Whether the plan schedules no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in plan order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Parses a comma-separated literal plan
+    /// (`link-fail@c150-450:sw1,laser-dim@c200:fabric/2`). The empty string
+    /// parses to the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultError`] describing the first offending event.
+    pub fn parse(text: &str) -> Result<FaultPlan, FaultError> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Ok(FaultPlan::empty());
+        }
+        let events = text
+            .split(',')
+            .map(|event| parse_event(event.trim()))
+            .collect::<Result<Vec<FaultEvent>, FaultError>>()?;
+        Ok(FaultPlan { events })
+    }
+
+    /// Renders the plan in canonical grammar form: every event in canonical
+    /// form, comma-joined, plan order preserved. `parse(render(p)) == p`,
+    /// and rendering is a fixed point of `parse ∘ render`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.events
+            .iter()
+            .map(FaultEvent::render)
+            .collect::<Vec<String>>()
+            .join(",")
+    }
+
+    /// Resolves user-facing plan text: empty or `none` → the empty plan, a
+    /// preset name → that preset, anything containing `@` → a literal plan,
+    /// any other bare word → [`FaultError::UnknownPlan`] with a nearest-name
+    /// suggestion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultError`] for unknown presets or malformed literals.
+    pub fn resolve(text: &str) -> Result<FaultPlan, FaultError> {
+        let text = text.trim();
+        if text.is_empty() || text == "none" {
+            return Ok(FaultPlan::empty());
+        }
+        if let Some(plan) = crate::presets::preset_plan(text) {
+            return Ok(plan);
+        }
+        if text.contains('@') {
+            return FaultPlan::parse(text);
+        }
+        let suggestion =
+            nearest_name(text, crate::presets::PRESET_PLANS.iter().copied()).map(str::to_string);
+        Err(FaultError::UnknownPlan {
+            name: text.to_string(),
+            suggestion,
+        })
+    }
+
+    /// Validates switch targets against the topology size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::TargetOutOfBounds`] for the first event whose
+    /// switch index is outside `0..num_switches`.
+    pub fn validate(&self, num_switches: usize) -> Result<(), FaultError> {
+        for event in &self.events {
+            if let FaultTarget::Switch(index) = event.target {
+                if index >= num_switches {
+                    return Err(FaultError::TargetOutOfBounds {
+                        event: event.render(),
+                        switch: index,
+                        num_switches,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_parse_and_render_canonically() {
+        let cases = [
+            "link-fail@c150:sw3",
+            "link-fail@c150-450:sw1",
+            "wavelength-degrade@c100:class-high/2",
+            "wavelength-degrade@c100-900:class-medium-low/4",
+            "ring-stuck@c150:sw2",
+            "laser-dim@c200:fabric/2",
+        ];
+        for text in cases {
+            let plan = FaultPlan::parse(text).expect("canonical text parses");
+            assert_eq!(plan.render(), text, "canonical text is a fixed point");
+        }
+    }
+
+    #[test]
+    fn variant_spellings_canonicalise() {
+        // Bare cycle number (no 'c'), camel-case class label, default severity.
+        let plan = FaultPlan::parse("wavelength-degrade@1000:classHigh").expect("variants parse");
+        assert_eq!(plan.render(), "wavelength-degrade@c1000:class-high/2");
+        assert_eq!(plan.events()[0].severity, 2);
+    }
+
+    #[test]
+    fn multi_event_plans_round_trip_in_order() {
+        let text = "link-fail@c120-240:sw0,link-fail@c240-360:sw1,laser-dim@c10:fabric/3";
+        let plan = FaultPlan::parse(text).expect("parses");
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(plan.render(), text);
+        assert_eq!(FaultPlan::parse(&plan.render()).unwrap(), plan);
+    }
+
+    #[test]
+    fn unknown_kind_lists_the_catalogue_with_a_suggestion() {
+        let error = FaultPlan::parse("link-fial@c10:sw0").unwrap_err();
+        assert_eq!(error.suggestion(), Some("link-fail"));
+        let message = error.to_string();
+        assert!(
+            message.contains("[laser-dim, link-fail, ring-stuck, wavelength-degrade]"),
+            "{message}"
+        );
+        assert!(message.contains("did you mean 'link-fail'?"), "{message}");
+    }
+
+    #[test]
+    fn schedule_and_grammar_violations_are_rejected() {
+        // Repair must come after onset.
+        let error = FaultPlan::parse("link-fail@c450-150:sw1").unwrap_err();
+        assert!(matches!(error, FaultError::BadSchedule { .. }), "{error}");
+        let error = FaultPlan::parse("link-fail@c150-150:sw1").unwrap_err();
+        assert!(matches!(error, FaultError::BadSchedule { .. }), "{error}");
+        // Severity only on degradation kinds.
+        let error = FaultPlan::parse("link-fail@c10:sw1/2").unwrap_err();
+        assert!(error.to_string().contains("does not take"), "{error}");
+        let error = FaultPlan::parse("laser-dim@c10:fabric/1").unwrap_err();
+        assert!(error.to_string().contains(">= 2"), "{error}");
+        // Kind-appropriate targets.
+        assert!(FaultPlan::parse("link-fail@c10:fabric").is_err());
+        assert!(FaultPlan::parse("laser-dim@c10:sw1").is_err());
+        let error = FaultPlan::parse("wavelength-degrade@c10:class-ultra").unwrap_err();
+        assert!(matches!(error, FaultError::UnknownClass { .. }), "{error}");
+    }
+
+    #[test]
+    fn resolve_handles_presets_literals_and_typos() {
+        assert!(FaultPlan::resolve("").unwrap().is_empty());
+        assert!(FaultPlan::resolve("none").unwrap().is_empty());
+        assert!(!FaultPlan::resolve("single-link").unwrap().is_empty());
+        assert_eq!(
+            FaultPlan::resolve("link-fail@c150-450:sw1")
+                .unwrap()
+                .render(),
+            "link-fail@c150-450:sw1"
+        );
+        let error = FaultPlan::resolve("single-lnik").unwrap_err();
+        assert_eq!(error.suggestion(), Some("single-link"));
+        assert!(error.to_string().contains("presets:"), "{error}");
+    }
+
+    #[test]
+    fn validation_bounds_switch_targets() {
+        let plan = FaultPlan::parse("link-fail@c10:sw7").unwrap();
+        assert!(plan.validate(8).is_ok());
+        let error = plan.validate(4).unwrap_err();
+        assert!(
+            matches!(error, FaultError::TargetOutOfBounds { switch: 7, .. }),
+            "{error}"
+        );
+        assert!(error.to_string().contains("sw0..sw3"), "{error}");
+        // Non-switch targets are never out of bounds.
+        let plan = FaultPlan::parse("laser-dim@c10:fabric/2").unwrap();
+        assert!(plan.validate(1).is_ok());
+    }
+}

@@ -1,0 +1,61 @@
+//! Named preset fault plans.
+//!
+//! Presets give sweeps memorable names for common degradation shapes; each
+//! resolves to an ordinary literal plan (and shares cache entries with the
+//! equivalent literal, because scenario ids embed the *rendered* plan, not
+//! the preset name). Onset/repair cycles are chosen to land inside even the
+//! shortest (smoke, 600-cycle) measurement window, and every preset either
+//! repairs or only degrades bandwidth — none can wedge a closed-loop
+//! workload short of draining.
+
+use crate::plan::FaultPlan;
+
+/// The preset plan names, sorted (the catalogue shown in error messages).
+pub const PRESET_PLANS: [&str; 4] = ["none", "ring-drift", "rolling-links", "single-link"];
+
+/// Looks up a preset plan by name.
+#[must_use]
+pub fn preset_plan(name: &str) -> Option<FaultPlan> {
+    let literal = match name {
+        "none" => "",
+        "single-link" => "link-fail@c150-450:sw1",
+        "rolling-links" => "link-fail@c120-240:sw0,link-fail@c240-360:sw1,link-fail@c360-480:sw2",
+        "ring-drift" => "ring-stuck@c100-500:sw0,wavelength-degrade@c200:class-high/2",
+        _ => return None,
+    };
+    Some(FaultPlan::parse(literal).expect("preset literals are canonical"))
+}
+
+/// The sorted preset catalogue rendered for error messages.
+#[must_use]
+pub fn preset_catalogue() -> String {
+    format!("[{}]", PRESET_PLANS.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_parses_validates_and_round_trips() {
+        for name in PRESET_PLANS {
+            let plan = preset_plan(name).expect("catalogue names resolve");
+            plan.validate(8).expect("presets fit the paper topology");
+            assert_eq!(
+                FaultPlan::parse(&plan.render()).expect("rendered presets re-parse"),
+                plan
+            );
+            assert_eq!(plan.is_empty(), name == "none");
+        }
+        assert!(preset_plan("unknown").is_none());
+    }
+
+    #[test]
+    fn presets_schedule_inside_the_smoke_window() {
+        for name in PRESET_PLANS {
+            for event in preset_plan(name).unwrap().events().iter() {
+                assert!(event.onset < 600, "{name}: onset {} too late", event.onset);
+            }
+        }
+    }
+}

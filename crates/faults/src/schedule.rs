@@ -1,0 +1,171 @@
+//! The cycle-exact fault controller consulted by the simulation engine.
+//!
+//! [`FaultController`] turns a [`FaultPlan`] into a sorted transition tape
+//! (one `Apply` per event, one `Repair` per transient event) and hands the
+//! engine two things: `pop_due` — O(1), allocation-free — drains every
+//! transition whose cycle has arrived at the top of a stepped cycle, and
+//! `next_transition_cycle` bounds the event-driven executor's idle-gap skip
+//! so a scheduled fault cycle is always stepped, never jumped over.
+
+use crate::plan::{FaultEvent, FaultPlan};
+
+/// Whether a transition applies or repairs its fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The fault takes effect.
+    Apply,
+    /// The fault is repaired.
+    Repair,
+}
+
+/// One scheduled transition: at `cycle`, `action` event number `index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Transition {
+    cycle: u64,
+    action: FaultAction,
+    index: usize,
+}
+
+/// Deterministic cursor over a plan's transitions, with running
+/// applied/active counts for the degradation gauges.
+#[derive(Debug, Clone)]
+pub struct FaultController {
+    events: Vec<FaultEvent>,
+    transitions: Vec<Transition>,
+    cursor: usize,
+    applied: u64,
+    active: u64,
+}
+
+impl FaultController {
+    /// Builds the controller for a plan. Transitions are sorted by cycle;
+    /// within one cycle repairs run before applies (a back-to-back repair +
+    /// re-apply on the same cycle leaves the fault applied), ties broken by
+    /// plan order, so the tape is fully deterministic.
+    #[must_use]
+    pub fn new(plan: &FaultPlan) -> FaultController {
+        let events: Vec<FaultEvent> = plan.events().to_vec();
+        let mut transitions = Vec::with_capacity(events.len() * 2);
+        for (index, event) in events.iter().enumerate() {
+            transitions.push(Transition {
+                cycle: event.onset,
+                action: FaultAction::Apply,
+                index,
+            });
+            if let Some(repair) = event.repair {
+                transitions.push(Transition {
+                    cycle: repair,
+                    action: FaultAction::Repair,
+                    index,
+                });
+            }
+        }
+        transitions.sort_by_key(|t| (t.cycle, t.action == FaultAction::Apply, t.index));
+        FaultController {
+            events,
+            transitions,
+            cursor: 0,
+            applied: 0,
+            active: 0,
+        }
+    }
+
+    /// Pops the next transition due at or before `cycle`, updating the
+    /// applied/active counters. Call in a loop at the top of each stepped
+    /// cycle until it returns `None`.
+    pub fn pop_due(&mut self, cycle: u64) -> Option<(FaultAction, usize)> {
+        let transition = *self.transitions.get(self.cursor)?;
+        if transition.cycle > cycle {
+            return None;
+        }
+        self.cursor += 1;
+        match transition.action {
+            FaultAction::Apply => {
+                self.applied += 1;
+                self.active += 1;
+            }
+            FaultAction::Repair => self.active = self.active.saturating_sub(1),
+        }
+        Some((transition.action, transition.index))
+    }
+
+    /// The earliest cycle `> now` at which a transition is due, or `None`
+    /// when the tape is exhausted. The event-driven executor takes the
+    /// minimum of this and the network's own horizon, so idle-gap skips
+    /// never jump over a scheduled fault.
+    #[must_use]
+    pub fn next_transition_cycle(&self, now: u64) -> Option<u64> {
+        self.transitions
+            .get(self.cursor)
+            .map(|t| t.cycle.max(now + 1))
+    }
+
+    /// The event behind a transition index from [`FaultController::pop_due`].
+    #[must_use]
+    pub fn event(&self, index: usize) -> FaultEvent {
+        self.events[index]
+    }
+
+    /// How many fault applications have fired so far.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// How many faults are currently active (applied and not yet repaired).
+    #[must_use]
+    pub fn active(&self) -> u64 {
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(text: &str) -> FaultController {
+        FaultController::new(&FaultPlan::parse(text).expect("test plans parse"))
+    }
+
+    #[test]
+    fn transitions_fire_in_cycle_order_with_counts() {
+        let mut ctrl = controller("link-fail@c120-240:sw0,link-fail@c240-360:sw1");
+        assert_eq!(ctrl.pop_due(100), None);
+        assert_eq!(ctrl.next_transition_cycle(100), Some(120));
+
+        assert_eq!(ctrl.pop_due(120), Some((FaultAction::Apply, 0)));
+        assert_eq!(ctrl.pop_due(120), None);
+        assert_eq!((ctrl.applied(), ctrl.active()), (1, 1));
+
+        // Cycle 240: sw0 repairs before sw1 applies.
+        assert_eq!(ctrl.pop_due(240), Some((FaultAction::Repair, 0)));
+        assert_eq!(ctrl.pop_due(240), Some((FaultAction::Apply, 1)));
+        assert_eq!(ctrl.pop_due(240), None);
+        assert_eq!((ctrl.applied(), ctrl.active()), (2, 1));
+
+        assert_eq!(ctrl.pop_due(360), Some((FaultAction::Repair, 1)));
+        assert_eq!((ctrl.applied(), ctrl.active()), (2, 0));
+        assert_eq!(ctrl.next_transition_cycle(360), None);
+    }
+
+    #[test]
+    fn overdue_transitions_still_fire_and_bound_the_skip() {
+        let mut ctrl = controller("laser-dim@c50:fabric/2");
+        // A caller already past the onset gets the transition immediately,
+        // and the bound clamps to now+1 (never a cycle in the past).
+        assert_eq!(ctrl.next_transition_cycle(70), Some(71));
+        assert_eq!(ctrl.pop_due(70), Some((FaultAction::Apply, 0)));
+        assert_eq!(ctrl.event(0).severity, 2);
+        // Permanent fault: no repair transition, stays active.
+        assert_eq!(ctrl.pop_due(u64::MAX), None);
+        assert_eq!((ctrl.applied(), ctrl.active()), (1, 1));
+    }
+
+    #[test]
+    fn the_empty_plan_never_bounds_anything() {
+        let mut ctrl = FaultController::new(&FaultPlan::empty());
+        assert_eq!(ctrl.next_transition_cycle(0), None);
+        assert_eq!(ctrl.pop_due(u64::MAX), None);
+        assert_eq!((ctrl.applied(), ctrl.active()), (0, 0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the fault-plan grammar: `parse` ↔ `render` are
+//! inverses on every well-formed plan, schedule validation accepts exactly
+//! the consistent windows and in-bounds targets, and rejection messages
+//! carry the kind catalogue plus a nearest-name suggestion.
+
+use pnoc_faults::{FaultError, FaultEvent, FaultKind, FaultPlan, FaultTarget};
+use pnoc_noc::packet::BandwidthClass;
+use proptest::prelude::*;
+
+/// Builds one well-formed event from sampled raw values, keeping the
+/// kind/target/severity pairing the grammar demands. The first value packs
+/// kind and target (the vendored proptest shim caps tuple strategies at 4
+/// elements).
+fn event_from(raw: (u64, u64, u64, u64)) -> FaultEvent {
+    let (kind_target, onset, repair_delta, severity_raw) = raw;
+    let (kind_raw, target_raw) = (kind_target % 4, kind_target / 4);
+    let kind = FaultKind::ALL[kind_raw as usize % FaultKind::ALL.len()];
+    let target = match kind {
+        FaultKind::LinkFail | FaultKind::RingStuck => FaultTarget::Switch(target_raw as usize % 16),
+        FaultKind::WavelengthDegrade => {
+            FaultTarget::Class(BandwidthClass::ALL[target_raw as usize % 4])
+        }
+        FaultKind::LaserDim => FaultTarget::Fabric,
+    };
+    FaultEvent {
+        kind,
+        target,
+        onset,
+        // repair_delta 0 = permanent; otherwise strictly after onset.
+        repair: (repair_delta > 0).then(|| onset + repair_delta),
+        severity: if kind.has_severity() {
+            2 + (severity_raw % 30) as u32
+        } else {
+            1
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// render → parse is the identity on every well-formed plan, and the
+    /// canonical text is a fixed point of parse ∘ render.
+    #[test]
+    fn plans_render_parse_round_trip(
+        raw in prop::collection::vec(
+            (0u64..64, 0u64..100_000, 0u64..5_000, 0u64..64),
+            0..8,
+        ),
+    ) {
+        let plan = FaultPlan::from_events(raw.into_iter().map(event_from).collect());
+        let rendered = plan.render();
+        let parsed = FaultPlan::parse(&rendered).expect("rendered plans are canonical");
+        prop_assert_eq!(&parsed, &plan);
+        prop_assert_eq!(parsed.render(), rendered);
+    }
+
+    /// A window is accepted exactly when repair > onset, and switch targets
+    /// validate exactly when inside the topology.
+    #[test]
+    fn schedule_validation_accepts_exactly_the_consistent_windows(
+        onset in 0u64..10_000,
+        repair in 0u64..10_000,
+        switch in 0u64..32,
+        num_switches in 1usize..16,
+    ) {
+        let text = format!("link-fail@c{onset}-{repair}:sw{switch}");
+        match FaultPlan::parse(&text) {
+            Ok(plan) => {
+                prop_assert!(repair > onset);
+                let valid = plan.validate(num_switches);
+                if (switch as usize) < num_switches {
+                    prop_assert!(valid.is_ok());
+                } else {
+                    let error = valid.expect_err("out-of-bounds switch");
+                    prop_assert!(matches!(error, FaultError::TargetOutOfBounds { .. }));
+                    prop_assert!(error.to_string().contains(&format!("switch {switch}")));
+                }
+            }
+            Err(error) => {
+                prop_assert!(repair <= onset, "only bad windows may fail: {error}");
+                prop_assert!(matches!(error, FaultError::BadSchedule { .. }));
+            }
+        }
+    }
+
+    /// Every unknown kind is rejected with the sorted catalogue, and a
+    /// one-character corruption of a real kind still suggests the original.
+    #[test]
+    fn unknown_kinds_list_the_catalogue_with_suggestions(
+        kind_raw in 0u64..4,
+        corrupt in 0u64..26,
+    ) {
+        let kind = FaultKind::ALL[kind_raw as usize % FaultKind::ALL.len()];
+        // Corrupt the last character to a (possibly identical) letter.
+        let mut name: Vec<char> = kind.name().chars().collect();
+        *name.last_mut().expect("kind names are non-empty") =
+            char::from(b'a' + (corrupt % 26) as u8);
+        let name: String = name.into_iter().collect();
+        let result = FaultPlan::parse(&format!("{name}@c10:sw0"));
+        if FaultKind::parse(&name).is_some() {
+            // The corruption landed back on a real kind (or one whose
+            // target grammar differs — either way, not an UnknownKind).
+            return Ok(());
+        }
+        let error = result.expect_err("corrupted kinds cannot parse");
+        prop_assert!(matches!(error, FaultError::UnknownKind { .. }), "{error}");
+        let message = error.to_string();
+        prop_assert!(
+            message.contains("[laser-dim, link-fail, ring-stuck, wavelength-degrade]"),
+            "{}", message
+        );
+        prop_assert_eq!(error.suggestion(), Some(kind.name()));
+    }
+}

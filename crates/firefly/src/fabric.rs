@@ -8,6 +8,7 @@
 //! drive one packet at a time and a high-bandwidth application receives no
 //! more bandwidth than a low-bandwidth one.
 
+use pnoc_faults::{FaultEvent, FaultSurface};
 use pnoc_noc::ids::ClusterId;
 use pnoc_sim::config::SimConfig;
 use pnoc_sim::system::PhotonicFabric;
@@ -19,6 +20,7 @@ pub struct FireflyFabric {
     wavelengths_per_channel: usize,
     total_wavelengths: usize,
     reservation_cycles: u64,
+    faults: FaultSurface,
 }
 
 impl FireflyFabric {
@@ -48,11 +50,13 @@ impl FireflyFabric {
         assert!(radix > 0, "radix must be positive");
         assert!(reservation_cycles > 0, "reservation takes at least a cycle");
         let total_wavelengths = config.bandwidth_set.total_wavelengths();
+        let num_clusters = config.topology.num_clusters();
         Self {
-            num_clusters: config.topology.num_clusters(),
+            num_clusters,
             wavelengths_per_channel: (total_wavelengths / radix).max(1),
             total_wavelengths,
             reservation_cycles,
+            faults: FaultSurface::new(num_clusters),
         }
     }
 
@@ -84,10 +88,17 @@ impl PhotonicFabric for FireflyFabric {
         self.wavelengths_per_channel
     }
 
-    fn wavelengths_for(&self, _src: ClusterId, _dst: ClusterId) -> usize {
+    fn wavelengths_for(&self, src: ClusterId, dst: ClusterId) -> usize {
+        // A stuck/detuned MRR ring at either endpoint pins the transfer to a
+        // single wavelength.
+        if self.faults.ring_stuck(src.0) || self.faults.ring_stuck(dst.0) {
+            return 1;
+        }
         // All wavelengths of the channel are used for every transmission,
-        // regardless of the application's bandwidth class.
-        self.wavelengths_per_channel
+        // regardless of the application's bandwidth class — so a degraded
+        // class (or dimmed laser) derates the whole channel: Firefly cannot
+        // steer transfers away from the damaged wavelengths.
+        (self.wavelengths_per_channel / self.faults.max_divisor() as usize).max(1)
     }
 
     fn reservation_cycles(&self, _src: ClusterId, _dst: ClusterId) -> u64 {
@@ -100,6 +111,18 @@ impl PhotonicFabric for FireflyFabric {
 
     fn allocation_snapshot(&self) -> Vec<usize> {
         vec![self.wavelengths_per_channel; self.num_clusters]
+    }
+
+    fn apply_fault(&mut self, event: &FaultEvent) {
+        self.faults.apply(event);
+    }
+
+    fn clear_fault(&mut self, event: &FaultEvent) {
+        self.faults.clear(event);
+    }
+
+    fn link_up(&self, cluster: ClusterId) -> bool {
+        self.faults.link_up(cluster.0)
     }
 }
 
@@ -137,6 +160,33 @@ mod tests {
         let fabric = FireflyFabric::new(&SimConfig::paper_default(BandwidthSet::Set3));
         assert_eq!(fabric.reservation_cycles(ClusterId(1), ClusterId(2)), 1);
         assert_eq!(fabric.architecture_name(), "firefly");
+    }
+
+    #[test]
+    fn faults_derate_the_channel_and_repairs_restore_it() {
+        use pnoc_sim::system::PhotonicFabric as _;
+        let mut fabric = FireflyFabric::new(&SimConfig::paper_default(BandwidthSet::Set2));
+        let healthy = fabric.wavelengths_for(ClusterId(0), ClusterId(5));
+        assert_eq!(healthy, 16);
+        let plan = pnoc_faults::FaultPlan::parse(
+            "wavelength-degrade@c10-20:class-high/2,ring-stuck@c10-20:sw3,link-fail@c10-20:sw7",
+        )
+        .unwrap();
+        for event in plan.events() {
+            fabric.apply_fault(event);
+        }
+        // Class-blind Firefly derates the whole channel by the worst class.
+        assert_eq!(fabric.wavelengths_for(ClusterId(0), ClusterId(5)), 8);
+        // A stuck ring at either endpoint pins transfers to one wavelength.
+        assert_eq!(fabric.wavelengths_for(ClusterId(3), ClusterId(5)), 1);
+        assert_eq!(fabric.wavelengths_for(ClusterId(0), ClusterId(3)), 1);
+        assert!(!fabric.link_up(ClusterId(7)));
+        assert!(fabric.link_up(ClusterId(6)));
+        for event in plan.events() {
+            fabric.clear_fault(event);
+        }
+        assert_eq!(fabric.wavelengths_for(ClusterId(0), ClusterId(5)), healthy);
+        assert!(fabric.link_up(ClusterId(7)));
     }
 
     #[test]

@@ -82,6 +82,26 @@ pub trait CycleNetwork {
     fn skip_cycles(&mut self, from: u64, to: u64) {
         let _ = (from, to);
     }
+
+    /// Installs a fault schedule to replay during the run, returning whether
+    /// the network supports fault injection. A supporting implementation
+    /// must apply every due transition at the top of each stepped cycle
+    /// (emitting the fault [`SimEvent`]s) and fold the controller's
+    /// [`pnoc_faults::FaultController::next_transition_cycle`] bound into
+    /// [`CycleNetwork::next_event_cycle`], so idle-gap skips never jump over
+    /// a scheduled fault. The default declines: networks without fabric
+    /// capability hooks cannot degrade, so silently accepting a plan would
+    /// report healthy numbers for a supposedly faulted run.
+    fn install_fault_schedule(&mut self, controller: pnoc_faults::FaultController) -> bool {
+        let _ = controller;
+        false
+    }
+
+    /// `(faults_applied, faults_active)` counts from the installed fault
+    /// schedule, `(0, 0)` when no schedule was installed.
+    fn fault_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Fans one event stream out to a probe slice, gated on the measurement
@@ -93,7 +113,15 @@ struct ProbeFanout<'a, 'b> {
 
 impl EventSink for ProbeFanout<'_, '_> {
     fn emit(&mut self, cycle: u64, event: SimEvent) {
-        if self.measuring {
+        // Fault transitions are schedule replay, not workload statistics:
+        // they pass the warm-up gate so the probes' fault counters reconcile
+        // exactly with the controller's whole-run gauges even when an onset
+        // lands inside the warm-up window.
+        let structural = matches!(
+            event,
+            SimEvent::FaultApplied { .. } | SimEvent::FaultRepaired { .. }
+        );
+        if self.measuring || structural {
             for probe in self.probes.iter_mut() {
                 probe.on_event(cycle, &event);
             }
@@ -134,7 +162,9 @@ fn advance_clock<N: CycleNetwork + ?Sized>(
 /// Runs a network for its configured warm-up + measurement window while
 /// driving `probes`, and returns the measured legacy statistics.
 ///
-/// The warm-up runs unobserved. At the measurement boundary every probe
+/// The warm-up runs unobserved, except that fault transitions pass the gate
+/// so fault counters cover the whole run. At the measurement boundary every
+/// probe
 /// gets [`Probe::on_measurement_begin`]; during the window every
 /// [`SimEvent`] is forwarded to every probe and each cycle ends with
 /// [`Probe::on_cycle_end`]; after the last cycle every probe is finished

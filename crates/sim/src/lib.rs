@@ -41,6 +41,13 @@
 //!   releases dependent flows and terminates at DAG-drain, reporting
 //!   flow-completion-time quantiles and per-collective makespans,
 //! * [`report`] — plain-text table rendering used by the experiment harness.
+//!
+//! Deterministic fault injection lives in the `pnoc-faults` crate: a
+//! validated [`pnoc_faults::FaultPlan`] attaches to any scenario (the
+//! `#faults=` shorthand suffix, [`scenario::ScenarioSpec::with_faults`], or
+//! the [`scenario::ScenarioMatrix::fault_plans`] axis) and the engine applies
+//! and repairs each fault at its exact onset cycle through the
+//! [`system::PhotonicFabric`] fault hooks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -91,6 +98,9 @@ pub mod prelude {
     };
     pub use crate::system::{PhotonicFabric, PhotonicSystem};
     pub use crate::workload::{FlowProbe, WorkloadDriver};
+    pub use pnoc_faults::{
+        FaultController, FaultError, FaultEvent, FaultKind, FaultPlan, FaultTarget,
+    };
 }
 
 pub use prelude::*;

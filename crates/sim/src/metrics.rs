@@ -762,6 +762,16 @@ pub enum SimEvent {
         /// Creation → tail-delivery latency in cycles.
         latency: u64,
     },
+    /// A scheduled fault took effect on the fabric.
+    FaultApplied {
+        /// Index of the fault event within its plan.
+        fault: u32,
+    },
+    /// A scheduled fault was repaired.
+    FaultRepaired {
+        /// Index of the fault event within its plan.
+        fault: u32,
+    },
 }
 
 /// Where a stepping network reports its [`SimEvent`]s.
@@ -854,6 +864,8 @@ pub struct MetricsProbe {
     /// Delivered bits of every closed window, in window order.
     window_series: Vec<u64>,
     max_window_bits: Gauge,
+    fault_applied_events: Counter,
+    fault_repaired_events: Counter,
     topology: Option<pnoc_noc::topology::ClusterTopology>,
 }
 
@@ -887,6 +899,8 @@ impl MetricsProbe {
             photonic_bits_by_pair: BTreeMap::new(),
             window_series: Vec::new(),
             max_window_bits: Gauge::new(),
+            fault_applied_events: Counter::new(),
+            fault_repaired_events: Counter::new(),
             topology: None,
         }
     }
@@ -952,6 +966,8 @@ impl Probe for MetricsProbe {
                 self.delivered_packets.inc();
                 self.latency.record(latency);
             }
+            SimEvent::FaultApplied { .. } => self.fault_applied_events.inc(),
+            SimEvent::FaultRepaired { .. } => self.fault_repaired_events.inc(),
         }
     }
 
@@ -987,6 +1003,18 @@ impl Probe for MetricsProbe {
         ];
         for (name, count) in counters {
             report.insert(name, MetricValue::Counter(count));
+        }
+        // Fault counters appear only when a fault transition was observed:
+        // healthy runs keep the exact pre-fault report shape (and bytes).
+        if self.fault_applied_events.get() + self.fault_repaired_events.get() > 0 {
+            report.insert(
+                "fault_applied_events",
+                MetricValue::Counter(self.fault_applied_events.get()),
+            );
+            report.insert(
+                "fault_repaired_events",
+                MetricValue::Counter(self.fault_repaired_events.get()),
+            );
         }
         report.insert(
             "latency_cycles",

@@ -9,6 +9,7 @@ use crate::sweep::{
     SweepMode, SweepPoint, SweepPointSpec,
 };
 use crate::workload::run_workload_point;
+use pnoc_faults::{FaultError, FaultPlan};
 use pnoc_noc::traffic_model::TrafficModel;
 use pnoc_traffic::factory::{
     lookup_traffic_factory, registered_traffic_patterns, TrafficFactory, TrafficSpec,
@@ -132,6 +133,14 @@ pub struct ScenarioSpec {
     /// ladder, flow-completion-time and makespan metrics on the point's
     /// report.
     pub workload: Option<String>,
+    /// Fault plan injected into every point of the scenario: a preset name
+    /// (`"single-link"`, see [`pnoc_faults::preset_catalogue`]) or a literal
+    /// plan in the canonical grammar
+    /// (`"link-fail@c150-450:sw1,laser-dim@c200:fabric/2"`), validated
+    /// against the registry and topology by [`ScenarioSpec::resolve`].
+    /// `None` (and the `"none"` preset, which resolves to the empty plan)
+    /// mean a healthy run, bitwise-identical to a spec without the field.
+    pub faults: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -148,6 +157,7 @@ impl ScenarioSpec {
             seed: DEFAULT_SEED,
             ladder: Vec::new(),
             workload: None,
+            faults: None,
         }
     }
 
@@ -164,6 +174,16 @@ impl ScenarioSpec {
     pub fn with_workload(mut self, workload_ref: impl Into<String>) -> Self {
         let workload_ref = workload_ref.into();
         self.workload = (!workload_ref.is_empty()).then_some(workload_ref);
+        self
+    }
+
+    /// Sets (or, with an empty string, clears) the fault plan: a preset
+    /// name or a literal plan in the canonical grammar. Not validated here —
+    /// that is [`ScenarioSpec::resolve`]'s job.
+    #[must_use]
+    pub fn with_faults(mut self, plan: impl Into<String>) -> Self {
+        let plan = plan.into();
+        self.faults = (!plan.is_empty()).then_some(plan);
         self
     }
 
@@ -228,7 +248,21 @@ impl ScenarioSpec {
             input: text.to_string(),
             reason: reason.to_string(),
         };
-        let parts: Vec<&str> = text.split(':').collect();
+        // A trailing `#faults=PLAN` suffix carries the fault plan (the `#`
+        // keeps fault-plan `:`s out of the shorthand's `:`-separated parts).
+        let (text_main, faults) = match text.split_once('#') {
+            Some((main, suffix)) => {
+                let plan = suffix
+                    .strip_prefix("faults=")
+                    .ok_or_else(|| malformed("the only supported '#' suffix is '#faults=PLAN'"))?;
+                if plan.is_empty() {
+                    return Err(malformed("'#faults=' needs a preset name or a plan"));
+                }
+                (main, Some(plan.to_string()))
+            }
+            None => (text, None),
+        };
+        let parts: Vec<&str> = text_main.split(':').collect();
         if !(2..=4).contains(&parts.len()) || parts.iter().any(|p| p.is_empty()) {
             return Err(malformed(
                 "expected ARCH:TRAFFIC[:SET[:EFFORT]] with non-empty parts",
@@ -248,6 +282,7 @@ impl ScenarioSpec {
             spec.effort = Effort::parse(effort)
                 .ok_or_else(|| malformed("effort must be one of paper, quick, smoke"))?;
         }
+        spec.faults = faults;
         Ok(spec)
     }
 
@@ -282,11 +317,18 @@ impl ScenarioSpec {
             Some(workload) => workload.replace(':', "@"),
             None => self.traffic.clone(),
         };
-        format!(
+        let mut id = format!(
             "{arch}:{middle}:{}:{}",
             self.bandwidth_set.short_name(),
             self.effort.label()
-        )
+        );
+        // The fault plan rides as a `#faults=` suffix (echoed as written,
+        // like every other spec field; parse_shorthand strips it back off).
+        if let Some(faults) = &self.faults {
+            id.push_str("#faults=");
+            id.push_str(faults);
+        }
+        id
     }
 
     /// The full simulation configuration of this scenario: the effort level's
@@ -398,11 +440,25 @@ impl ScenarioSpec {
                 ScenarioPayload::Traffic(traffic)
             }
         };
+        let faults = match &self.faults {
+            Some(text) => {
+                let invalid = |error: FaultError| ScenarioError::InvalidFaults {
+                    scenario: self.id(),
+                    error,
+                };
+                let plan = FaultPlan::resolve(text).map_err(invalid)?;
+                plan.validate(self.config().topology.num_clusters())
+                    .map_err(invalid)?;
+                plan
+            }
+            None => FaultPlan::empty(),
+        };
         Ok(Scenario {
             spec: self.clone(),
             architecture,
             params,
             payload,
+            faults,
         })
     }
 }
@@ -442,6 +498,15 @@ pub enum ScenarioError {
         /// The offending load value.
         load: f64,
     },
+    /// The fault plan does not parse, names an unknown preset, or targets a
+    /// switch outside the topology.
+    InvalidFaults {
+        /// Identifier of the offending scenario.
+        scenario: String,
+        /// The underlying fault-plan error (carries the kind/preset
+        /// catalogue and a nearest-name suggestion where applicable).
+        error: FaultError,
+    },
     /// A `--scenario` shorthand or serialized spec could not be parsed.
     Malformed {
         /// The input that failed to parse.
@@ -472,6 +537,12 @@ impl std::fmt::Display for ScenarioError {
                 "scenario '{scenario}' has invalid ladder load {load}; \
                  loads must be positive and finite"
             ),
+            ScenarioError::InvalidFaults { scenario, error } => {
+                write!(
+                    f,
+                    "scenario '{scenario}' has an invalid fault plan: {error}"
+                )
+            }
             ScenarioError::Malformed { input, reason } => {
                 write!(f, "cannot parse scenario '{input}': {reason}")
             }
@@ -524,6 +595,7 @@ pub struct Scenario {
     architecture: Arc<dyn ArchitectureBuilder>,
     params: ResolvedParams,
     payload: ScenarioPayload,
+    faults: FaultPlan,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -554,6 +626,13 @@ impl Scenario {
         &self.params
     }
 
+    /// The resolved, topology-validated fault plan (empty for a healthy
+    /// scenario).
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Runs the scenario's saturation sweep with the ladder points in
     /// parallel (bitwise-identical to a sequential run).
     #[must_use]
@@ -580,13 +659,23 @@ impl Scenario {
             ScenarioPayload::Traffic(factory) => factory.name().to_string(),
             ScenarioPayload::Workload(workload) => workload.name().replace(':', "@"),
         };
-        format!(
+        let mut id = format!(
             "{}{}:{payload}:{}:{}",
             self.architecture.name(),
             self.params.canonical(),
             self.spec.bandwidth_set.short_name(),
             self.spec.effort.label()
-        )
+        );
+        // The *resolved* plan in canonical rendering: preset names and
+        // their literal spellings share one id, and the empty plan (absent
+        // field, `"none"`, or an empty preset) adds no suffix — so a cached
+        // healthy result is never served for a faulted scenario and vice
+        // versa.
+        if !self.faults.is_empty() {
+            id.push_str("#faults=");
+            id.push_str(&self.faults.render());
+        }
+        id
     }
 
     /// The resolved closed-loop workload, when this is a workload scenario.
@@ -619,6 +708,7 @@ impl Scenario {
                     &config,
                     &loads,
                     mode,
+                    &self.faults,
                 )
             }
             ScenarioPayload::Workload(workload) => SaturationResult {
@@ -627,6 +717,7 @@ impl Scenario {
                     &self.params,
                     &point_spec(&config, 0, loads[0]),
                     workload,
+                    &self.faults,
                 )],
             },
         };
@@ -743,6 +834,7 @@ pub struct ScenarioMatrix {
     traffics: Vec<String>,
     workloads: Vec<String>,
     bandwidth_sets: Vec<BandwidthSet>,
+    fault_plans: Vec<String>,
     effort: Effort,
     seed: u64,
     ladder: Vec<f64>,
@@ -766,6 +858,7 @@ impl ScenarioMatrix {
             traffics: Vec::new(),
             workloads: Vec::new(),
             bandwidth_sets: vec![BandwidthSet::Set1],
+            fault_plans: Vec::new(),
             effort: Effort::Quick,
             seed: DEFAULT_SEED,
             ladder: Vec::new(),
@@ -853,6 +946,20 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Sets the fault-plan axis. Every entry is a preset name or canonical
+    /// plan text (see `pnoc-faults`), crossed against every open-loop *and*
+    /// closed-loop scenario in the matrix. The empty string and `"none"`
+    /// both mean a healthy run and dedup onto the fault-free scenario.
+    #[must_use]
+    pub fn fault_plans<I, S>(mut self, plans: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.fault_plans = plans.into_iter().map(Into::into).collect();
+        self
+    }
+
     /// Sets the bandwidth-set axis.
     #[must_use]
     pub fn bandwidth_sets<I>(mut self, sets: I) -> Self
@@ -920,6 +1027,17 @@ impl ScenarioMatrix {
                 out.push(spec);
             }
         };
+        // The fault axis: no entries means one healthy run; empty/"none"
+        // entries normalise to the fault-free spec (faults: None) so they
+        // dedup onto it.
+        let fault_axis: Vec<Option<String>> = if self.fault_plans.is_empty() {
+            vec![None]
+        } else {
+            self.fault_plans
+                .iter()
+                .map(|plan| (!plan.is_empty() && plan != "none").then(|| plan.clone()))
+                .collect()
+        };
         for architecture in &self.architectures {
             let (name, embedded) = ArchParams::split_spec(architecture)
                 .unwrap_or_else(|_| (architecture.clone(), ArchParams::new()));
@@ -930,27 +1048,33 @@ impl ScenarioMatrix {
                 }
                 for traffic in &self.traffics {
                     for &set in &self.bandwidth_sets {
-                        push(ScenarioSpec {
-                            architecture: name.clone(),
-                            arch_params: arch_params.clone(),
-                            traffic: traffic.clone(),
-                            bandwidth_set: set,
-                            effort: self.effort,
-                            seed: self.seed,
-                            ladder: self.ladder.clone(),
-                            workload: None,
-                        });
+                        for faults in &fault_axis {
+                            push(ScenarioSpec {
+                                architecture: name.clone(),
+                                arch_params: arch_params.clone(),
+                                traffic: traffic.clone(),
+                                bandwidth_set: set,
+                                effort: self.effort,
+                                seed: self.seed,
+                                ladder: self.ladder.clone(),
+                                workload: None,
+                                faults: faults.clone(),
+                            });
+                        }
                     }
                 }
                 for workload in &self.workloads {
                     for &set in &self.bandwidth_sets {
-                        push(
-                            ScenarioSpec::closed_loop(name.clone(), workload.clone())
-                                .with_arch_params(arch_params.clone())
-                                .with_bandwidth_set(set)
-                                .with_effort(self.effort)
-                                .with_seed(self.seed),
-                        );
+                        for faults in &fault_axis {
+                            let mut spec =
+                                ScenarioSpec::closed_loop(name.clone(), workload.clone())
+                                    .with_arch_params(arch_params.clone())
+                                    .with_bandwidth_set(set)
+                                    .with_effort(self.effort)
+                                    .with_seed(self.seed);
+                            spec.faults = faults.clone();
+                            push(spec);
+                        }
                     }
                 }
             }
@@ -1005,6 +1129,7 @@ struct PointJob {
     params: ResolvedParams,
     payload: ScenarioPayload,
     point: SweepPointSpec,
+    faults: FaultPlan,
 }
 
 impl PointJob {
@@ -1015,12 +1140,14 @@ impl PointJob {
                 &self.params,
                 &self.point,
                 build_traffic(factory.as_ref(), &self.point),
+                &self.faults,
             ),
             ScenarioPayload::Workload(workload) => run_workload_point(
                 self.architecture.as_ref(),
                 &self.params,
                 &self.point,
                 workload,
+                &self.faults,
             ),
         }
     }
@@ -1110,7 +1237,7 @@ pub fn run_specs_with_cache(
     // offered load.
     let mut jobs: Vec<PointJob> = Vec::new();
     let mut job_keys: Vec<String> = Vec::new();
-    let mut index_of: BTreeMap<(String, String, String, u64), usize> = BTreeMap::new();
+    let mut index_of: BTreeMap<(String, String, String, String, u64), usize> = BTreeMap::new();
     let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(scenarios.len());
     let fingerprint = cache.is_some().then(engine_fingerprint);
     for scenario in &scenarios {
@@ -1142,6 +1269,7 @@ pub fn run_specs_with_cache(
             let key = (
                 arch_key.clone(),
                 payload_key.clone(),
+                scenario.faults.render(),
                 format!("{:?}", point.config),
                 load.to_bits(),
             );
@@ -1156,6 +1284,7 @@ pub fn run_specs_with_cache(
                     params: scenario.params.clone(),
                     payload: scenario.payload.clone(),
                     point,
+                    faults: scenario.faults.clone(),
                 });
             }
             point_jobs.push(job_index);
@@ -1803,6 +1932,127 @@ mod tests {
             .run()
             .expect_err("unbalanced brace");
         assert!(matches!(error, ScenarioError::InvalidArchParams(_)));
+    }
+
+    #[test]
+    fn fault_shorthand_round_trips_and_rejects_garbage() {
+        let spec =
+            ScenarioSpec::parse_shorthand("uniform-fabric:tornado:set1:smoke#faults=single-link")
+                .unwrap();
+        assert_eq!(spec.faults.as_deref(), Some("single-link"));
+        assert_eq!(
+            spec.id(),
+            "uniform-fabric:tornado:set1:smoke#faults=single-link"
+        );
+        assert_eq!(ScenarioSpec::parse_shorthand(&spec.id()).unwrap(), spec);
+
+        // A literal plan survives the round trip verbatim.
+        let literal =
+            ScenarioSpec::parse_shorthand("firefly:tornado#faults=link-fail@c10-20:sw1").unwrap();
+        assert_eq!(literal.faults.as_deref(), Some("link-fail@c10-20:sw1"));
+        assert_eq!(
+            ScenarioSpec::parse_shorthand(&literal.id()).unwrap(),
+            literal
+        );
+
+        for bad in [
+            "firefly:tornado#single-link",
+            "firefly:tornado#faults=",
+            "firefly:tornado#plan=single-link",
+        ] {
+            assert!(
+                matches!(
+                    ScenarioSpec::parse_shorthand(bad),
+                    Err(ScenarioError::Malformed { .. })
+                ),
+                "'{bad}' should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_resolution_failures_are_typed_and_suggestive() {
+        let unknown = smoke_spec()
+            .with_faults("singel-link")
+            .resolve()
+            .expect_err("misspelled preset");
+        match &unknown {
+            ScenarioError::InvalidFaults { error, .. } => {
+                assert_eq!(error.suggestion(), Some("single-link"));
+            }
+            other => panic!("expected InvalidFaults, got {other:?}"),
+        }
+        assert!(unknown.to_string().contains("did you mean"));
+
+        // A plan naming a switch the resolved topology does not have is
+        // rejected at resolve time, not silently ignored at run time.
+        let out_of_bounds = smoke_spec()
+            .with_faults("link-fail@c10:sw99")
+            .resolve()
+            .expect_err("sw99 exceeds the cluster count");
+        assert!(matches!(
+            out_of_bounds,
+            ScenarioError::InvalidFaults {
+                error: pnoc_faults::FaultError::TargetOutOfBounds { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fault_free_spellings_share_one_canonical_id_and_presets_match_literals() {
+        let healthy = smoke_spec().resolve().unwrap();
+        let none = smoke_spec().with_faults("none").resolve().unwrap();
+        assert!(none.faults().is_empty());
+        assert_eq!(
+            healthy.canonical_id(),
+            none.canonical_id(),
+            "'none' must hit the same cache entries as a fault-free spec"
+        );
+
+        // A preset and its literal expansion share a canonical id, so cached
+        // faulted results are reused across the two spellings — and differ
+        // from the healthy id, so a faulted scenario can never be served a
+        // healthy cached point.
+        let preset = smoke_spec().with_faults("single-link").resolve().unwrap();
+        let literal = smoke_spec()
+            .with_faults("link-fail@c150-450:sw1")
+            .resolve()
+            .unwrap();
+        assert_eq!(preset.canonical_id(), literal.canonical_id());
+        assert_ne!(preset.canonical_id(), healthy.canonical_id());
+        assert!(preset
+            .canonical_id()
+            .ends_with("#faults=link-fail@c150-450:sw1"));
+    }
+
+    #[test]
+    fn matrix_fault_axis_crosses_every_scenario_and_stays_deterministic() {
+        rayon::set_thread_count(4);
+        let matrix = ScenarioMatrix::new()
+            .architectures(["uniform-fabric"])
+            .traffics(["tornado"])
+            .workloads(["incast:4"])
+            .fault_plans(["none", "single-link"])
+            .effort(Effort::Smoke);
+        let specs = matrix.specs();
+        // (1 open-loop + 1 closed-loop) × 2 fault plans; "none" normalises
+        // to the fault-free spec.
+        assert_eq!(specs.len(), 4);
+        assert_eq!(
+            specs.iter().filter(|s| s.faults.is_some()).count(),
+            2,
+            "'none' entries must normalise to fault-free specs"
+        );
+        let batched = matrix.run().expect("all names registered");
+        let sequential = matrix.run_sequential().expect("all names registered");
+        assert!(
+            batched.bitwise_eq(&sequential),
+            "faulted matrix run must be bitwise-identical to sequential runs"
+        );
+        // Healthy and faulted variants of the same point must not dedup
+        // onto each other.
+        assert_eq!(batched.unique_points, batched.total_points);
     }
 
     #[test]

@@ -48,11 +48,12 @@
 //! parallel sweep reproducible and bitwise-equal to the sequential sweep.
 
 use crate::config::SimConfig;
-use crate::engine::run_to_completion_with;
+use crate::engine::{run_to_completion_with, CycleNetwork};
 use crate::metrics::{MetricReport, MetricsProbe, Probe as _};
 use crate::params::ResolvedParams;
 use crate::registry::ArchitectureBuilder;
 use crate::stats::SimStats;
+use pnoc_faults::{FaultController, FaultPlan};
 use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -277,6 +278,33 @@ pub(crate) fn attach_power_gauges(report: &mut MetricReport, config: &SimConfig,
     );
 }
 
+/// Installs a non-empty fault plan on a freshly built network, panicking
+/// with a clear message when the network does not support fault injection —
+/// silently running a faulted scenario on a fault-blind network would report
+/// healthy numbers under a faulted scenario id.
+pub(crate) fn install_faults(network: &mut dyn CycleNetwork, faults: &FaultPlan, arch: &str) {
+    if faults.is_empty() {
+        return;
+    }
+    assert!(
+        network.install_fault_schedule(FaultController::new(faults)),
+        "architecture '{arch}' does not support fault injection \
+         (CycleNetwork::install_fault_schedule declined the schedule)"
+    );
+}
+
+/// Adds the fault gauges to a faulted point's metric report:
+/// `faults_applied` (total onset transitions executed) and `faults_active`
+/// (faults still unrepaired when the run ended). Only attached when the
+/// point ran with a non-empty plan, so healthy reports keep their exact
+/// pre-fault shape.
+pub(crate) fn attach_fault_gauges(report: &mut MetricReport, network: &dyn CycleNetwork) {
+    use crate::metrics::MetricValue;
+    let (applied, active) = network.fault_counts();
+    report.insert("faults_applied", MetricValue::Gauge(applied as f64));
+    report.insert("faults_active", MetricValue::Gauge(active as f64));
+}
+
 /// Builds and runs the network of one sweep point, collecting the standard
 /// [`MetricsProbe`] instrumentation alongside the legacy snapshot.
 pub(crate) fn run_point(
@@ -284,12 +312,17 @@ pub(crate) fn run_point(
     params: &ResolvedParams,
     spec: &SweepPointSpec,
     traffic: Box<dyn TrafficModel + Send>,
+    faults: &FaultPlan,
 ) -> SweepPoint {
     let mut network = architecture.build(spec.config, params, traffic);
+    install_faults(&mut *network, faults, architecture.name());
     let mut probe = MetricsProbe::for_config(&spec.config);
     let stats = run_to_completion_with(&mut *network, &mut [&mut probe]);
     let mut metrics = probe.report();
     attach_power_gauges(&mut metrics, &spec.config, &stats);
+    if !faults.is_empty() {
+        attach_fault_gauges(&mut metrics, &*network);
+    }
     SweepPoint {
         offered_load: spec.offered_load.value(),
         stats,
@@ -307,6 +340,7 @@ pub(crate) fn run_sweep(
     config: &SimConfig,
     loads: &[f64],
     mode: SweepMode,
+    faults: &FaultPlan,
 ) -> SaturationResult {
     let specs: Vec<SweepPointSpec> = loads
         .iter()
@@ -316,11 +350,11 @@ pub(crate) fn run_sweep(
     let points: Vec<SweepPoint> = match mode {
         SweepMode::Sequential => specs
             .iter()
-            .map(|spec| run_point(architecture, params, spec, make_traffic(spec)))
+            .map(|spec| run_point(architecture, params, spec, make_traffic(spec), faults))
             .collect(),
         SweepMode::Parallel => specs
             .par_iter()
-            .map(|spec| run_point(architecture, params, spec, make_traffic(spec)))
+            .map(|spec| run_point(architecture, params, spec, make_traffic(spec), faults))
             .collect(),
     };
     SaturationResult { points }
@@ -489,6 +523,7 @@ mod tests {
         let loads = [1.0 / 400.0, 1.0 / 200.0, 1.0 / 100.0, 1.0 / 50.0];
         let architecture = UniformFabricArchitecture;
         let params = architecture.default_params();
+        let healthy = FaultPlan::empty();
         let sequential = run_sweep(
             &architecture,
             &params,
@@ -496,6 +531,7 @@ mod tests {
             &config,
             &loads,
             SweepMode::Sequential,
+            &healthy,
         );
         let parallel = run_sweep(
             &architecture,
@@ -504,6 +540,7 @@ mod tests {
             &config,
             &loads,
             SweepMode::Parallel,
+            &healthy,
         );
         assert!(sequential
             .points
@@ -527,6 +564,7 @@ mod tests {
             &config,
             &loads,
             SweepMode::Sequential,
+            &FaultPlan::empty(),
         );
         for point in &result.points {
             assert_eq!(

@@ -82,6 +82,30 @@ pub trait PhotonicFabric {
     fn allocation_snapshot(&self) -> Vec<usize> {
         Vec::new()
     }
+
+    /// Applies a fault to the fabric's data plane. The default ignores the
+    /// event, so fabrics only model the degradations they understand; the
+    /// system-level effects every fabric shares (a failed link refusing new
+    /// transmissions) are handled by [`PhotonicSystem`] via
+    /// [`PhotonicFabric::link_up`].
+    fn apply_fault(&mut self, event: &pnoc_faults::FaultEvent) {
+        let _ = event;
+    }
+
+    /// Reverses a previously applied fault (called at the event's repair
+    /// cycle). Must restore exactly the state `apply_fault` disturbed.
+    fn clear_fault(&mut self, event: &pnoc_faults::FaultEvent) {
+        let _ = event;
+    }
+
+    /// Whether the photonic link of `cluster` is currently operational. A
+    /// down link stops *new* transmissions from starting at or terminating on
+    /// the cluster; in-flight transfers complete (photons already committed
+    /// to the waveguide are not retracted).
+    fn link_up(&self, cluster: ClusterId) -> bool {
+        let _ = cluster;
+        true
+    }
 }
 
 /// A trivially uniform fabric: every cluster always owns `wavelengths_per_channel`
@@ -299,6 +323,8 @@ pub struct PhotonicSystem<F: PhotonicFabric, T: TrafficModel> {
     scratch_finished: Vec<usize>,
     /// Reusable arbiter request vector.
     scratch_requests: Vec<bool>,
+    /// Deterministic fault schedule, when one was installed.
+    faults: Option<pnoc_faults::FaultController>,
 }
 
 impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
@@ -371,6 +397,7 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
             scratch_deliveries: Vec::new(),
             scratch_finished: Vec::new(),
             scratch_requests: Vec::new(),
+            faults: None,
         }
     }
 
@@ -761,6 +788,12 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
                 continue;
             }
             let src_cluster = ClusterId(cluster_idx);
+            // A failed source link refuses new transmissions outright;
+            // buffered flits wait for the repair. In-flight transfers keep
+            // advancing — photons already on the waveguide are not retracted.
+            if !self.fabric.link_up(src_cluster) {
+                continue;
+            }
             // Reservations are broadcast on the reservation channel, so a new
             // transfer may enter its reservation phase even while the data
             // wavelengths are fully occupied; the data phase is gated on
@@ -812,6 +845,10 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
                     dst_cluster, src_cluster,
                     "intra-cluster packets must not reach the photonic router"
                 );
+                // A failed destination link cannot accept new reservations.
+                if !self.fabric.link_up(dst_cluster) {
+                    continue;
+                }
                 let demand = self.fabric.wavelengths_for(src_cluster, dst_cluster).max(1);
                 let dst_local = self.topology.local_index(flit.dst);
                 let Some(dst_vc) = self.photonic[dst_cluster.0].free_ejection_vc(dst_local) else {
@@ -891,6 +928,40 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
         }
     }
 
+    /// Applies every fault transition due at `cycle` — repairs before applies,
+    /// plan order within each group — mutating the fabric and reporting each
+    /// transition to the probes. Runs before `pre_cycle`, so the fabric's
+    /// control plane already sees the post-transition data plane.
+    fn apply_fault_transitions(&mut self, cycle: u64, sink: &mut dyn EventSink) {
+        while let Some((action, index)) = self.faults.as_mut().and_then(|c| c.pop_due(cycle)) {
+            let event = self
+                .faults
+                .as_ref()
+                .expect("pop_due implies a controller")
+                .event(index);
+            match action {
+                pnoc_faults::FaultAction::Apply => {
+                    self.fabric.apply_fault(&event);
+                    sink.emit(
+                        cycle,
+                        SimEvent::FaultApplied {
+                            fault: index as u32,
+                        },
+                    );
+                }
+                pnoc_faults::FaultAction::Repair => {
+                    self.fabric.clear_fault(&event);
+                    sink.emit(
+                        cycle,
+                        SimEvent::FaultRepaired {
+                            fault: index as u32,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
     fn account_buffer_energy(&mut self) {
         let flit_bits = u64::from(self.config.bandwidth_set.flit_bits());
         // `buffered_flits` answers from the occupancy counters in O(1) (and
@@ -906,6 +977,7 @@ impl<F: PhotonicFabric, T: TrafficModel> CycleNetwork for PhotonicSystem<F, T> {
     }
 
     fn step_observed(&mut self, cycle: u64, sink: &mut dyn EventSink) {
+        self.apply_fault_transitions(cycle, sink);
         self.fabric.pre_cycle(cycle);
         self.generate_traffic(cycle, sink);
         self.inject_flits(cycle, sink);
@@ -918,16 +990,28 @@ impl<F: PhotonicFabric, T: TrafficModel> CycleNetwork for PhotonicSystem<F, T> {
     }
 
     fn next_event_cycle(&mut self, now: u64) -> Option<u64> {
-        if !self.is_quiescent() {
-            return Some(now + 1);
+        let base = if self.is_quiescent() {
+            // Fully drained: the only possible future event is traffic
+            // generation. Stochastic models keep the `Some(now + 1)` default
+            // (each poll consumes RNG state), so skips only engage for models
+            // with a computable next release, e.g. closed-loop workloads.
+            self.traffic
+                .next_generation_cycle(now)
+                .map(|c| c.max(now + 1))
+        } else {
+            Some(now + 1)
+        };
+        // A pending fault transition bounds any skip: the transition cycle
+        // must be stepped normally so the fabric mutates (and the event is
+        // emitted) at exactly its scheduled cycle.
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|c| c.next_transition_cycle(now));
+        match (base, fault) {
+            (Some(b), Some(f)) => Some(b.min(f)),
+            (b, f) => b.or(f),
         }
-        // Fully drained: the only possible future event is traffic
-        // generation. Stochastic models keep the `Some(now + 1)` default
-        // (each poll consumes RNG state), so skips only engage for models
-        // with a computable next release, e.g. closed-loop workloads.
-        self.traffic
-            .next_generation_cycle(now)
-            .map(|c| c.max(now + 1))
     }
 
     fn skip_cycles(&mut self, from: u64, to: u64) {
@@ -961,6 +1045,17 @@ impl<F: PhotonicFabric, T: TrafficModel> CycleNetwork for PhotonicSystem<F, T> {
 
     fn architecture(&self) -> &str {
         self.fabric.architecture_name()
+    }
+
+    fn install_fault_schedule(&mut self, controller: pnoc_faults::FaultController) -> bool {
+        self.faults = Some(controller);
+        true
+    }
+
+    fn fault_counts(&self) -> (u64, u64) {
+        self.faults
+            .as_ref()
+            .map_or((0, 0), |c| (c.applied(), c.active()))
     }
 }
 

@@ -549,18 +549,26 @@ impl Probe for FlowProbe {
 ///
 /// The spec's configuration is used with its warm-up zeroed (closed-loop
 /// runs measure from cycle 0). Deterministic: depends only on the
-/// architecture, the spec and the workload.
+/// architecture, the spec, the workload and the fault plan (pass
+/// [`FaultPlan::empty`](pnoc_faults::FaultPlan::empty) for a healthy run).
+///
+/// # Panics
+///
+/// Panics if `faults` is non-empty and the built network does not support
+/// fault injection.
 #[must_use]
 pub fn run_workload_point(
     architecture: &dyn ArchitectureBuilder,
     params: &ResolvedParams,
     spec: &SweepPointSpec,
     workload: &Arc<Workload>,
+    faults: &pnoc_faults::FaultPlan,
 ) -> SweepPoint {
     let mut config = spec.config;
     config.warmup_cycles = 0;
     let driver = WorkloadDriver::new(Arc::clone(workload), &config);
     let mut network = architecture.build(config, params, driver.traffic());
+    crate::sweep::install_faults(&mut *network, faults, architecture.name());
     let mut metrics_probe = MetricsProbe::for_config(&config);
     let mut flow_probe = driver.probe();
     let max_cycles = driver.max_cycles();
@@ -575,6 +583,9 @@ pub fn run_workload_point(
         .merge(&flow_probe.report())
         .expect("flow metrics use distinct names");
     crate::sweep::attach_power_gauges(&mut metrics, &config, &stats);
+    if !faults.is_empty() {
+        crate::sweep::attach_fault_gauges(&mut metrics, &*network);
+    }
     SweepPoint {
         offered_load: spec.offered_load.value(),
         stats,
@@ -613,6 +624,7 @@ mod tests {
             &UniformFabricArchitecture.default_params(),
             &point_spec_for(&config),
             &Arc::new(workload),
+            &pnoc_faults::FaultPlan::empty(),
         )
     }
 

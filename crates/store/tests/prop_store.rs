@@ -106,7 +106,7 @@ proptest! {
         let dir = scratch_dir(&format!("corrupt-{kind}-{position}"));
         let _ = std::fs::remove_dir_all(&dir);
         let store = ResultStore::open(&dir).map_err(|e| format!("open failed: {e}"))?;
-        let key = format!("prop-arch:prop-traffic:set1:quick|seed={seed}|load=3f50624dd2f1a9fc|v0.7.0+event");
+        let key = format!("prop-arch:prop-traffic:set1:quick|seed={seed}|load=3f50624dd2f1a9fc|v0.8.0+event");
         let point = build_point(0.001, &[seed, 7], &latencies, (1.0, 2.0, 3.0), &[0.5]);
         store.save(&key, &point, 0.25).map_err(|e| format!("save failed: {e}"))?;
         prop_assert!(store.load(&key).is_some(), "fresh entry must load");
