@@ -509,6 +509,62 @@ fn run_cache_warm_measurement() -> (f64, f64, usize) {
     (cold_seconds, warm_seconds, warm.cache.hits)
 }
 
+/// Measures what reusing the persistent executor pool buys over the old
+/// spawn-per-call dispatch: the same stream of small deterministic batches
+/// is timed once on the persistent pool (`rayon::par_map_slice`) and once
+/// on the preserved spawn-per-call reference path, at a forced worker count
+/// of 4 so the comparison is apples-to-apples on any host (the spawn path
+/// pays 4 thread spawns per batch; the pool pays condvar wakeups). Returns
+/// `(persistent_seconds, spawn_per_call_seconds)`; the caller restores the
+/// thread override.
+fn run_executor_reuse_measurement() -> (f64, f64) {
+    const BATCHES: usize = 200;
+    const ITEMS: usize = 64;
+    const SPIN_ROUNDS: u64 = 2000;
+    // Deterministic splitmix64 spin: enough work per item that a batch is
+    // real, small enough that per-batch dispatch overhead dominates the
+    // spawn-per-call path.
+    let work = |&seed: &u64| -> u64 {
+        let mut z = seed;
+        for _ in 0..SPIN_ROUNDS {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+        }
+        z
+    };
+    rayon::set_thread_count(4);
+    let _ = rayon::warm_up();
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    let mut persistent_check = 0u64;
+    let persistent_started = Instant::now();
+    for _ in 0..BATCHES {
+        for value in rayon::par_map_slice(&items, work) {
+            persistent_check = persistent_check.wrapping_add(value);
+        }
+    }
+    let persistent_seconds = persistent_started.elapsed().as_secs_f64();
+    let mut spawn_check = 0u64;
+    let spawn_started = Instant::now();
+    for _ in 0..BATCHES {
+        for value in rayon::par_map_slice_spawn_per_call(&items, work) {
+            spawn_check = spawn_check.wrapping_add(value);
+        }
+    }
+    let spawn_seconds = spawn_started.elapsed().as_secs_f64();
+    assert_eq!(
+        persistent_check, spawn_check,
+        "executor dispatch paths disagree on results"
+    );
+    eprintln!(
+        "[repro]   executor reuse: persistent {persistent_seconds:.3}s, \
+         spawn-per-call {spawn_seconds:.3}s ({:.2}x) over {BATCHES} batches",
+        spawn_seconds / persistent_seconds.max(1e-9)
+    );
+    (persistent_seconds, spawn_seconds)
+}
+
 /// Times sequential vs parallel saturation sweeps for every registered
 /// architecture on the paper-scale load ladder and writes the results as
 /// machine-readable JSON, so future changes can track the performance
@@ -530,6 +586,10 @@ fn run_bench_sweep(effort: EffortLevel, path: &str, thread_override: usize) {
     // override, then RAYON_NUM_THREADS, then the detected parallelism —
     // capped at the number of ladder points.
     let threads = rayon::current_thread_count(loads.len());
+    // Spawn the pool's workers up front so worker startup is reported as its
+    // own number instead of being smeared into the first parallel sweep.
+    let pool_startup_seconds = rayon::warm_up();
+    eprintln!("[repro] pool startup {pool_startup_seconds:.4}s ({threads} worker(s))");
     let mut entries = Vec::new();
     for architecture in Architecture::all() {
         eprintln!(
@@ -639,6 +699,7 @@ fn run_bench_sweep(effort: EffortLevel, path: &str, thread_override: usize) {
             baseline = Some((seconds, run));
         }
     }
+    let (executor_persistent_seconds, executor_spawn_seconds) = run_executor_reuse_measurement();
     rayon::set_thread_count(thread_override);
     let (cache_cold_seconds, cache_warm_seconds, cache_points) = run_cache_warm_measurement();
     let doc = Json::obj(vec![
@@ -647,8 +708,21 @@ fn run_bench_sweep(effort: EffortLevel, path: &str, thread_override: usize) {
         ("bandwidth_set", Json::str(set.label())),
         ("traffic", Json::str(kind.label())),
         ("threads", Json::Num(threads as f64)),
+        ("pool_startup_seconds", Json::Num(pool_startup_seconds)),
         ("architectures", Json::Arr(entries)),
         ("thread_scaling", Json::Arr(scaling)),
+        (
+            "executor_persistent_seconds",
+            Json::Num(executor_persistent_seconds),
+        ),
+        (
+            "executor_spawn_per_call_seconds",
+            Json::Num(executor_spawn_seconds),
+        ),
+        (
+            "executor_reuse_speedup",
+            Json::Num(executor_spawn_seconds / executor_persistent_seconds.max(1e-9)),
+        ),
         ("cache_cold_seconds", Json::Num(cache_cold_seconds)),
         ("cache_warm_seconds", Json::Num(cache_warm_seconds)),
         (
@@ -1078,6 +1152,8 @@ fn main() {
                 cache,
                 max_requests: serve_requests,
                 quiet: false,
+                max_in_flight: 0,
+                io_timeout: None,
             },
         )
         .unwrap_or_else(|error| {
@@ -1086,8 +1162,13 @@ fn main() {
         });
         eprintln!(
             "[repro] served {} request(s): {} run(s), {} point(s), \
-             {} cache hit(s), {} cache miss(es)",
-            report.requests, report.runs, report.points, report.cache_hits, report.cache_misses
+             {} cache hit(s), {} cache miss(es), {} rejected",
+            report.requests,
+            report.runs,
+            report.points,
+            report.cache_hits,
+            report.cache_misses,
+            report.rejected
         );
         return;
     }

@@ -388,8 +388,9 @@ pub fn comparison_from(
 
 /// Compares two registered architectures across a whole (bandwidth set ×
 /// traffic) grid in **one matrix run**: every sweep point of every cell goes
-/// into a single flattened rayon work queue, so short sweeps no longer idle
-/// behind long ones. Rows come back in `sets`-major, `kinds`-minor order.
+/// into one deduplicated batch on the persistent `pnoc-exec` pool, so short
+/// sweeps no longer idle behind long ones and no threads are spawned per
+/// call. Rows come back in `sets`-major, `kinds`-minor order.
 ///
 /// # Panics
 ///

@@ -9,6 +9,20 @@
 //! as JSONL, byte-identical to what `repro --metrics` would have written
 //! for the same specs.
 //!
+//! Connections are handled **concurrently**: the accept loop runs inside a
+//! `pnoc-exec` scope and hands each connection to the persistent executor
+//! pool as a job. Per-point determinism (seeds derived only from scenario
+//! content) makes every response byte-identical to the single-connection
+//! path no matter how requests interleave. Two hardening mechanisms bound
+//! the resource envelope:
+//!
+//! * **per-connection I/O timeouts** — a client that stalls mid-request or
+//!   mid-response gets `408` / a dropped connection instead of pinning a
+//!   worker forever;
+//! * **bounded accept backlog** — beyond `max_in_flight` concurrent
+//!   connections the server answers `503` with a JSON body immediately
+//!   instead of queueing unboundedly.
+//!
 //! The workspace builds offline against vendored shims (`vendor/README.md`),
 //! so there is no HTTP library to lean on; the protocol subset here
 //! (request line, `Content-Length` bodies, `Connection: close` responses)
@@ -22,8 +36,9 @@
 //! | `GET /health` | `200 application/json`: status + engine fingerprint |
 //! | `GET /stats` | `200 application/json`: lifetime request/point/cache counters |
 //!
-//! Malformed requests get `400`, unknown paths `404`, other methods `405`;
-//! the connection is always closed after one response.
+//! Malformed requests get `400`, unknown paths `404`, other methods `405`,
+//! stalled requests `408`, over-capacity connections `503`; the connection
+//! is always closed after one response.
 
 use crate::json::Json;
 use crate::runner::ensure_registered;
@@ -32,23 +47,41 @@ use pnoc_sim::metrics::JsonlSink;
 use pnoc_sim::scenario::{engine_fingerprint, run_specs_with_cache, PointCache};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Concurrent connections admitted when [`ServerOptions::max_in_flight`] is
+/// left at 0.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 32;
+
+/// Per-connection read/write timeout when [`ServerOptions::io_timeout`] is
+/// `None`.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// How a server instance runs.
 #[derive(Default)]
 pub struct ServerOptions<'a> {
     /// The cross-run result cache to consult (hits bypass simulation).
     pub cache: Option<&'a dyn PointCache>,
-    /// Stop after this many connections (smoke tests and CI); `None` serves
-    /// until the process is killed.
+    /// Stop accepting after this many connections (smoke tests and CI);
+    /// `None` serves until the process is killed. Already-accepted
+    /// connections are always drained before [`serve`] returns.
     pub max_requests: Option<u64>,
     /// Suppress per-request stderr logging.
     pub quiet: bool,
+    /// Bound on concurrently handled connections; connections beyond it are
+    /// rejected immediately with `503` + a JSON body. 0 means
+    /// [`DEFAULT_MAX_IN_FLIGHT`].
+    pub max_in_flight: usize,
+    /// Per-connection read/write timeout; `None` means
+    /// [`DEFAULT_IO_TIMEOUT`]. A read that times out gets `408`.
+    pub io_timeout: Option<Duration>,
 }
 
 /// Lifetime counters of one [`serve`] call, also exposed at `GET /stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerReport {
-    /// Connections handled (any method, any outcome).
+    /// Connections accepted (any method, any outcome, including rejected).
     pub requests: u64,
     /// Successful `POST /run` batches.
     pub runs: u64,
@@ -58,13 +91,41 @@ pub struct ServerReport {
     pub cache_hits: u64,
     /// Deduplicated points that had to be simulated.
     pub cache_misses: u64,
+    /// Connections rejected with `503` because `max_in_flight` was reached.
+    pub rejected: u64,
+}
+
+/// Shared counters updated concurrently by connection jobs.
+#[derive(Default)]
+struct ServerState {
+    requests: AtomicU64,
+    runs: AtomicU64,
+    points: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected: AtomicU64,
+    in_flight: AtomicUsize,
+}
+
+impl ServerState {
+    fn snapshot(&self) -> ServerReport {
+        ServerReport {
+            requests: self.requests.load(Ordering::SeqCst),
+            runs: self.runs.load(Ordering::SeqCst),
+            points: self.points.load(Ordering::SeqCst),
+            cache_hits: self.cache_hits.load(Ordering::SeqCst),
+            cache_misses: self.cache_misses.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+        }
+    }
 }
 
 /// Serves connections on `listener` until `options.max_requests` connections
-/// have been handled (forever when `None`). Connections are handled one at a
-/// time: the simulation executor already fans each batch out across the
-/// worker pool, so serialized request handling keeps results deterministic
-/// without a scheduling story.
+/// have been accepted (forever when `None`), handling them **concurrently**
+/// as jobs on the persistent executor pool. Responses stay byte-identical
+/// to sequential handling because every simulation point is a pure function
+/// of its scenario content. All in-flight connections are drained before
+/// this returns.
 ///
 /// # Errors
 ///
@@ -72,40 +133,109 @@ pub struct ServerReport {
 /// not stop the server.
 pub fn serve(listener: &TcpListener, options: &ServerOptions<'_>) -> io::Result<ServerReport> {
     ensure_registered();
-    let mut report = ServerReport::default();
-    while options.max_requests.is_none_or(|max| report.requests < max) {
-        let (stream, peer) = listener.accept()?;
-        report.requests += 1;
-        if let Err(error) = handle_connection(stream, options, &mut report) {
-            if !options.quiet {
-                eprintln!("[serve] connection from {peer} failed: {error}");
+    let state = ServerState::default();
+    let limit = if options.max_in_flight == 0 {
+        DEFAULT_MAX_IN_FLIGHT
+    } else {
+        options.max_in_flight
+    };
+    let timeout = options.io_timeout.unwrap_or(DEFAULT_IO_TIMEOUT);
+    let state_ref = &state;
+    let accept_loop = pnoc_exec::scope(|scope| -> io::Result<()> {
+        let mut accepted = 0u64;
+        while options.max_requests.is_none_or(|max| accepted < max) {
+            let (stream, peer) = listener.accept()?;
+            accepted += 1;
+            state_ref.requests.fetch_add(1, Ordering::SeqCst);
+            // Best-effort: a socket that rejects timeout configuration still
+            // gets served, just without the stall bound.
+            let _ = stream.set_read_timeout(Some(timeout));
+            let _ = stream.set_write_timeout(Some(timeout));
+            // Admission control on the accept thread: the slot is taken (or
+            // refused) before the next accept, so an over-limit connection
+            // can never sneak past a slot that is still being spawned.
+            if state_ref.in_flight.fetch_add(1, Ordering::SeqCst) >= limit {
+                state_ref.in_flight.fetch_sub(1, Ordering::SeqCst);
+                state_ref.rejected.fetch_add(1, Ordering::SeqCst);
+                if !options.quiet {
+                    eprintln!(
+                        "[serve] connection from {peer} rejected: {limit} requests in flight"
+                    );
+                }
+                reject_connection(stream, limit);
+                continue;
+            }
+            scope.spawn(move || {
+                let outcome = handle_connection(stream, options, state_ref);
+                state_ref.in_flight.fetch_sub(1, Ordering::SeqCst);
+                if let Err(error) = outcome {
+                    if !options.quiet {
+                        eprintln!("[serve] connection from {peer} failed: {error}");
+                    }
+                }
+            });
+        }
+        Ok(())
+    });
+    accept_loop?;
+    Ok(state.snapshot())
+}
+
+/// Answer an over-capacity connection with `503` + a JSON body, off the
+/// accept thread. The rejected client's request bytes are still unread;
+/// closing a socket with data in its receive queue sends `RST`, which can
+/// destroy the response before the client reads it — so after writing we
+/// drain to EOF (the client closes once it has the response), bounded by a
+/// short timeout and a small byte cap so a misbehaving client cannot pin
+/// the thread.
+fn reject_connection(mut stream: TcpStream, limit: usize) {
+    std::thread::spawn(move || {
+        let body = Json::obj(vec![
+            ("error", Json::str("server at capacity, retry later")),
+            ("max_in_flight", Json::Num(limit as f64)),
+        ])
+        .render()
+            + "\n";
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+        let _ = write_response(
+            &mut stream,
+            503,
+            "Service Unavailable",
+            "application/json",
+            &body,
+        );
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut scratch = [0u8; 4096];
+        for _ in 0..16 {
+            match stream.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
             }
         }
-    }
-    Ok(report)
+    });
 }
 
 fn handle_connection(
     stream: TcpStream,
     options: &ServerOptions<'_>,
-    report: &mut ServerReport,
+    state: &ServerState,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
     let request = match read_request(&mut reader) {
         Ok(request) => request,
-        Err(reason) => {
+        Err(failure) => {
             return write_response(
-                reader.into_inner(),
-                400,
-                "Bad Request",
+                &mut reader.into_inner(),
+                failure.status,
+                failure.reason,
                 "text/plain",
-                &format!("{reason}\n"),
+                &format!("{}\n", failure.message),
             );
         }
     };
     let (status, reason, content_type, body) =
         match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/run") => match run_batch(&request.body, options, report) {
+            ("POST", "/run") => match run_batch(&request.body, options, state) {
                 Ok(body) => (200, "OK", "application/x-ndjson", body),
                 Err(reason) => (400, "Bad Request", "text/plain", format!("{reason}\n")),
             },
@@ -125,11 +255,31 @@ fn handle_connection(
                 "OK",
                 "application/json",
                 Json::obj(vec![
-                    ("requests", Json::Num(report.requests as f64)),
-                    ("runs", Json::Num(report.runs as f64)),
-                    ("points", Json::Num(report.points as f64)),
-                    ("cache_hits", Json::Num(report.cache_hits as f64)),
-                    ("cache_misses", Json::Num(report.cache_misses as f64)),
+                    (
+                        "requests",
+                        Json::Num(state.requests.load(Ordering::SeqCst) as f64),
+                    ),
+                    ("runs", Json::Num(state.runs.load(Ordering::SeqCst) as f64)),
+                    (
+                        "points",
+                        Json::Num(state.points.load(Ordering::SeqCst) as f64),
+                    ),
+                    (
+                        "cache_hits",
+                        Json::Num(state.cache_hits.load(Ordering::SeqCst) as f64),
+                    ),
+                    (
+                        "cache_misses",
+                        Json::Num(state.cache_misses.load(Ordering::SeqCst) as f64),
+                    ),
+                    (
+                        "rejected",
+                        Json::Num(state.rejected.load(Ordering::SeqCst) as f64),
+                    ),
+                    (
+                        "in_flight",
+                        Json::Num(state.in_flight.load(Ordering::SeqCst) as f64),
+                    ),
                 ])
                 .render()
                     + "\n",
@@ -155,7 +305,13 @@ fn handle_connection(
             body.len()
         );
     }
-    write_response(reader.into_inner(), status, reason, content_type, &body)
+    write_response(
+        &mut reader.into_inner(),
+        status,
+        reason,
+        content_type,
+        &body,
+    )
 }
 
 /// Runs one posted scenario document and renders the ndjson response body:
@@ -163,17 +319,23 @@ fn handle_connection(
 fn run_batch(
     body: &str,
     options: &ServerOptions<'_>,
-    report: &mut ServerReport,
+    state: &ServerState,
 ) -> Result<String, String> {
     let specs = parse_scenarios(body)?;
     if specs.is_empty() {
         return Err("scenario document contains no scenarios".to_string());
     }
     let result = run_specs_with_cache(&specs, options.cache).map_err(|error| error.to_string())?;
-    report.runs += 1;
-    report.points += result.total_points as u64;
-    report.cache_hits += result.cache.hits as u64;
-    report.cache_misses += result.cache.misses as u64;
+    state.runs.fetch_add(1, Ordering::SeqCst);
+    state
+        .points
+        .fetch_add(result.total_points as u64, Ordering::SeqCst);
+    state
+        .cache_hits
+        .fetch_add(result.cache.hits as u64, Ordering::SeqCst);
+    state
+        .cache_misses
+        .fetch_add(result.cache.misses as u64, Ordering::SeqCst);
 
     // Compact one-line summary first — a streaming client learns the batch
     // shape (and whether the cache answered everything) before any row.
@@ -201,53 +363,96 @@ struct Request {
     body: String,
 }
 
+/// Why a request could not be read, mapped to the response to send.
+struct RequestFailure {
+    status: u16,
+    reason: &'static str,
+    message: String,
+}
+
+impl RequestFailure {
+    /// `408` for a stalled client (the read timeout fired), `400` otherwise.
+    fn from_io(context: &str, error: &io::Error) -> Self {
+        if matches!(
+            error.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            RequestFailure {
+                status: 408,
+                reason: "Request Timeout",
+                message: format!("{context} timed out"),
+            }
+        } else {
+            RequestFailure {
+                status: 400,
+                reason: "Bad Request",
+                message: format!("{context} failed: {error}"),
+            }
+        }
+    }
+
+    fn malformed(message: String) -> Self {
+        RequestFailure {
+            status: 400,
+            reason: "Bad Request",
+            message,
+        }
+    }
+}
+
 /// Reads one HTTP/1.1 request (request line, headers, `Content-Length`
-/// body). Returns a human-readable reason on anything malformed.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+/// body). Returns the response status + reason to send on anything
+/// malformed or stalled.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestFailure> {
     let mut request_line = String::new();
     reader
         .read_line(&mut request_line)
-        .map_err(|error| format!("reading request line failed: {error}"))?;
+        .map_err(|error| RequestFailure::from_io("reading request line", &error))?;
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Err(format!("malformed request line '{}'", request_line.trim()));
+        return Err(RequestFailure::malformed(format!(
+            "malformed request line '{}'",
+            request_line.trim()
+        )));
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported protocol '{version}'"));
+        return Err(RequestFailure::malformed(format!(
+            "unsupported protocol '{version}'"
+        )));
     }
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
         reader
             .read_line(&mut line)
-            .map_err(|error| format!("reading headers failed: {error}"))?;
+            .map_err(|error| RequestFailure::from_io("reading headers", &error))?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse::<usize>()
-                    .map_err(|_| format!("bad Content-Length '{}'", value.trim()))?;
+                content_length = value.trim().parse::<usize>().map_err(|_| {
+                    RequestFailure::malformed(format!("bad Content-Length '{}'", value.trim()))
+                })?;
             }
         }
     }
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|error| format!("reading {content_length}-byte body failed: {error}"))?;
+    reader.read_exact(&mut body).map_err(|error| {
+        RequestFailure::from_io(&format!("reading {content_length}-byte body"), &error)
+    })?;
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
-        body: String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?,
+        body: String::from_utf8(body)
+            .map_err(|_| RequestFailure::malformed("body is not UTF-8".to_string()))?,
     })
 }
 
 fn write_response(
-    mut stream: TcpStream,
+    stream: &mut TcpStream,
     status: u16,
     reason: &str,
     content_type: &str,

@@ -116,12 +116,12 @@ fn fault_plans_render_as_a_pinned_canonical_suffix() {
 #[test]
 fn the_engine_fingerprint_is_pinned_and_keys_stale_caches_out() {
     // The fingerprint is the other half of every cache key: bumping the
-    // workspace version (as this change did, 0.7.0 → 0.8.0) must retire
-    // every pre-fault cache entry, so a store written before fault
-    // injection existed can never satisfy a faulted (or healthy) lookup.
+    // workspace version (as this change did, 0.8.0 → 0.9.0 for the
+    // persistent-executor port) must retire every older cache entry, so a
+    // store written by a previous engine can never satisfy a lookup.
     assert_eq!(
         pnoc_sim::scenario::engine_fingerprint(),
-        "v0.8.0+event",
+        "v0.9.0+event",
         "fingerprint changed — deliberate cache invalidation only"
     );
 }

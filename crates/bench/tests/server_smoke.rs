@@ -32,6 +32,7 @@ fn start_server(
                 cache: Some(&store),
                 max_requests: Some(requests),
                 quiet: true,
+                ..Default::default()
             },
         )
         .expect("server runs to completion")
@@ -116,6 +117,99 @@ fn posted_scenarios_stream_rows_identical_to_a_batch_run() {
     let mut sink = JsonlSink::new(Vec::new());
     batch.write_metrics(&mut sink).expect("rows render");
     assert_eq!(rows.as_bytes(), &sink.into_inner()[..]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client that connects and never finishes its request gets `408` once the
+/// per-connection read timeout fires, instead of pinning a worker forever.
+#[test]
+fn stalled_request_times_out_with_408() {
+    let dir = std::env::temp_dir().join(format!("pnoc-server-timeout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).expect("store opens");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let address = listener.local_addr().expect("bound").to_string();
+    let handle = std::thread::spawn(move || {
+        serve(
+            &listener,
+            &ServerOptions {
+                cache: Some(&store),
+                max_requests: Some(1),
+                quiet: true,
+                io_timeout: Some(std::time::Duration::from_millis(250)),
+                ..Default::default()
+            },
+        )
+        .expect("server runs to completion")
+    });
+
+    // Connect and send nothing: the server's read must give up.
+    let mut stream = TcpStream::connect(&address).expect("server accepts");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response reads");
+    assert!(
+        response.starts_with("HTTP/1.1 408 Request Timeout"),
+        "stalled request must get 408, got: {response}"
+    );
+    handle.join().expect("server thread joins");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Connections beyond `max_in_flight` are rejected immediately with `503`
+/// and a JSON body — a bounded backlog instead of unbounded queueing.
+#[test]
+fn over_capacity_connections_get_503() {
+    let dir = std::env::temp_dir().join(format!("pnoc-server-backlog-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).expect("store opens");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+    let address = listener.local_addr().expect("bound").to_string();
+    let handle = std::thread::spawn(move || {
+        serve(
+            &listener,
+            &ServerOptions {
+                cache: Some(&store),
+                max_requests: Some(3),
+                quiet: true,
+                max_in_flight: 1,
+                ..Default::default()
+            },
+        )
+        .expect("server runs to completion")
+    });
+
+    // Occupy the single slot: send headers announcing a body, then stall.
+    // The server blocks reading the body, keeping this connection in
+    // flight. TCP handshake order matches accept order, so the *next*
+    // connection is guaranteed to see the slot taken.
+    let mut holder = TcpStream::connect(&address).expect("server accepts");
+    write!(
+        holder,
+        "POST /run HTTP/1.1\r\nHost: {address}\r\nContent-Length: 10\r\n\r\n"
+    )
+    .expect("headers write");
+
+    let (status, body) = request(&address, "GET", "/health", "");
+    assert_eq!(status, "HTTP/1.1 503 Service Unavailable", "{body}");
+    assert!(body.contains("\"max_in_flight\": 1"), "{body}");
+
+    // Release the held slot: complete the body (invalid JSON → 400) and the
+    // third connection is admitted normally.
+    holder.write_all(b"not json!!").expect("body writes");
+    let mut response = String::new();
+    holder
+        .read_to_string(&mut response)
+        .expect("holder answered");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    let (status, _) = request(&address, "GET", "/health", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    let report = handle.join().expect("server thread joins");
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.rejected, 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

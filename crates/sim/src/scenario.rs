@@ -18,7 +18,6 @@ use pnoc_traffic::factory::{
 use pnoc_traffic::pattern::PacketShape;
 use pnoc_workload::dag::Workload;
 use pnoc_workload::registry::{UnknownWorkloadError, WorkloadRef, WorkloadSpec};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -824,8 +823,9 @@ impl ScenarioResult {
 /// traffic patterns × bandwidth sets, all at one effort level and base seed.
 ///
 /// [`ScenarioMatrix::run`] flattens every *(scenario, ladder point)* pair
-/// into one rayon work queue — better load balance than per-sweep
-/// parallelism — deduplicates identical points, and reassembles per-scenario
+/// into one batch on the persistent `pnoc-exec` pool — better load balance
+/// than per-sweep parallelism — deduplicates identical points, and
+/// reassembles per-scenario
 /// results that are bitwise-identical to running each scenario alone.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioMatrix {
@@ -1161,7 +1161,12 @@ impl PointJob {
 /// *(scenario, ladder point)* job before enqueueing work — a hit bypasses
 /// simulation entirely — and offers every freshly simulated point back for
 /// storage, making matrices resumable and incremental across processes.
-pub trait PointCache {
+///
+/// `Sync` is a supertrait because concurrent callers (the repro server runs
+/// request batches as parallel executor jobs) share one cache reference
+/// across threads; implementations must make `lookup`/`store` safe under
+/// concurrency.
+pub trait PointCache: Sync {
     /// Returns the cached point for `key`, or `None` on a miss. A corrupt or
     /// unreadable entry must degrade to a miss, never a panic: the engine
     /// re-simulates misses, so the only acceptable failure mode is extra
@@ -1311,18 +1316,17 @@ pub fn run_specs_with_cache(
         .map(|(index, _)| index)
         .collect();
 
-    // One flat rayon queue across every scenario: workers stay busy across
-    // scenario boundaries instead of idling at each per-sweep barrier. Each
-    // miss carries its own wall-clock so the cache can keep timing as
-    // sidecar metadata next to the (timing-free) point payload.
-    let fresh: Vec<(SweepPoint, f64)> = miss_indices
-        .par_iter()
-        .map(|&index| {
-            let point_started = Instant::now();
-            let point = jobs[index].run();
-            (point, point_started.elapsed().as_secs_f64())
-        })
-        .collect();
+    // One flat batch across every scenario, submitted directly to the
+    // persistent pnoc-exec pool: workers stay busy across scenario
+    // boundaries instead of idling at each per-sweep barrier, and each job
+    // writes its indexed result slot without a shared collector. Each miss
+    // carries its own wall-clock so the cache can keep timing as sidecar
+    // metadata next to the (timing-free) point payload.
+    let fresh: Vec<(SweepPoint, f64)> = pnoc_exec::run_batch(&miss_indices, |_, &index| {
+        let point_started = Instant::now();
+        let point = jobs[index].run();
+        (point, point_started.elapsed().as_secs_f64())
+    });
 
     let mut cache_stored = 0usize;
     for (&index, (point, point_seconds)) in miss_indices.iter().zip(fresh) {

@@ -12,8 +12,8 @@
 //! The sweep driver takes an [`ArchitectureBuilder`] (usually resolved from
 //! the [registry](crate::registry)), a traffic factory closure, a base
 //! configuration and a load ladder, and simulates one independent network per
-//! ladder point. With [`SweepMode::Parallel`] the points run on a rayon
-//! thread pool; because each point is a fully independent deterministic
+//! ladder point. With [`SweepMode::Parallel`] the points run on the
+//! persistent `pnoc-exec` pool; because each point is a fully independent deterministic
 //! simulation, the parallel result is **bitwise-identical** to the
 //! sequential one.
 //!
@@ -55,7 +55,6 @@ use crate::registry::ArchitectureBuilder;
 use crate::stats::SimStats;
 use pnoc_faults::{FaultController, FaultPlan};
 use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One point of an offered-load sweep.
@@ -208,7 +207,7 @@ where
 pub enum SweepMode {
     /// Run the ladder points one after another on the calling thread.
     Sequential,
-    /// Run the ladder points on a rayon thread pool. Results are
+    /// Run the ladder points on the persistent executor pool. Results are
     /// bitwise-identical to [`SweepMode::Sequential`] because every point is
     /// an independent deterministic simulation with a seed derived only from
     /// the base seed and the point index.
@@ -352,10 +351,9 @@ pub(crate) fn run_sweep(
             .iter()
             .map(|spec| run_point(architecture, params, spec, make_traffic(spec), faults))
             .collect(),
-        SweepMode::Parallel => specs
-            .par_iter()
-            .map(|spec| run_point(architecture, params, spec, make_traffic(spec), faults))
-            .collect(),
+        SweepMode::Parallel => pnoc_exec::run_batch(&specs, |_, spec| {
+            run_point(architecture, params, spec, make_traffic(spec), faults)
+        }),
     };
     SaturationResult { points }
 }

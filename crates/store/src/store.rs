@@ -7,9 +7,11 @@ use pnoc_sim::sweep::SweepPoint;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Format tag of one cache entry document.
 pub const ENTRY_FORMAT: &str = "d-hetpnoc-store/v1";
@@ -183,11 +185,103 @@ impl ResultStore {
         {
             let mut index = self.index.lock().expect("store index lock");
             index.insert(content_hash(key), key.to_string());
-            let rendered = render_index(&index);
-            write_atomically(&self.root.join("index.json"), &rendered)?;
+            self.rewrite_index(&mut index)?;
         }
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Rewrites `index.json` under the advisory file lock, after merging any
+    /// entries another store instance (thread *or* process) published since
+    /// we last read the file. The in-process mutex alone cannot see writers
+    /// in other processes — or other `ResultStore` instances opened on the
+    /// same `--cache-dir` by concurrent server requests — and a wholesale
+    /// rewrite without the read-merge step would silently drop their
+    /// entries.
+    fn rewrite_index(&self, index: &mut BTreeMap<String, String>) -> io::Result<()> {
+        let index_path = self.root.join("index.json");
+        let lock = IndexLock::acquire(&self.root);
+        for (hash, key) in load_index(&index_path) {
+            index.entry(hash).or_insert(key);
+        }
+        let rendered = render_index(index);
+        let outcome = write_atomically(&index_path, &rendered);
+        drop(lock);
+        outcome
+    }
+}
+
+/// Advisory cross-process lock on the store index: a `create_new` lock file
+/// next to `index.json`. Acquisition retries briefly, takes over stale locks
+/// (a holder that died mid-rewrite), and on timeout degrades to proceeding
+/// *without* the lock with a warning — entry files are the source of truth,
+/// so a racy index rewrite costs index completeness, never cached data.
+struct IndexLock {
+    path: PathBuf,
+    held: bool,
+}
+
+/// How long acquisition retries before proceeding unlocked.
+const INDEX_LOCK_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Age beyond which a lock file is presumed abandoned and removed. Index
+/// rewrites are milliseconds, so ten seconds is orders of magnitude past any
+/// live holder.
+const INDEX_LOCK_STALE: Duration = Duration::from_secs(10);
+
+impl IndexLock {
+    fn acquire(root: &Path) -> Self {
+        let path = root.join("index.lock");
+        let deadline = Instant::now() + INDEX_LOCK_TIMEOUT;
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    return Self { path, held: true };
+                }
+                Err(error) if error.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|meta| meta.modified())
+                        .ok()
+                        .and_then(|modified| modified.elapsed().ok())
+                        .is_some_and(|age| age > INDEX_LOCK_STALE);
+                    if stale {
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        eprintln!(
+                            "[pnoc-store] warning: index lock {} busy for {:?}, \
+                             rewriting index without it",
+                            path.display(),
+                            INDEX_LOCK_TIMEOUT
+                        );
+                        return Self { path, held: false };
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(error) => {
+                    eprintln!(
+                        "[pnoc-store] warning: cannot create index lock {}: {error}; \
+                         rewriting index without it",
+                        path.display()
+                    );
+                    return Self { path, held: false };
+                }
+            }
+        }
+    }
+}
+
+impl Drop for IndexLock {
+    fn drop(&mut self) {
+        if self.held {
+            let _ = fs::remove_file(&self.path);
+        }
     }
 }
 
@@ -343,6 +437,55 @@ mod tests {
             payload(&fast),
             payload(&slow),
             "the cached point payload must not depend on timing"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// Independent store instances sharing one root (the shape of parallel
+    /// server requests populating one `--cache-dir`, or of several
+    /// processes) must not lose each other's index entries: every rewrite
+    /// merges the on-disk index under the advisory file lock before
+    /// publishing.
+    #[test]
+    fn concurrent_instances_do_not_lose_index_entries() {
+        let root = temp_root("concurrent-index");
+        fs::create_dir_all(&root).unwrap();
+        let point = sample_point();
+        let lanes = 8usize;
+        let keys_per_lane = 6usize;
+        std::thread::scope(|scope| {
+            for lane in 0..lanes {
+                let root = &root;
+                let point = &point;
+                scope.spawn(move || {
+                    // A *separate* instance per thread: the in-process mutex
+                    // offers no protection here, only the file lock does.
+                    let store = ResultStore::open(root).unwrap();
+                    for item in 0..keys_per_lane {
+                        store
+                            .save(&format!("lane-{lane}-key-{item}"), point, 0.01)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let reopened = ResultStore::open(&root).unwrap();
+        let index = reopened.index.lock().unwrap();
+        assert_eq!(
+            index.len(),
+            lanes * keys_per_lane,
+            "index lost entries written by concurrent instances"
+        );
+        for lane in 0..lanes {
+            for item in 0..keys_per_lane {
+                let key = format!("lane-{lane}-key-{item}");
+                assert_eq!(index.get(&content_hash(&key)), Some(&key));
+            }
+        }
+        drop(index);
+        assert!(
+            !root.join("index.lock").exists(),
+            "lock file must be released after the last rewrite"
         );
         let _ = fs::remove_dir_all(&root);
     }

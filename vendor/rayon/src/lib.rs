@@ -1,19 +1,26 @@
 //! Offline shim for `rayon`: the `par_iter().map().collect()` pipeline on
-//! slices and `Vec`s, implemented with `std::thread::scope` (see
-//! `vendor/README.md`).
+//! slices and `Vec`s (see `vendor/README.md`), now backed by the persistent
+//! work-stealing pool in `pnoc-exec` instead of spawning a fresh
+//! `std::thread::scope` pool per call.
 //!
 //! Semantics guaranteed by this shim (and relied on by `pnoc-sim`'s sweep
 //! engine):
 //!
 //! * **order preservation** — `collect` returns results in the input order,
-//!   regardless of which worker finished first;
+//!   regardless of which worker finished first (each job writes a dedicated
+//!   per-index slot; there is no shared collector and no post-hoc sort);
 //! * **exactly-once execution** — every item is mapped exactly once;
-//! * **thread-count control** — `RAYON_NUM_THREADS` overrides the default of
+//! * **thread-count control** — [`set_thread_count`] overrides
+//!   `RAYON_NUM_THREADS`, which overrides the default of
 //!   [`std::thread::available_parallelism`], exactly like upstream rayon.
 //!
-//! With one worker the pipeline degenerates to a plain sequential map, so
-//! results are identical whatever the thread count — parallelism here can
-//! change wall-clock time only, never values.
+//! With one worker the pipeline degenerates to a plain sequential map that
+//! never touches the pool, so results are identical whatever the thread
+//! count — parallelism here can change wall-clock time only, never values.
+//!
+//! [`par_map_slice_spawn_per_call`] preserves the previous spawn-per-call
+//! implementation as the reference baseline for the `executor_reuse_speedup`
+//! benchmark; production callers always get the persistent pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,21 +28,20 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub use pnoc_exec::{scope, Scope};
+
 /// The commonly imported traits, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
-/// Process-wide thread-count override (0 = none). Lets tests force real
-/// worker threads without mutating the environment, which would race with
-/// concurrent `getenv` calls in a multi-threaded test harness.
-static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-
-/// Forces the worker-thread count for subsequent parallel pipelines,
-/// overriding `RAYON_NUM_THREADS` and the detected parallelism. Pass 0 to
-/// restore the default behaviour.
+/// Forces the worker count for subsequent parallel pipelines, overriding
+/// `RAYON_NUM_THREADS` and the detected parallelism. Pass 0 to restore the
+/// default behaviour. The persistent pool grows lazily to the largest count
+/// observed; a smaller count bounds per-batch parallelism without tearing
+/// workers down.
 pub fn set_thread_count(threads: usize) {
-    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+    pnoc_exec::set_worker_override(threads);
 }
 
 /// Number of worker threads a parallel pipeline over `jobs` items would use
@@ -45,29 +51,18 @@ pub fn set_thread_count(threads: usize) {
 /// worker count instead of guessing.
 #[must_use]
 pub fn current_thread_count(jobs: usize) -> usize {
-    thread_count(jobs)
+    pnoc_exec::resolve_worker_limit(jobs)
 }
 
-/// Number of worker threads to use for `jobs` items.
-fn thread_count(jobs: usize) -> usize {
-    let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
-    let configured = if overridden > 0 {
-        overridden
-    } else {
-        std::env::var("RAYON_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
-    };
-    configured.min(jobs.max(1))
+/// Ensure the persistent pool has spawned its workers and return the
+/// cumulative spawn time in seconds (`pool_startup_seconds` in
+/// `BENCH_sweep.json`). Calling this before timing-sensitive work moves
+/// worker startup out of the measured region.
+pub fn warm_up() -> f64 {
+    pnoc_exec::warm_up()
 }
 
-/// Maps `f` over `items` on a scoped thread pool, returning results in input
+/// Maps `f` over `items` on the persistent pool, returning results in input
 /// order. Falls back to a sequential map when only one worker is available.
 pub fn par_map_slice<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -75,8 +70,23 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    pnoc_exec::run_batch(items, |_, item| f(item))
+}
+
+/// The previous shim implementation: spawn a fresh `std::thread::scope` pool
+/// for this one call and funnel results through a `Mutex<Vec<_>>` collector.
+///
+/// Kept only as the measured baseline for the `executor_reuse_speedup`
+/// comparison in `--bench-sweep`; everything else routes through
+/// [`par_map_slice`].
+pub fn par_map_slice_spawn_per_call<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
-    let workers = thread_count(n);
+    let workers = pnoc_exec::resolve_worker_limit(n);
     if workers <= 1 || n <= 1 {
         return items.iter().map(f).collect();
     }
@@ -188,5 +198,14 @@ mod tests {
         let one = [41u32];
         let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn persistent_and_spawn_per_call_paths_agree() {
+        let items: Vec<u64> = (0..123).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (x << 7);
+        let persistent = super::par_map_slice(&items, f);
+        let reference = super::par_map_slice_spawn_per_call(&items, f);
+        assert_eq!(persistent, reference);
     }
 }
