@@ -32,8 +32,8 @@ fn traffic(load: f64) -> SkewedTraffic {
 /// Steps `system` forever from cycle 0, one cycle per benchmark iteration.
 fn bench_steps<F, T>(c: &mut Criterion, id: &str, mut system: PhotonicSystem<F, T>)
 where
-    F: PhotonicFabric,
-    T: TrafficModel,
+    F: PhotonicFabric + Send,
+    T: TrafficModel + Send,
 {
     let mut cycle = 0u64;
     c.bench_function(id, |b| {

@@ -273,11 +273,66 @@ fn describe_architecture(spec: &str) {
             .expect("row built from the header above");
     }
     println!("{table}");
+    // Composing architectures (the `hier` builder) nest other registered
+    // architectures behind an enum parameter named `leaf`: describe each
+    // admissible leaf's own schema so `--describe-arch hier` documents the
+    // whole nested parameter space.
+    if let Some(leaf) = schema.get("leaf") {
+        if let pnoc_sim::params::ParamKind::Enum { choices } = &leaf.kind {
+            println!();
+            println!("nested leaf fabrics (each runs at its default parameters):");
+            for choice in choices {
+                match pnoc_sim::registry::lookup_architecture(choice) {
+                    Ok(nested) => {
+                        let nested_schema = nested.param_schema();
+                        println!(
+                            "  leaf '{}' ({}), {} parameter(s)",
+                            nested.name(),
+                            nested.label(),
+                            nested_schema.len()
+                        );
+                        for param in nested_schema.specs() {
+                            println!(
+                                "    {} ({}, default {}, {}): {}",
+                                param.name,
+                                param.kind.label(),
+                                param.default,
+                                param.kind.bounds_label(),
+                                param.doc
+                            );
+                        }
+                    }
+                    Err(_) => println!("  leaf '{choice}' (not registered)"),
+                }
+            }
+        }
+    }
     println!(
         "use e.g. --scenario '{}{{{}=...}}:uniform-random' to override",
         builder.name(),
         schema.specs()[0].name
     );
+}
+
+/// Parses a `--cache-max-bytes` budget: a non-negative integer with an
+/// optional `k`/`m`/`g` (or `kb`/`mb`/`gb`) suffix, powers of 1024.
+fn parse_byte_budget(text: &str) -> Result<u64, String> {
+    let lower = text.trim().to_ascii_lowercase();
+    let (digits, multiplier) =
+        if let Some(rest) = lower.strip_suffix("kb").or(lower.strip_suffix('k')) {
+            (rest, 1024u64)
+        } else if let Some(rest) = lower.strip_suffix("mb").or(lower.strip_suffix('m')) {
+            (rest, 1024 * 1024)
+        } else if let Some(rest) = lower.strip_suffix("gb").or(lower.strip_suffix('g')) {
+            (rest, 1024 * 1024 * 1024)
+        } else {
+            (lower.as_str(), 1)
+        };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(multiplier))
+        .ok_or_else(|| format!("--cache-max-bytes needs N[k|m|g] bytes, got '{text}'"))
 }
 
 /// Parses one `--arch-params KEY=V1,V2,...` axis argument.
@@ -836,6 +891,8 @@ fn main() {
     let mut percentiles = false;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
+    let mut cache_max_bytes: Option<u64> = None;
+    let mut cache_compact = false;
     let mut serve_addr: Option<String> = None;
     let mut serve_requests: Option<u64> = None;
     let mut iter = args.into_iter();
@@ -1022,6 +1079,27 @@ fn main() {
                 cache_dir = Some(other["--cache-dir=".len()..].to_string());
             }
             "--no-cache" => no_cache = true,
+            "--cache-max-bytes" => match iter.next().as_deref().map(parse_byte_budget) {
+                Some(Ok(n)) => cache_max_bytes = Some(n),
+                Some(Err(message)) => {
+                    eprintln!("{message}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--cache-max-bytes requires a byte budget (e.g. 64m)");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--cache-max-bytes=") => {
+                match parse_byte_budget(&other["--cache-max-bytes=".len()..]) {
+                    Ok(n) => cache_max_bytes = Some(n),
+                    Err(message) => {
+                        eprintln!("{message}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--cache-compact" => cache_compact = true,
             "--serve" => match iter.next() {
                 Some(addr) => serve_addr = Some(addr),
                 None => {
@@ -1084,6 +1162,7 @@ fn main() {
                      \x20            [--faults PLAN]... [--list-faults]\n\
                      \x20            [--metrics FILE] [--metrics-format jsonl|csv] [--percentiles]\n\
                      \x20            [--cache-dir DIR] [--no-cache]\n\
+                     \x20            [--cache-max-bytes N[k|m|g]] [--cache-compact]\n\
                      \x20            [--serve ADDR] [--serve-requests N]\n\
                      \x20            [--dump-scenarios FILE] [--from-scenarios FILE]\n\
                      \x20            [--describe-arch NAME] [--list-architectures]\n\
@@ -1129,6 +1208,68 @@ fn main() {
         }
         _ => None,
     };
+
+    // Cache maintenance runs right after opening, before any lookups:
+    // compaction first (repairs the index), then LRU eviction to budget.
+    if cache_compact || cache_max_bytes.is_some() {
+        let Some(store) = &store else {
+            eprintln!(
+                "--cache-compact / --cache-max-bytes require --cache-dir (and no --no-cache)"
+            );
+            std::process::exit(2);
+        };
+        if cache_compact {
+            match store.compact() {
+                Ok(report) => {
+                    eprintln!(
+                    "[repro] cache compacted: {} live entr{}, {} dangling index entr{} dropped, \
+                     {} stray file(s) removed",
+                    report.live_entries,
+                    if report.live_entries == 1 { "y" } else { "ies" },
+                    report.dropped_index_entries,
+                    if report.dropped_index_entries == 1 { "y" } else { "ies" },
+                    report.removed_files
+                )
+                }
+                Err(error) => {
+                    eprintln!("cache compaction failed: {error}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(budget) = cache_max_bytes {
+            match store.evict_to_budget(budget) {
+                Ok(report) => eprintln!(
+                    "[repro] cache eviction: {} of {} entr{} evicted, {} -> {} bytes \
+                     (budget {budget})",
+                    report.evicted,
+                    report.scanned,
+                    if report.scanned == 1 { "y" } else { "ies" },
+                    report.bytes_before,
+                    report.bytes_after
+                ),
+                Err(error) => {
+                    eprintln!("cache eviction failed: {error}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        // Maintenance-only invocations stop here instead of falling through
+        // to the full experiment suite.
+        let has_work = !names.is_empty()
+            || !scenario_args.is_empty()
+            || !workload_args.is_empty()
+            || !arch_args.is_empty()
+            || !from_paths.is_empty()
+            || matrix_path.is_some()
+            || batch_json_path.is_some()
+            || bench_sweep_path.is_some()
+            || cross_engine_path.is_some()
+            || serve_addr.is_some();
+        if !has_work {
+            return;
+        }
+    }
     let cache: Option<&dyn PointCache> = store.as_ref().map(|s| s as &dyn PointCache);
 
     if let Some(addr) = &serve_addr {

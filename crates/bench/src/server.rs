@@ -39,12 +39,24 @@
 //! Malformed requests get `400`, unknown paths `404`, other methods `405`,
 //! stalled requests `408`, over-capacity connections `503`; the connection
 //! is always closed after one response.
+//!
+//! ## Revalidation
+//!
+//! Every `POST /run` response carries a deterministic `ETag`: the content
+//! hash of the resolved scenarios' canonical cache-key material and the
+//! engine fingerprint — the exact inputs every point's cache key is built
+//! from. The metric rows are a pure function of that material, so a client
+//! replaying a scenario document can send the tag back as `If-None-Match`
+//! and get `304 Not Modified` with an empty body, **without the server
+//! simulating anything** — revalidation is cheaper than even a fully warm
+//! cache run. A changed spec or a new engine version changes the tag and
+//! the request runs normally.
 
 use crate::json::Json;
 use crate::runner::ensure_registered;
 use crate::scenario_io::parse_scenarios;
 use pnoc_sim::metrics::JsonlSink;
-use pnoc_sim::scenario::{engine_fingerprint, run_specs_with_cache, PointCache};
+use pnoc_sim::scenario::{engine_fingerprint, run_specs_with_cache, PointCache, ScenarioSpec};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -233,10 +245,39 @@ fn handle_connection(
             );
         }
     };
+    let mut etag: Option<String> = None;
     let (status, reason, content_type, body) =
         match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/run") => match run_batch(&request.body, options, state) {
-                Ok(body) => (200, "OK", "application/x-ndjson", body),
+            ("POST", "/run") => match parse_scenarios(&request.body) {
+                Ok(specs) if specs.is_empty() => (
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    "scenario document contains no scenarios\n".to_string(),
+                ),
+                Ok(specs) => match batch_etag(&specs) {
+                    Ok(tag) => {
+                        let revalidated = request
+                            .if_none_match
+                            .as_deref()
+                            .is_some_and(|header| etag_matches(header, &tag));
+                        etag = Some(tag);
+                        if revalidated {
+                            // The client's copy is current: answer without
+                            // simulating (or even consulting the cache).
+                            (304, "Not Modified", "application/x-ndjson", String::new())
+                        } else {
+                            match run_batch(&specs, options, state) {
+                                Ok(body) => (200, "OK", "application/x-ndjson", body),
+                                Err(reason) => {
+                                    etag = None;
+                                    (400, "Bad Request", "text/plain", format!("{reason}\n"))
+                                }
+                            }
+                        }
+                    }
+                    Err(reason) => (400, "Bad Request", "text/plain", format!("{reason}\n")),
+                },
                 Err(reason) => (400, "Bad Request", "text/plain", format!("{reason}\n")),
             },
             ("GET", "/health") => (
@@ -305,27 +346,55 @@ fn handle_connection(
             body.len()
         );
     }
-    write_response(
+    let extra: Vec<(&str, &str)> = match &etag {
+        Some(tag) => vec![("ETag", tag.as_str())],
+        None => Vec::new(),
+    };
+    write_response_with_headers(
         &mut reader.into_inner(),
         status,
         reason,
         content_type,
+        &extra,
         &body,
     )
 }
 
-/// Runs one posted scenario document and renders the ndjson response body:
+/// The deterministic entity tag of a scenario batch: the [`content_hash`]
+/// of every resolved scenario's canonical id plus the engine fingerprint —
+/// exactly the material every point cache key is derived from, so the tag
+/// changes iff the response's metric rows could. Quoted per HTTP syntax.
+/// Resolution failures (unknown names, bad parameters) are reported the
+/// same way running the batch would report them.
+///
+/// [`content_hash`]: pnoc_store::content_hash
+fn batch_etag(specs: &[ScenarioSpec]) -> Result<String, String> {
+    let mut material = engine_fingerprint();
+    for spec in specs {
+        let scenario = spec.resolve().map_err(|error| error.to_string())?;
+        material.push('\n');
+        material.push_str(&scenario.canonical_id());
+    }
+    Ok(format!("\"{}\"", pnoc_store::content_hash(&material)))
+}
+
+/// Whether an `If-None-Match` header value matches `etag`: `*`, or any
+/// element of the comma-separated tag list (weak validators compare by
+/// their quoted part — byte-identical rows make every match strong here).
+fn etag_matches(header: &str, etag: &str) -> bool {
+    header.split(',').map(str::trim).any(|candidate| {
+        candidate == "*" || candidate == etag || candidate.strip_prefix("W/") == Some(etag)
+    })
+}
+
+/// Runs one parsed scenario batch and renders the ndjson response body:
 /// a summary line, then the metric rows in deterministic batch order.
 fn run_batch(
-    body: &str,
+    specs: &[ScenarioSpec],
     options: &ServerOptions<'_>,
     state: &ServerState,
 ) -> Result<String, String> {
-    let specs = parse_scenarios(body)?;
-    if specs.is_empty() {
-        return Err("scenario document contains no scenarios".to_string());
-    }
-    let result = run_specs_with_cache(&specs, options.cache).map_err(|error| error.to_string())?;
+    let result = run_specs_with_cache(specs, options.cache).map_err(|error| error.to_string())?;
     state.runs.fetch_add(1, Ordering::SeqCst);
     state
         .points
@@ -361,6 +430,8 @@ struct Request {
     method: String,
     path: String,
     body: String,
+    /// Raw `If-None-Match` header value, when the client sent one.
+    if_none_match: Option<String>,
 }
 
 /// Why a request could not be read, mapped to the response to send.
@@ -422,6 +493,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestFai
         )));
     }
     let mut content_length = 0usize;
+    let mut if_none_match: Option<String> = None;
     loop {
         let mut line = String::new();
         reader
@@ -436,6 +508,8 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestFai
                 content_length = value.trim().parse::<usize>().map_err(|_| {
                     RequestFailure::malformed(format!("bad Content-Length '{}'", value.trim()))
                 })?;
+            } else if name.eq_ignore_ascii_case("if-none-match") {
+                if_none_match = Some(value.trim().to_string());
             }
         }
     }
@@ -448,6 +522,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestFai
         path: path.to_string(),
         body: String::from_utf8(body)
             .map_err(|_| RequestFailure::malformed("body is not UTF-8".to_string()))?,
+        if_none_match,
     })
 }
 
@@ -458,12 +533,27 @@ fn write_response(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
+    write_response_with_headers(stream, status, reason, content_type, &[], body)
+}
+
+fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
     write!(
         stream,
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }

@@ -36,6 +36,8 @@ fn every_registered_architecture_renders_a_pinned_default_id() {
         [
             "d-hetpnoc{max_wavelengths=0,policy=proportional}:uniform-random:set1:quick",
             "firefly{radix=16,reservation_cycles=1}:uniform-random:set1:quick",
+            "hier{epoch=0,leaf=d-hetpnoc,pods=4,spine=electrical,spine_bandwidth=0,\
+             spine_latency=32,spine_oversub=1}:uniform-random:set1:quick",
             "uniform-fabric{wavelengths=0}:uniform-random:set1:quick",
         ],
         "canonical id rendering changed — this invalidates every existing result cache"
@@ -116,12 +118,12 @@ fn fault_plans_render_as_a_pinned_canonical_suffix() {
 #[test]
 fn the_engine_fingerprint_is_pinned_and_keys_stale_caches_out() {
     // The fingerprint is the other half of every cache key: bumping the
-    // workspace version (as this change did, 0.8.0 → 0.9.0 for the
-    // persistent-executor port) must retire every older cache entry, so a
-    // store written by a previous engine can never satisfy a lookup.
+    // workspace version (as this change did, 0.9.0 → 0.10.0 for the
+    // hierarchy layer) must retire every older cache entry, so a store
+    // written by a previous engine can never satisfy a lookup.
     assert_eq!(
         pnoc_sim::scenario::engine_fingerprint(),
-        "v0.9.0+event",
+        "v0.10.0+event",
         "fingerprint changed — deliberate cache invalidation only"
     );
 }

@@ -1,0 +1,154 @@
+//! Integration tests of the `hier` multi-pod architecture through the full
+//! scenario stack, pinning its two core contracts:
+//!
+//! * **degeneracy** — a single-pod hierarchy with a zero-latency spine is
+//!   the identity composition: bitwise-identical sweep points to running
+//!   the bare leaf fabric directly (modulo the architecture label and the
+//!   hierarchy-only metric families, which only a real hierarchy emits);
+//! * **sharding determinism** — the per-pod shards run as `pnoc-exec`
+//!   batch jobs, and the merged result must be bitwise-identical whether
+//!   those jobs run on one worker or many.
+
+use d_hetpnoc_repro::hier::HIER_ONLY_METRICS;
+use pnoc_bench::runner::ensure_registered;
+use pnoc_sim::metrics::MetricReport;
+use pnoc_sim::scenario::{Effort, Scenario, ScenarioSpec};
+use pnoc_sim::sweep::{SweepMode, SweepPoint};
+
+fn resolve(spec: ScenarioSpec) -> Scenario {
+    ensure_registered();
+    spec.with_effort(Effort::Smoke)
+        .resolve()
+        .expect("registered names")
+}
+
+/// Strips what a hierarchy legitimately adds on top of its leaf: the
+/// architecture label and the hierarchy-only metric families. Everything
+/// else — counters, latency histograms, energy, per-node breakdowns — must
+/// survive untouched for the degeneracy comparison to pass.
+fn normalized(mut point: SweepPoint, architecture: &str) -> SweepPoint {
+    point.stats.architecture = architecture.to_string();
+    let mut metrics = MetricReport::new();
+    for (name, value) in point.metrics.iter() {
+        if !HIER_ONLY_METRICS.contains(&name) {
+            metrics.insert(name, value.clone());
+        }
+    }
+    point.metrics = metrics;
+    point
+}
+
+/// Property: over every registered leaf fabric and a spread of base seeds,
+/// `hier{pods=1,spine_latency=0}` reproduces the bare leaf bitwise. The
+/// single pod sees the whole topology, the auto epoch resolves to one cycle
+/// and no packet ever crosses the (zero-latency) spine, so the hierarchy
+/// layer must be a pure pass-through.
+#[test]
+fn single_pod_zero_latency_hierarchy_is_bitwise_identical_to_the_bare_leaf() {
+    ensure_registered();
+    for leaf in ["firefly", "d-hetpnoc", "uniform-fabric"] {
+        for seed in [None, Some(0xDEAD_BEEF), Some(0x5EED_5EED_5EED)] {
+            let with_seed = |mut spec: ScenarioSpec| {
+                if let Some(seed) = seed {
+                    spec = spec.with_seed(seed);
+                }
+                spec
+            };
+            let hier = resolve(with_seed(ScenarioSpec::new(
+                format!("hier{{pods=1,leaf={leaf},spine_latency=0}}"),
+                "skewed-2",
+            )))
+            .run();
+            let bare = resolve(with_seed(ScenarioSpec::new(leaf, "skewed-2"))).run();
+            assert_eq!(hier.result.points.len(), bare.result.points.len());
+            assert!(
+                bare.result
+                    .points
+                    .iter()
+                    .any(|p| p.stats.delivered_packets > 0),
+                "{leaf}: the sweep delivered nothing, the comparison would be vacuous"
+            );
+            for (hier_point, bare_point) in hier.result.points.iter().zip(bare.result.points.iter())
+            {
+                assert_eq!(hier_point.stats.architecture, "hier");
+                assert_eq!(
+                    normalized(hier_point.clone(), leaf),
+                    bare_point.clone(),
+                    "{leaf} seed {seed:?}: pods=1 + zero spine latency must degenerate \
+                     to the bare leaf bitwise"
+                );
+            }
+        }
+    }
+}
+
+/// Sharded pod execution over a pod × leaf matrix (including a closed-loop
+/// collective that actually crosses the spine) is bitwise-identical whether
+/// the per-pod batch jobs run on one `pnoc-exec` worker or several.
+#[test]
+fn sharded_pod_execution_is_bitwise_identical_parallel_vs_sequential() {
+    ensure_registered();
+    let matrix = [
+        ScenarioSpec::new("hier{pods=2,leaf=firefly}", "uniform-random"),
+        ScenarioSpec::new("hier{pods=4,leaf=firefly}", "skewed-2"),
+        ScenarioSpec::new("hier{pods=2,leaf=d-hetpnoc}", "uniform-random"),
+        ScenarioSpec::new("hier{pods=4,leaf=d-hetpnoc}", "skewed-2"),
+        ScenarioSpec::closed_loop("hier{pods=4,leaf=d-hetpnoc}", "allreduce:16"),
+    ];
+    for spec in matrix {
+        let scenario = resolve(spec);
+        // One worker: pod batches run inline on the calling thread.
+        pnoc_exec::set_worker_override(1);
+        let sequential = scenario.run_with_mode(SweepMode::Sequential);
+        // Several workers: pod batches actually fan out across the pool.
+        pnoc_exec::set_worker_override(4);
+        let parallel = scenario.run_with_mode(SweepMode::Sequential);
+        pnoc_exec::set_worker_override(0);
+        assert!(
+            sequential
+                .result
+                .points
+                .iter()
+                .any(|p| p.stats.delivered_packets > 0),
+            "{}: the sweep delivered nothing, the comparison would be vacuous",
+            scenario.canonical_id()
+        );
+        assert!(
+            sequential.bitwise_eq(&parallel),
+            "{}: sharded pod execution must be bitwise-identical parallel vs sequential",
+            scenario.canonical_id()
+        );
+    }
+}
+
+/// Cross-pod traffic exists and is accounted: a multi-pod run reports the
+/// hierarchy-only metric families and a non-zero spine packet count under
+/// pod-striped collective placement.
+#[test]
+fn multi_pod_runs_report_per_pod_and_cross_pod_families() {
+    ensure_registered();
+    let outcome = resolve(ScenarioSpec::closed_loop(
+        "hier{pods=4,leaf=firefly}",
+        "allreduce:16",
+    ))
+    .run();
+    let point = outcome
+        .result
+        .points
+        .first()
+        .expect("closed-loop scenarios have one point");
+    for name in HIER_ONLY_METRICS {
+        assert!(
+            point.metrics.iter().any(|(metric, _)| metric == name),
+            "hierarchy metric '{name}' missing from a multi-pod run"
+        );
+    }
+    let cross_pod = point
+        .metrics
+        .counter("cross_pod_packets")
+        .expect("cross_pod_packets is a counter");
+    assert!(
+        cross_pod > 0,
+        "pod-striped all-reduce placement must cross the spine"
+    );
+}

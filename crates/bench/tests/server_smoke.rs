@@ -65,6 +65,83 @@ fn split_run_response(body: &str) -> (&str, &str) {
     body.split_once('\n').expect("summary line is terminated")
 }
 
+/// Like [`request`] but with one extra header line, returning the full head
+/// (status line + headers) alongside the body.
+fn request_with_header(
+    address: &str,
+    method: &str,
+    path: &str,
+    header: &str,
+    body: &str,
+) -> (String, String) {
+    let mut stream = TcpStream::connect(address).expect("server accepts");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {address}\r\n{header}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request writes");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response reads");
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body separator");
+    (head.to_string(), payload.to_string())
+}
+
+/// The `ETag` header value of a response head, if present.
+fn etag_of(head: &str) -> Option<String> {
+    head.lines()
+        .find_map(|line| {
+            line.split_once(':')
+                .filter(|(n, _)| n.eq_ignore_ascii_case("etag"))
+        })
+        .map(|(_, value)| value.trim().to_string())
+}
+
+/// `POST /run` carries a deterministic `ETag`; replaying the document with
+/// `If-None-Match` gets `304 Not Modified` with an empty body and without
+/// the engine running at all, while a stale tag runs normally.
+#[test]
+fn run_responses_revalidate_via_etag() {
+    let dir = std::env::temp_dir().join(format!("pnoc-server-etag-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let document = render_scenarios(&specs());
+    let (address, handle) = start_server(ResultStore::open(&dir).expect("store opens"), 3);
+
+    let (head, body) = request_with_header(&address, "POST", "/run", "", &document);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    let etag = etag_of(&head).expect("200 /run response carries an ETag");
+    assert!(
+        etag.starts_with('"') && etag.ends_with('"'),
+        "ETag must be quoted, got {etag}"
+    );
+    assert!(!body.is_empty());
+
+    // Same document + matching tag: 304, empty body, same tag echoed.
+    let revalidate = format!("If-None-Match: {etag}\r\n");
+    let (head, body) = request_with_header(&address, "POST", "/run", &revalidate, &document);
+    assert!(head.starts_with("HTTP/1.1 304 Not Modified"), "{head}");
+    assert_eq!(body, "", "304 must carry no body");
+    assert_eq!(etag_of(&head).as_deref(), Some(etag.as_str()));
+
+    // A stale tag does not match: the batch runs and returns 200 + rows.
+    let stale = "If-None-Match: \"0000000000000000\"\r\n";
+    let (head, body) = request_with_header(&address, "POST", "/run", stale, &document);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(!body.is_empty());
+
+    let report = handle.join().expect("server thread joins");
+    assert_eq!(report.requests, 3);
+    assert_eq!(
+        report.runs, 2,
+        "the revalidated request must not reach the engine"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn posted_scenarios_stream_rows_identical_to_a_batch_run() {
     let dir = std::env::temp_dir().join(format!("pnoc-server-smoke-{}", std::process::id()));

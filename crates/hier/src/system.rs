@@ -1,0 +1,617 @@
+//! The sharded hierarchical engine: per-pod leaf networks stepped as
+//! `pnoc-exec` batch jobs with a boundary-exchange phase per epoch.
+//!
+//! See `hierarchy.md` (the crate docs) for the execution model. The short
+//! version: the global traffic model is polled in the monolithic engine's
+//! exact order, pod-local packets are fed to the owning pod, cross-pod
+//! packets go through the [`Spine`], and every pod's events are replayed to
+//! the engine's probes in pod-index order — a schedule that is a pure
+//! function of the generation stream, so parallel and sequential pod
+//! execution are bitwise identical.
+
+use crate::spine::Spine;
+use pnoc_noc::ids::{ClusterId, CoreId};
+use pnoc_noc::packet::{BandwidthClass, PacketDescriptor};
+use pnoc_noc::traffic_model::{OfferedLoad, TrafficModel};
+use pnoc_sim::config::SimConfig;
+use pnoc_sim::engine::CycleNetwork;
+use pnoc_sim::metrics::{
+    Counter, EventSink, Family, MetricReport, MetricValue, NullSink, QuantileSketch, SimEvent,
+};
+use pnoc_sim::registry::ArchitectureBuilder;
+use pnoc_sim::stats::{LatencyHistogram, SimStats};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Buffered generator output for one pod: `(cycle, local core, descriptor)`
+/// in the exact `(cycle, core)` order the pod will poll.
+type Feed = VecDeque<(u64, usize, PacketDescriptor)>;
+
+/// One pod: a leaf network plus its core-id offset into the global
+/// numbering. Wrapped in a `Mutex` by the system so `pnoc_exec::run_batch`
+/// — which hands out `&T` — can step pods mutably.
+struct PodShard {
+    network: Box<dyn CycleNetwork>,
+    core_offset: usize,
+}
+
+/// Captures a pod's events with core ids lifted into the global numbering.
+struct RecordingSink {
+    core_offset: usize,
+    events: Vec<(u64, SimEvent)>,
+}
+
+impl EventSink for RecordingSink {
+    fn emit(&mut self, cycle: u64, event: SimEvent) {
+        let up = |core: CoreId| CoreId(core.0 + self.core_offset);
+        let lifted = match event {
+            SimEvent::PacketGenerated { src } => SimEvent::PacketGenerated { src: up(src) },
+            SimEvent::PacketDropped { src } => SimEvent::PacketDropped { src: up(src) },
+            SimEvent::PacketInjected { src } => SimEvent::PacketInjected { src: up(src) },
+            SimEvent::FlitInjected { src, bits } => SimEvent::FlitInjected { src: up(src), bits },
+            SimEvent::FlitDelivered {
+                src,
+                dst,
+                bits,
+                photonic,
+            } => SimEvent::FlitDelivered {
+                src: up(src),
+                dst: up(dst),
+                bits,
+                photonic,
+            },
+            SimEvent::PacketDelivered { src, dst, latency } => SimEvent::PacketDelivered {
+                src: up(src),
+                dst: up(dst),
+                latency,
+            },
+            structural @ (SimEvent::FaultApplied { .. } | SimEvent::FaultRepaired { .. }) => {
+                structural
+            }
+        };
+        self.events.push((cycle, lifted));
+    }
+}
+
+/// The traffic model a pod sees: an exact replay of the global generator's
+/// decisions for this pod's cores, served from the feed the hierarchy fills
+/// during the generate phase. Demand-table queries (`demand_class`,
+/// `volume_share`, `source_intensity`) delegate to the global model with the
+/// pod's cluster offset applied, so a leaf that samples its demand matrix
+/// sees exactly its block of the global pattern.
+struct PodFeedTraffic {
+    feed: Arc<Mutex<Feed>>,
+    global: Arc<Mutex<Box<dyn TrafficModel + Send>>>,
+    cluster_offset: usize,
+    load: OfferedLoad,
+    name: String,
+}
+
+impl TrafficModel for PodFeedTraffic {
+    fn next_packet(&mut self, cycle: u64, src: CoreId) -> Option<PacketDescriptor> {
+        let mut feed = self.feed.lock().expect("pod feed poisoned");
+        match feed.front() {
+            Some(&(at, core, _)) if at == cycle && core == src.0 => {
+                feed.pop_front().map(|(_, _, desc)| desc)
+            }
+            _ => None,
+        }
+    }
+
+    fn offered_load(&self) -> OfferedLoad {
+        self.load
+    }
+
+    fn set_offered_load(&mut self, load: OfferedLoad) {
+        self.load = load;
+    }
+
+    fn demand_class(&self, src: ClusterId, dst: ClusterId) -> BandwidthClass {
+        self.global
+            .lock()
+            .expect("traffic model poisoned")
+            .demand_class(
+                ClusterId(src.0 + self.cluster_offset),
+                ClusterId(dst.0 + self.cluster_offset),
+            )
+    }
+
+    fn volume_share(&self, src: ClusterId, dst: ClusterId) -> f64 {
+        self.global
+            .lock()
+            .expect("traffic model poisoned")
+            .volume_share(
+                ClusterId(src.0 + self.cluster_offset),
+                ClusterId(dst.0 + self.cluster_offset),
+            )
+    }
+
+    fn source_intensity(&self, src: ClusterId) -> f64 {
+        self.global
+            .lock()
+            .expect("traffic model poisoned")
+            .source_intensity(ClusterId(src.0 + self.cluster_offset))
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn next_generation_cycle(&self, now: u64) -> Option<u64> {
+        // Only the already-buffered feed counts: the hierarchy consults this
+        // after a window, when the feed holds nothing beyond it, so an empty
+        // feed means "idle until the hierarchy says otherwise".
+        let feed = self.feed.lock().expect("pod feed poisoned");
+        feed.iter()
+            .find(|&&(at, _, _)| at > now)
+            .map(|&(at, _, _)| at)
+    }
+}
+
+/// Spine-side accounting for the measurement window, driven by replayed
+/// spine events (and therefore reset together with the pods at
+/// `begin_measurement`, exactly like a flat network's statistics).
+struct SpineAccount {
+    generated_packets: u64,
+    injected_packets: u64,
+    injected_flits: u64,
+    delivered_packets: u64,
+    delivered_flits: u64,
+    delivered_bits: u64,
+    photonic_bits: u64,
+    total_latency: u64,
+    max_latency: u64,
+    latency_histogram: LatencyHistogram,
+    latency_sketch: QuantileSketch,
+    pod_pair_packets: BTreeMap<String, u64>,
+}
+
+impl SpineAccount {
+    fn new() -> Self {
+        Self {
+            generated_packets: 0,
+            injected_packets: 0,
+            injected_flits: 0,
+            delivered_packets: 0,
+            delivered_flits: 0,
+            delivered_bits: 0,
+            photonic_bits: 0,
+            total_latency: 0,
+            max_latency: 0,
+            // Same geometry as SimStats so the merged histogram stays valid.
+            latency_histogram: LatencyHistogram::new(16, 256),
+            latency_sketch: QuantileSketch::new(),
+            pod_pair_packets: BTreeMap::new(),
+        }
+    }
+
+    fn observe(&mut self, event: &SimEvent, leaf_cores: usize) {
+        match *event {
+            SimEvent::PacketGenerated { .. } => self.generated_packets += 1,
+            SimEvent::PacketInjected { .. } => self.injected_packets += 1,
+            SimEvent::FlitInjected { .. } => self.injected_flits += 1,
+            SimEvent::FlitDelivered { bits, photonic, .. } => {
+                self.delivered_flits += 1;
+                self.delivered_bits += u64::from(bits);
+                if photonic {
+                    self.photonic_bits += u64::from(bits);
+                }
+            }
+            SimEvent::PacketDelivered { src, dst, latency } => {
+                self.delivered_packets += 1;
+                self.total_latency += latency;
+                self.max_latency = self.max_latency.max(latency);
+                self.latency_histogram.record(latency);
+                self.latency_sketch.record(latency);
+                let label = pod_pair_label(src.0 / leaf_cores, dst.0 / leaf_cores);
+                *self.pod_pair_packets.entry(label).or_insert(0) += 1;
+            }
+            SimEvent::PacketDropped { .. }
+            | SimEvent::FaultApplied { .. }
+            | SimEvent::FaultRepaired { .. } => {}
+        }
+    }
+}
+
+/// Label for one pod in the per-pod metric families (`p00`, `p01`, ...).
+#[must_use]
+pub fn pod_label(pod: usize) -> String {
+    format!("p{pod:02}")
+}
+
+/// Label for a cross-pod pair in the spine traffic matrix (`p00->p01`).
+#[must_use]
+pub fn pod_pair_label(src: usize, dst: usize) -> String {
+    format!("p{src:02}->p{dst:02}")
+}
+
+/// A hierarchy of leaf networks behind one [`CycleNetwork`] face.
+///
+/// Built by [`crate::HierArchitecture`]; construct directly only in tests.
+pub struct HierarchicalSystem {
+    config: SimConfig,
+    pods: Vec<Mutex<PodShard>>,
+    feeds: Vec<Arc<Mutex<Feed>>>,
+    traffic: Arc<Mutex<Box<dyn TrafficModel + Send>>>,
+    traffic_name: String,
+    offered_load: OfferedLoad,
+    leaf_cores: usize,
+    epoch: u64,
+    spine: Spine,
+    /// Pod events awaiting replay, per cycle, pod-index order within a cycle.
+    pod_events: BTreeMap<u64, Vec<SimEvent>>,
+    /// Spine events awaiting replay, per cycle, generation order.
+    spine_events: BTreeMap<u64, Vec<SimEvent>>,
+    /// Cycles `[0, simulated_through)` have been simulated in the pods.
+    simulated_through: u64,
+    /// Whether any pod reported pending work at the last window boundary.
+    pods_active: bool,
+    account: SpineAccount,
+    measured_cycles: u64,
+}
+
+impl HierarchicalSystem {
+    /// Builds `pods` replicas of `leaf` (at its default parameters) under a
+    /// spine, sharing one global traffic model.
+    ///
+    /// `config` is the **effective** configuration: its topology must be the
+    /// leaf topology scaled by `pods` (see
+    /// [`ArchitectureBuilder::effective_config`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the effective cluster count is not divisible by `pods`,
+    /// or when `pods` or `epoch` is zero.
+    #[must_use]
+    pub fn new(
+        config: SimConfig,
+        pods: usize,
+        epoch: u64,
+        spine: Spine,
+        leaf: &dyn ArchitectureBuilder,
+        traffic: Box<dyn TrafficModel + Send>,
+    ) -> Self {
+        assert!(pods >= 1, "a hierarchy needs at least one pod");
+        assert!(
+            epoch >= 1,
+            "the boundary-exchange epoch must be at least one cycle"
+        );
+        let clusters = config.topology.num_clusters();
+        assert!(
+            clusters.is_multiple_of(pods),
+            "effective cluster count {clusters} is not divisible by {pods} pods \
+             (was the config passed through effective_config?)"
+        );
+        let mut leaf_config = config;
+        leaf_config.topology = pnoc_noc::topology::ClusterTopology::new(
+            clusters / pods,
+            config.topology.cores_per_cluster(),
+        );
+        let leaf_cores = leaf_config.topology.num_cores();
+        let leaf_clusters = leaf_config.topology.num_clusters();
+        let traffic_name = traffic.name();
+        let offered_load = traffic.offered_load();
+        let shared = Arc::new(Mutex::new(traffic));
+        let leaf_params = leaf.default_params();
+        let mut shards = Vec::with_capacity(pods);
+        let mut feeds = Vec::with_capacity(pods);
+        for pod in 0..pods {
+            let feed: Arc<Mutex<Feed>> = Arc::new(Mutex::new(VecDeque::new()));
+            let proxy = PodFeedTraffic {
+                feed: Arc::clone(&feed),
+                global: Arc::clone(&shared),
+                cluster_offset: pod * leaf_clusters,
+                load: offered_load,
+                name: traffic_name.clone(),
+            };
+            let network = leaf.build(leaf_config, &leaf_params, Box::new(proxy));
+            shards.push(Mutex::new(PodShard {
+                network,
+                core_offset: pod * leaf_cores,
+            }));
+            feeds.push(feed);
+        }
+        Self {
+            config,
+            pods: shards,
+            feeds,
+            traffic: shared,
+            traffic_name,
+            offered_load,
+            leaf_cores,
+            epoch,
+            spine,
+            pod_events: BTreeMap::new(),
+            spine_events: BTreeMap::new(),
+            simulated_through: 0,
+            pods_active: false,
+            account: SpineAccount::new(),
+            measured_cycles: 0,
+        }
+    }
+
+    /// Number of pods.
+    #[must_use]
+    pub fn num_pods(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// Simulates the next window `[simulated_through, end)`, where `end` is
+    /// an epoch away clamped to the warm-up and total-cycle boundaries (so
+    /// `begin_measurement` always finds the pods exactly at the boundary).
+    fn simulate_window(&mut self) {
+        let start = self.simulated_through;
+        let mut end = start + self.epoch;
+        for boundary in [self.config.warmup_cycles, self.config.total_cycles()] {
+            if start < boundary && boundary < end {
+                end = boundary;
+            }
+        }
+        // Generate: poll the global model for every (cycle, core) of the
+        // window in the monolithic engine's exact order, so the generation
+        // stream is independent of the pod decomposition.
+        {
+            let mut traffic = self.traffic.lock().expect("traffic model poisoned");
+            let num_cores = self.config.topology.num_cores();
+            for cycle in start..end {
+                for core in 0..num_cores {
+                    let Some(desc) = traffic.next_packet(cycle, CoreId(core)) else {
+                        continue;
+                    };
+                    let src_pod = desc.src.0 / self.leaf_cores;
+                    let dst_pod = desc.dst.0 / self.leaf_cores;
+                    if src_pod == dst_pod {
+                        let offset = src_pod * self.leaf_cores;
+                        let local = PacketDescriptor {
+                            src: CoreId(desc.src.0 - offset),
+                            dst: CoreId(desc.dst.0 - offset),
+                            ..desc
+                        };
+                        self.feeds[src_pod]
+                            .lock()
+                            .expect("pod feed poisoned")
+                            .push_back((cycle, local.src.0, local));
+                    } else {
+                        self.spine.transmit(cycle, &desc, &mut self.spine_events);
+                    }
+                }
+            }
+        }
+        // Step pods: one batch job per pod over the whole window. Pods are
+        // independent, results come back in submission order, and each job
+        // records its events locally — bitwise identical however many
+        // workers the executor runs.
+        let window = (start, end);
+        let batches = pnoc_exec::run_batch(&self.pods, |_, pod| {
+            let mut pod = pod.lock().expect("pod shard poisoned");
+            let mut sink = RecordingSink {
+                core_offset: pod.core_offset,
+                events: Vec::new(),
+            };
+            for cycle in window.0..window.1 {
+                pod.network.step_observed(cycle, &mut sink);
+            }
+            sink.events
+        });
+        // Exchange: merge in pod-index order so replay order within a cycle
+        // is pods ascending (then spine, kept in its own buffer).
+        for events in batches {
+            for (cycle, event) in events {
+                self.pod_events.entry(cycle).or_default().push(event);
+            }
+        }
+        self.pods_active = self.pods.iter().any(|pod| {
+            pod.lock()
+                .expect("pod shard poisoned")
+                .network
+                .next_event_cycle(end - 1)
+                .is_some()
+        });
+        self.simulated_through = end;
+    }
+
+    fn replay(&mut self, cycle: u64, sink: &mut dyn EventSink) {
+        if let Some(events) = self.pod_events.remove(&cycle) {
+            for event in events {
+                sink.emit(cycle, event);
+            }
+        }
+        if let Some(events) = self.spine_events.remove(&cycle) {
+            for event in events {
+                self.account.observe(&event, self.leaf_cores);
+                sink.emit(cycle, event);
+            }
+        }
+    }
+}
+
+impl CycleNetwork for HierarchicalSystem {
+    fn step(&mut self, cycle: u64) {
+        self.step_observed(cycle, &mut NullSink);
+    }
+
+    fn step_observed(&mut self, cycle: u64, sink: &mut dyn EventSink) {
+        if cycle >= self.simulated_through {
+            debug_assert_eq!(
+                cycle, self.simulated_through,
+                "the engine must not step past the simulated frontier"
+            );
+            self.simulate_window();
+        }
+        self.replay(cycle, sink);
+        self.measured_cycles += 1;
+    }
+
+    fn begin_measurement(&mut self, cycle: u64) {
+        debug_assert!(
+            cycle == self.simulated_through,
+            "window clamping must land the pods exactly on the measurement boundary"
+        );
+        for pod in &self.pods {
+            pod.lock()
+                .expect("pod shard poisoned")
+                .network
+                .begin_measurement(cycle);
+        }
+        self.account = SpineAccount::new();
+        self.measured_cycles = 0;
+    }
+
+    fn stats(&self) -> SimStats {
+        let mut merged = SimStats::new(
+            "hier",
+            &self.traffic_name,
+            self.offered_load.value(),
+            self.config.clock,
+        );
+        for pod in &self.pods {
+            let stats = pod.lock().expect("pod shard poisoned").network.stats();
+            merged.generated_packets += stats.generated_packets;
+            merged.dropped_packets += stats.dropped_packets;
+            merged.injected_packets += stats.injected_packets;
+            merged.injected_flits += stats.injected_flits;
+            merged.delivered_packets += stats.delivered_packets;
+            merged.delivered_flits += stats.delivered_flits;
+            merged.delivered_bits += stats.delivered_bits;
+            merged.delivered_photonic_bits += stats.delivered_photonic_bits;
+            merged.total_packet_latency += stats.total_packet_latency;
+            merged.max_packet_latency = merged.max_packet_latency.max(stats.max_packet_latency);
+            merged
+                .latency_histogram
+                .merge(&stats.latency_histogram)
+                .expect("pod histograms share the default geometry");
+            merged.energy = merged.energy.combined(&stats.energy);
+        }
+        let spine = &self.account;
+        merged.generated_packets += spine.generated_packets;
+        merged.injected_packets += spine.injected_packets;
+        merged.injected_flits += spine.injected_flits;
+        merged.delivered_packets += spine.delivered_packets;
+        merged.delivered_flits += spine.delivered_flits;
+        merged.delivered_bits += spine.delivered_bits;
+        merged.delivered_photonic_bits += spine.photonic_bits;
+        merged.total_packet_latency += spine.total_latency;
+        merged.max_packet_latency = merged.max_packet_latency.max(spine.max_latency);
+        merged
+            .latency_histogram
+            .merge(&spine.latency_histogram)
+            .expect("spine histogram shares the default geometry");
+        merged.measured_cycles = self.measured_cycles;
+        merged
+    }
+
+    fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn architecture(&self) -> &str {
+        "hier"
+    }
+
+    fn next_event_cycle(&mut self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let consider = |candidate: u64, next: &mut Option<u64>| {
+            *next = Some(next.map_or(candidate, |n| n.min(candidate)));
+        };
+        if let Some((&cycle, _)) = self.pod_events.range(now + 1..).next() {
+            consider(cycle, &mut next);
+        }
+        if let Some((&cycle, _)) = self.spine_events.range(now + 1..).next() {
+            consider(cycle, &mut next);
+        }
+        if self.pods_active {
+            consider(self.simulated_through.max(now + 1), &mut next);
+        } else if let Some(generation) = self
+            .traffic
+            .lock()
+            .expect("traffic model poisoned")
+            .next_generation_cycle(now)
+        {
+            consider(generation.max(now + 1), &mut next);
+        }
+        next
+    }
+
+    fn skip_cycles(&mut self, from: u64, to: u64) {
+        self.measured_cycles += to - from;
+        let start = from.max(self.simulated_through);
+        if start < to {
+            for pod in &self.pods {
+                pod.lock()
+                    .expect("pod shard poisoned")
+                    .network
+                    .skip_cycles(start, to);
+            }
+            self.simulated_through = to;
+        }
+    }
+
+    fn contribute_metrics(&self, report: &mut MetricReport) {
+        let mut generated = Family::<Counter>::new();
+        let mut delivered = Family::<Counter>::new();
+        let mut bits = Family::<Counter>::new();
+        let mut dropped = Family::<Counter>::new();
+        for (index, pod) in self.pods.iter().enumerate() {
+            let stats = pod.lock().expect("pod shard poisoned").network.stats();
+            let label = pod_label(index);
+            generated
+                .with_label(label.clone())
+                .add(stats.generated_packets);
+            delivered
+                .with_label(label.clone())
+                .add(stats.delivered_packets);
+            bits.with_label(label.clone()).add(stats.delivered_bits);
+            dropped.with_label(label).add(stats.dropped_packets);
+        }
+        report.insert("pod_generated_packets", generated.to_value());
+        report.insert("pod_delivered_packets", delivered.to_value());
+        report.insert("pod_delivered_bits", bits.to_value());
+        report.insert("pod_dropped_packets", dropped.to_value());
+        report.insert(
+            "cross_pod_packets",
+            MetricValue::Counter(self.account.generated_packets),
+        );
+        report.insert(
+            "spine_packets",
+            MetricValue::Counter(self.account.delivered_packets),
+        );
+        report.insert(
+            "spine_flits",
+            MetricValue::Counter(self.account.delivered_flits),
+        );
+        report.insert(
+            "spine_bits",
+            MetricValue::Counter(self.account.delivered_bits),
+        );
+        report.insert(
+            "spine_latency_cycles",
+            MetricValue::Histogram(self.account.latency_sketch.clone()),
+        );
+        report.insert(
+            "spine_backlog_cycles",
+            MetricValue::Gauge(self.spine.peak_backlog() as f64),
+        );
+        let mut pairs = Family::<Counter>::new();
+        for (label, count) in &self.account.pod_pair_packets {
+            pairs.with_label(label.clone()).add(*count);
+        }
+        report.insert("pod_pair_packets", pairs.to_value());
+    }
+}
+
+/// Metric names only the hierarchy contributes — a helper for comparisons
+/// that want to line a hierarchy report up against a flat network's (the
+/// `pods=1` degeneracy tests strip these before the bitwise diff).
+pub const HIER_ONLY_METRICS: [&str; 11] = [
+    "pod_generated_packets",
+    "pod_delivered_packets",
+    "pod_delivered_bits",
+    "pod_dropped_packets",
+    "cross_pod_packets",
+    "spine_packets",
+    "spine_flits",
+    "spine_bits",
+    "spine_latency_cycles",
+    "spine_backlog_cycles",
+    "pod_pair_packets",
+];

@@ -25,7 +25,11 @@ pub fn event_driven_enabled() -> bool {
 }
 
 /// A network that can be advanced cycle by cycle.
-pub trait CycleNetwork {
+///
+/// `Send` is a supertrait so a built network can be handed to a `pnoc-exec`
+/// worker: the hierarchical engine shards one simulation into per-pod
+/// networks and steps them as batch jobs.
+pub trait CycleNetwork: Send {
     /// Advances the network by one cycle.
     fn step(&mut self, cycle: u64);
 
@@ -101,6 +105,16 @@ pub trait CycleNetwork {
     /// schedule, `(0, 0)` when no schedule was installed.
     fn fault_counts(&self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// Contributes network-internal metrics to a finished point's report,
+    /// after the probes have built it from the event stream. The default
+    /// adds nothing — most networks are fully described by their events.
+    /// Composite networks (the hierarchy engine) override this to attach
+    /// structure the flat event stream cannot carry, such as per-pod
+    /// delivery families and spine-link counters.
+    fn contribute_metrics(&self, report: &mut crate::metrics::MetricReport) {
+        let _ = report;
     }
 }
 

@@ -120,12 +120,52 @@ pub trait ArchitectureBuilder: Send + Sync {
     /// for this architecture's schema (validate overrides with
     /// [`ParamSchema::validate`], or start from
     /// [`ArchitectureBuilder::default_params`]).
+    ///
+    /// The configuration is the architecture's **effective** configuration:
+    /// callers that start from a scenario-level base configuration must pass
+    /// it through [`ArchitectureBuilder::effective_config`] first.
     fn build(
         &self,
         config: SimConfig,
         params: &ResolvedParams,
         traffic: Box<dyn TrafficModel + Send>,
     ) -> Box<dyn CycleNetwork>;
+
+    /// Rewrites a scenario-level base configuration into the configuration
+    /// this architecture actually simulates under the given parameters. The
+    /// default is the identity — a flat architecture simulates exactly the
+    /// scenario's configuration. Composite architectures override this to
+    /// scale the geometry (the hierarchy layer multiplies the cluster count
+    /// by its pod count), so traffic models, workload sizing, fault-plan
+    /// validation and metrics probes all see the full composed topology.
+    fn effective_config(&self, config: SimConfig, params: &ResolvedParams) -> SimConfig {
+        let _ = params;
+        config
+    }
+
+    /// An optional placement map for closed-loop workloads: `map[rank]` is
+    /// the core that workload participant `rank` runs on, for a workload of
+    /// `ranks` participants on this architecture's effective topology
+    /// (`config` is the **effective** configuration, already passed through
+    /// [`ArchitectureBuilder::effective_config`]). `None` (the default)
+    /// keeps the generators' native dense placement (rank `i` on core `i`).
+    /// The hierarchy layer overrides this with a round-robin-across-pods map
+    /// so collective workloads exercise the cross-pod spine instead of
+    /// packing into pod 0.
+    ///
+    /// A returned map must be injective over `0..ranks` and every entry must
+    /// be a valid core of the effective topology — [`crate::scenario`]
+    /// enforces this with a panic, since a registered builder producing an
+    /// invalid map is a programming error, not a user error.
+    fn workload_placement(
+        &self,
+        config: &SimConfig,
+        params: &ResolvedParams,
+        ranks: usize,
+    ) -> Option<Vec<usize>> {
+        let _ = (config, params, ranks);
+        None
+    }
 }
 
 /// Builder for the trivially uniform test fabric

@@ -389,6 +389,11 @@ impl ScenarioSpec {
         let params = architecture
             .param_schema()
             .validate(&arch_name, &overrides)?;
+        // Everything topology-sized below (workload capacity, fault-plan
+        // bounds) is checked against the architecture's *effective*
+        // configuration: composite architectures simulate a larger topology
+        // than the scenario-level base.
+        let effective = architecture.effective_config(self.config(), &params);
         let payload = match &self.workload {
             Some(reference) => {
                 // A scenario is either open- or closed-loop: a spec naming
@@ -411,7 +416,7 @@ impl ScenarioSpec {
                         reason,
                     })?;
                 let (factory, size) = parsed.resolve()?;
-                let num_cores = self.config().topology.num_cores();
+                let num_cores = effective.topology.num_cores();
                 if size < 2 || size > num_cores {
                     return Err(ScenarioError::WorkloadTooLarge {
                         scenario: self.id(),
@@ -426,6 +431,33 @@ impl ScenarioSpec {
                         factory.name()
                     )
                 });
+                // Architecture-aware placement: the generators emit a dense
+                // rank-on-core-`i` workload; an architecture may spread the
+                // ranks over its effective topology (the hierarchy layer
+                // round-robins ranks across pods). The map is a pure
+                // function of (architecture, params, size), so placement
+                // never varies between runs of the same canonical id.
+                let workload = match architecture.workload_placement(&effective, &params, size) {
+                    Some(map) => {
+                        assert_eq!(
+                            map.len(),
+                            size,
+                            "architecture '{arch_name}' returned a placement map for {} ranks, \
+                             expected {size}",
+                            map.len()
+                        );
+                        let mut seen = vec![false; num_cores];
+                        for &core in &map {
+                            assert!(
+                                core < num_cores && !std::mem::replace(&mut seen[core], true),
+                                "architecture '{arch_name}' produced an invalid placement map: \
+                                 core {core} is out of range or assigned twice"
+                            );
+                        }
+                        workload.remap_cores(&map)
+                    }
+                    None => workload,
+                };
                 ScenarioPayload::Workload(Arc::new(workload))
             }
             None => {
@@ -446,7 +478,7 @@ impl ScenarioSpec {
                     error,
                 };
                 let plan = FaultPlan::resolve(text).map_err(invalid)?;
-                plan.validate(self.config().topology.num_clusters())
+                plan.validate(effective.topology.num_clusters())
                     .map_err(invalid)?;
                 plan
             }
@@ -632,6 +664,18 @@ impl Scenario {
         &self.faults
     }
 
+    /// The **effective** simulation configuration of this scenario: the
+    /// spec's base configuration rewritten by the resolved architecture
+    /// (see [`ArchitectureBuilder::effective_config`]). This is what every
+    /// point actually simulates — for flat architectures it equals
+    /// [`ScenarioSpec::config`]; for composite architectures the topology is
+    /// scaled (e.g. multiplied by the pod count).
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        self.architecture
+            .effective_config(self.spec.config(), &self.params)
+    }
+
     /// Runs the scenario's saturation sweep with the ladder points in
     /// parallel (bitwise-identical to a sequential run).
     #[must_use]
@@ -693,7 +737,7 @@ impl Scenario {
     /// simulation).
     #[must_use]
     pub fn run_with_mode(&self, mode: SweepMode) -> ScenarioResult {
-        let config = self.spec.config();
+        let config = self.config();
         let loads = self.spec.loads();
         let started = Instant::now();
         let result = match &self.payload {
@@ -1246,7 +1290,7 @@ pub fn run_specs_with_cache(
     let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(scenarios.len());
     let fingerprint = cache.is_some().then(engine_fingerprint);
     for scenario in &scenarios {
-        let config = scenario.spec.config();
+        let config = scenario.config();
         let loads = scenario.spec.loads();
         let canonical_id = fingerprint.is_some().then(|| scenario.canonical_id());
         // Key on the *resolved* registry names and parameters, not the spec
@@ -1342,7 +1386,7 @@ pub fn run_specs_with_cache(
         .iter()
         .zip(&assignments)
         .map(|(scenario, point_jobs)| {
-            let config = scenario.spec.config();
+            let config = scenario.config();
             ScenarioResult {
                 spec: scenario.spec.clone(),
                 result: SaturationResult {

@@ -322,6 +322,7 @@ pub(crate) fn run_point(
     if !faults.is_empty() {
         attach_fault_gauges(&mut metrics, &*network);
     }
+    network.contribute_metrics(&mut metrics);
     SweepPoint {
         offered_load: spec.offered_load.value(),
         stats,

@@ -971,7 +971,7 @@ impl<F: PhotonicFabric, T: TrafficModel> PhotonicSystem<F, T> {
     }
 }
 
-impl<F: PhotonicFabric, T: TrafficModel> CycleNetwork for PhotonicSystem<F, T> {
+impl<F: PhotonicFabric + Send, T: TrafficModel + Send> CycleNetwork for PhotonicSystem<F, T> {
     fn step(&mut self, cycle: u64) {
         self.step_observed(cycle, &mut NullSink);
     }

@@ -586,6 +586,7 @@ pub fn run_workload_point(
     if !faults.is_empty() {
         crate::sweep::attach_fault_gauges(&mut metrics, &*network);
     }
+    network.contribute_metrics(&mut metrics);
     SweepPoint {
         offered_load: spec.offered_load.value(),
         stats,

@@ -30,4 +30,4 @@ pub mod store;
 
 pub use codec::{point_from_json, point_json, CodecError};
 pub use json::{Json, JsonParseError};
-pub use store::{content_hash, ResultStore, StoreStats};
+pub use store::{content_hash, CompactionReport, EvictionReport, ResultStore, StoreStats};

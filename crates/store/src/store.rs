@@ -129,6 +129,9 @@ impl ResultStore {
     /// failure mode — absent file, unreadable file, malformed JSON, wrong
     /// format tag, key mismatch (hash collision or tampering), codec
     /// rejection — is a miss; the non-trivial ones log a warning to stderr.
+    ///
+    /// A hit refreshes the entry's sidecar access time, which is what the
+    /// LRU eviction of [`ResultStore::evict_to_budget`] orders by.
     #[must_use]
     pub fn load(&self, key: &str) -> Option<SweepPoint> {
         let path = self.entry_path(key);
@@ -148,6 +151,7 @@ impl ResultStore {
         match decode_entry(&text, key) {
             Ok(point) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                touch_entry(&path, &text);
                 Some(point)
             }
             Err(reason) => {
@@ -176,7 +180,10 @@ impl ResultStore {
             ("key", Json::str(key)),
             (
                 "sidecar",
-                Json::obj(vec![("wall_clock_seconds", Json::Num(wall_clock_seconds))]),
+                Json::obj(vec![
+                    ("wall_clock_seconds", Json::Num(wall_clock_seconds)),
+                    ("atime_epoch_seconds", Json::Num(now_epoch_seconds())),
+                ]),
             ),
             ("point", codec::point_json(point)),
         ]);
@@ -189,6 +196,153 @@ impl ResultStore {
         }
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Total size in bytes of all entry files currently on disk.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        fs::read_dir(&self.entries_dir)
+            .map(|dir| {
+                dir.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|meta| meta.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Evicts least-recently-used entries until the total entry bytes fit
+    /// within `max_bytes`. Recency is the sidecar `atime_epoch_seconds`
+    /// stamped at [`ResultStore::save`] and refreshed on every
+    /// [`ResultStore::load`] hit; entries predating the sidecar access time
+    /// (or unreadable ones) sort oldest. Ties break on the entry hash so the
+    /// eviction order is deterministic. Runs under the advisory index lock
+    /// and rewrites the index with the survivors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than concurrent deletion of a
+    /// candidate (a racing evictor did our work for us).
+    pub fn evict_to_budget(&self, max_bytes: u64) -> io::Result<EvictionReport> {
+        let mut index = self.index.lock().expect("store index lock");
+        let _lock = IndexLock::acquire(&self.root);
+        // Oldest-first candidate list: (sidecar atime, entry hash, bytes).
+        let mut candidates = Vec::new();
+        let mut bytes_before = 0u64;
+        for entry in fs::read_dir(&self.entries_dir)?.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_none_or(|ext| ext != "json") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            bytes_before += meta.len();
+            let atime = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| Json::parse(&text).ok())
+                .map(|document| entry_atime(&document))
+                .unwrap_or(0.0);
+            let hash = path
+                .file_stem()
+                .and_then(|stem| stem.to_str())
+                .unwrap_or_default()
+                .to_string();
+            candidates.push((atime, hash, meta.len(), path));
+        }
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let scanned = candidates.len();
+        let index_path = self.root.join("index.json");
+        for (hash, key) in load_index(&index_path) {
+            index.entry(hash).or_insert(key);
+        }
+        let mut bytes_after = bytes_before;
+        let mut evicted = 0usize;
+        for (_, hash, len, path) in &candidates {
+            if bytes_after <= max_bytes {
+                break;
+            }
+            match fs::remove_file(path) {
+                Ok(()) => {}
+                Err(error) if error.kind() == io::ErrorKind::NotFound => {}
+                Err(error) => return Err(error),
+            }
+            index.remove(hash);
+            bytes_after -= len;
+            evicted += 1;
+        }
+        write_atomically(&index_path, &render_index(&index))?;
+        Ok(EvictionReport {
+            scanned,
+            evicted,
+            bytes_before,
+            bytes_after,
+        })
+    }
+
+    /// Compacts the store: rebuilds the index from the entry files that
+    /// actually exist and verify (dangling index entries are dropped),
+    /// removes leftover temp files from interrupted atomic writes, and
+    /// removes alien or corrupt entry files whose stored key does not hash
+    /// to their file name. Runs under the advisory index lock; the rewritten
+    /// index survives a reopen because entry files are the source of truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan and deletion failures.
+    pub fn compact(&self) -> io::Result<CompactionReport> {
+        let mut index = self.index.lock().expect("store index lock");
+        let _lock = IndexLock::acquire(&self.root);
+        let index_path = self.root.join("index.json");
+        for (hash, key) in load_index(&index_path) {
+            index.entry(hash).or_insert(key);
+        }
+        let mut fresh = BTreeMap::new();
+        let mut removed_files = 0usize;
+        for entry in fs::read_dir(&self.entries_dir)?.filter_map(Result::ok) {
+            let path = entry.path();
+            let name = path
+                .file_name()
+                .and_then(|name| name.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if !name.ends_with(".json") {
+                // Leftover temp file from an interrupted atomic write.
+                fs::remove_file(&path)?;
+                removed_files += 1;
+                continue;
+            }
+            let hash = name.trim_end_matches(".json").to_string();
+            let key = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| Json::parse(&text).ok())
+                .and_then(|document| {
+                    document
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                })
+                .filter(|key| content_hash(key) == hash);
+            match key {
+                Some(key) => {
+                    fresh.insert(hash, key);
+                }
+                None => {
+                    fs::remove_file(&path)?;
+                    removed_files += 1;
+                }
+            }
+        }
+        let dropped_index_entries = index
+            .keys()
+            .filter(|hash| !fresh.contains_key(*hash))
+            .count();
+        *index = fresh;
+        write_atomically(&index_path, &render_index(&index))?;
+        Ok(CompactionReport {
+            live_entries: index.len(),
+            dropped_index_entries,
+            removed_files,
+        })
     }
 
     /// Rewrites `index.json` under the advisory file lock, after merging any
@@ -209,6 +363,31 @@ impl ResultStore {
         drop(lock);
         outcome
     }
+}
+
+/// Outcome of one [`ResultStore::evict_to_budget`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvictionReport {
+    /// Entry files considered.
+    pub scanned: usize,
+    /// Entry files deleted (oldest sidecar access time first).
+    pub evicted: usize,
+    /// Total entry bytes before eviction.
+    pub bytes_before: u64,
+    /// Total entry bytes after eviction (≤ the budget unless the store was
+    /// already empty of candidates).
+    pub bytes_after: u64,
+}
+
+/// Outcome of one [`ResultStore::compact`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Verified entries the rebuilt index references.
+    pub live_entries: usize,
+    /// Index entries dropped because no verifying entry file backs them.
+    pub dropped_index_entries: usize,
+    /// Temp, alien or corrupt files removed from the entries directory.
+    pub removed_files: usize,
 }
 
 /// Advisory cross-process lock on the store index: a `create_new` lock file
@@ -316,6 +495,62 @@ fn write_atomically(path: &Path, text: &str) -> io::Result<()> {
             Err(error)
         }
     }
+}
+
+/// Current time as fractional seconds since the Unix epoch (`0.0` if the
+/// clock reads before the epoch).
+fn now_epoch_seconds() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|elapsed| elapsed.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+/// Best-effort refresh of an entry's sidecar `atime_epoch_seconds` — the
+/// LRU signal [`ResultStore::evict_to_budget`] orders by. Failures are
+/// swallowed: a stale access time costs eviction accuracy, never
+/// correctness.
+fn touch_entry(path: &Path, text: &str) {
+    let _ = rewrite_entry_atime(path, text, now_epoch_seconds());
+}
+
+fn rewrite_entry_atime(path: &Path, text: &str, atime: f64) -> io::Result<()> {
+    let Ok(mut document) = Json::parse(text) else {
+        return Ok(());
+    };
+    set_sidecar_atime(&mut document, atime);
+    write_atomically(path, &(document.render() + "\n"))
+}
+
+fn set_sidecar_atime(document: &mut Json, atime: f64) {
+    let Json::Obj(fields) = document else { return };
+    let sidecar = match fields.iter_mut().position(|(k, _)| k == "sidecar") {
+        Some(at) => &mut fields[at].1,
+        None => {
+            fields.push(("sidecar".to_string(), Json::Obj(Vec::new())));
+            &mut fields.last_mut().expect("just pushed").1
+        }
+    };
+    let Json::Obj(sidecar_fields) = sidecar else {
+        return;
+    };
+    match sidecar_fields
+        .iter_mut()
+        .find(|(k, _)| k == "atime_epoch_seconds")
+    {
+        Some((_, value)) => *value = Json::Num(atime),
+        None => sidecar_fields.push(("atime_epoch_seconds".to_string(), Json::Num(atime))),
+    }
+}
+
+/// The sidecar access time of a parsed entry document; entries predating
+/// the sidecar atime (or with a malformed one) read as `0.0`, i.e. oldest.
+fn entry_atime(document: &Json) -> f64 {
+    document
+        .get("sidecar")
+        .and_then(|sidecar| sidecar.get("atime_epoch_seconds"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
 }
 
 fn decode_entry(text: &str, expected_key: &str) -> Result<SweepPoint, String> {
@@ -487,6 +722,125 @@ mod tests {
             !root.join("index.lock").exists(),
             "lock file must be released after the last rewrite"
         );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// Pins an entry's sidecar access time to a fixed value so eviction
+    /// order is under test control instead of wall-clock resolution.
+    fn pin_atime(store: &ResultStore, key: &str, atime: f64) {
+        let path = store.entry_path(key);
+        let text = fs::read_to_string(&path).unwrap();
+        rewrite_entry_atime(&path, &text, atime).unwrap();
+    }
+
+    fn stored_atime(store: &ResultStore, key: &str) -> f64 {
+        let text = fs::read_to_string(store.entry_path(key)).unwrap();
+        entry_atime(&Json::parse(&text).unwrap())
+    }
+
+    #[test]
+    fn load_refreshes_the_sidecar_access_time() {
+        let root = temp_root("touch");
+        let store = ResultStore::open(&root).unwrap();
+        store.save("key-a", &sample_point(), 0.1).unwrap();
+        pin_atime(&store, "key-a", 5.0);
+        assert!(store.load("key-a").is_some());
+        assert!(
+            stored_atime(&store, "key-a") > 5.0,
+            "a cache hit must refresh the LRU access time"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn eviction_is_lru_by_sidecar_atime_and_survives_reload() {
+        let root = temp_root("evict");
+        let store = ResultStore::open(&root).unwrap();
+        let point = sample_point();
+        for key in ["key-a", "key-b", "key-c"] {
+            store.save(key, &point, 0.1).unwrap();
+        }
+        // key-b is the coldest, key-c the hottest.
+        pin_atime(&store, "key-a", 20.0);
+        pin_atime(&store, "key-b", 10.0);
+        pin_atime(&store, "key-c", 30.0);
+        let entry_bytes = fs::metadata(store.entry_path("key-c")).unwrap().len();
+        // Budget for exactly one entry: the two coldest must go.
+        let report = store.evict_to_budget(entry_bytes).unwrap();
+        assert_eq!((report.scanned, report.evicted), (3, 2));
+        assert!(report.bytes_after <= entry_bytes);
+        assert!(report.bytes_before > report.bytes_after);
+        assert!(store.load("key-b").is_none(), "coldest entry evicted");
+        assert!(store.load("key-a").is_none(), "second-coldest evicted");
+        assert_eq!(store.load("key-c"), Some(point), "hottest entry survives");
+        assert_eq!(store.entry_count(), 1);
+        // The shrunken index survives a reopen and only lists the survivor.
+        let reopened = ResultStore::open(&root).unwrap();
+        let index = reopened.index.lock().unwrap();
+        assert_eq!(index.len(), 1);
+        assert_eq!(
+            index.get(&content_hash("key-c")).map(String::as_str),
+            Some("key-c")
+        );
+        drop(index);
+        assert!(!root.join("index.lock").exists(), "lock released");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn eviction_to_zero_budget_clears_the_store() {
+        let root = temp_root("evict-all");
+        let store = ResultStore::open(&root).unwrap();
+        store.save("key-a", &sample_point(), 0.1).unwrap();
+        let report = store.evict_to_budget(0).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.bytes_after, 0);
+        assert_eq!(store.entry_count(), 0);
+        assert_eq!(store.total_bytes(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_prunes_dangling_index_entries_and_stray_files() {
+        let root = temp_root("compact");
+        let store = ResultStore::open(&root).unwrap();
+        let point = sample_point();
+        store.save("key-a", &point, 0.1).unwrap();
+        store.save("key-b", &point, 0.1).unwrap();
+        // Delete one entry behind the store's back: its index entry dangles.
+        fs::remove_file(store.entry_path("key-b")).unwrap();
+        // And litter the entries dir with an interrupted-write temp file.
+        fs::write(root.join("entries").join(".stray.json.tmp123"), "junk").unwrap();
+        let report = store.compact().unwrap();
+        assert_eq!(report.live_entries, 1);
+        assert_eq!(report.dropped_index_entries, 1);
+        assert_eq!(report.removed_files, 1);
+        // The compacted index shrinks and survives a reopen.
+        let reopened = ResultStore::open(&root).unwrap();
+        let index = reopened.index.lock().unwrap();
+        assert_eq!(index.len(), 1);
+        assert_eq!(
+            index.get(&content_hash("key-a")).map(String::as_str),
+            Some("key-a")
+        );
+        drop(index);
+        assert_eq!(reopened.load("key-a"), Some(point));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_removes_corrupt_and_alien_entry_files() {
+        let root = temp_root("compact-corrupt");
+        let store = ResultStore::open(&root).unwrap();
+        store.save("key-a", &sample_point(), 0.1).unwrap();
+        // A corrupt entry and a forged one (key text hashes elsewhere).
+        fs::write(store.entry_path("key-corrupt"), "{ not json").unwrap();
+        let forged = fs::read_to_string(store.entry_path("key-a")).unwrap();
+        fs::write(store.entry_path("key-forged"), forged).unwrap();
+        let report = store.compact().unwrap();
+        assert_eq!(report.live_entries, 1);
+        assert_eq!(report.removed_files, 2);
+        assert_eq!(store.entry_count(), 1);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -89,6 +89,46 @@ impl Workload {
         self.flows.iter().map(|f| f.src.0.max(f.dst.0)).max()
     }
 
+    /// Re-places the workload onto different cores: every flow endpoint
+    /// `CoreId(i)` becomes `CoreId(map[i])`. The name, payload sizes,
+    /// dependencies, release cycles and collective labels are untouched, so
+    /// the remapped workload is the same DAG running on a different set of
+    /// cores — how an architecture spreads a dense rank-on-core-`i`
+    /// collective over its topology (e.g. round-robin across pods).
+    ///
+    /// An injective map preserves every [`Workload::validate`] invariant
+    /// (in particular `src != dst`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow endpoint is not covered by the map.
+    #[must_use]
+    pub fn remap_cores(&self, map: &[usize]) -> Workload {
+        let place = |core: CoreId| {
+            CoreId(*map.get(core.0).unwrap_or_else(|| {
+                panic!(
+                    "placement map covers {} ranks but the workload touches core {}",
+                    map.len(),
+                    core.0
+                )
+            }))
+        };
+        let flows = self
+            .flows
+            .iter()
+            .map(|flow| {
+                let mut flow = flow.clone();
+                flow.src = place(flow.src);
+                flow.dst = place(flow.dst);
+                flow
+            })
+            .collect();
+        Workload {
+            name: self.name.clone(),
+            flows,
+        }
+    }
+
     /// The distinct collective labels, sorted.
     #[must_use]
     pub fn collectives(&self) -> Vec<String> {

@@ -78,6 +78,8 @@
 pub use pnoc_dhetpnoc as dhetpnoc;
 /// The Firefly baseline architecture.
 pub use pnoc_firefly as firefly;
+/// Hierarchical multi-pod topologies composed from registered leaf fabrics.
+pub use pnoc_hier as hier;
 /// Electrical NoC substrate (flits, virtual channels, routers, topology).
 pub use pnoc_noc as noc;
 /// Photonic device, energy and area models.
@@ -92,8 +94,9 @@ pub use pnoc_traffic as traffic;
 pub use pnoc_workload as workload;
 
 /// Registers every architecture of this workspace into the process-global
-/// architecture registry: `"firefly"`, `"d-hetpnoc"`, and (built into
-/// `pnoc-sim` itself) the `"uniform-fabric"` test fabric.
+/// architecture registry: `"firefly"`, `"d-hetpnoc"`, the hierarchical
+/// composition `"hier"`, and (built into `pnoc-sim` itself) the
+/// `"uniform-fabric"` test fabric.
 ///
 /// Idempotent and cheap; call it before resolving architectures by name.
 /// Crates defining additional architectures register themselves with
@@ -105,6 +108,9 @@ pub fn install_architectures() {
     ONCE.call_once(|| {
         pnoc_firefly::network::register_firefly_architecture();
         pnoc_dhetpnoc::network::register_dhetpnoc_architecture();
+        // After the leaves: hier resolves its leaf builder by name at build
+        // time, so the leaves must already be registered.
+        pnoc_hier::register_hier_architecture();
     });
 }
 
@@ -126,7 +132,7 @@ mod tests {
         super::install_architectures();
         super::install_architectures();
         let names = pnoc_sim::registry::registered_architectures();
-        for expected in ["d-hetpnoc", "firefly", "uniform-fabric"] {
+        for expected in ["d-hetpnoc", "firefly", "hier", "uniform-fabric"] {
             assert!(
                 names.contains(&expected.to_string()),
                 "architecture '{expected}' missing from {names:?}"
